@@ -1,0 +1,84 @@
+//===-- bench/ablation_coarsen.cpp - Granularity ablation -----------------===//
+//
+// Part of CWS, a reproduction of Toporkov, "Application-Level and Job-Flow
+// Scheduling" (PaCT 2009). Distributed without any warranty.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Ablation of the coarse-grain transformation behind S3: sweeping the
+/// macro-task size bound from "no coarsening" to unbounded shows the
+/// granularity trade-off — fewer data exchanges and lower CF versus
+/// shrinking admissibility under tight deadlines (oversized macro-tasks
+/// cannot fit fragmented timelines).
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/Strategy.h"
+#include "job/Coarsen.h"
+#include "job/Generator.h"
+#include "metrics/Experiment.h"
+#include "resource/Network.h"
+#include "support/Flags.h"
+#include "support/Stats.h"
+#include "support/Table.h"
+
+#include <iostream>
+
+using namespace cws;
+
+int main(int Argc, char **Argv) {
+  int64_t Jobs = 1200;
+  int64_t Seed = 2009;
+  Flags F;
+  F.addInt("jobs", &Jobs, "random jobs in the population");
+  F.addInt("seed", &Seed, "experiment seed");
+  if (!F.parse(Argc, Argv))
+    return 0;
+
+  std::cout << "=== ABLATION: S3 coarse-grain macro-task size bound ("
+            << Jobs << " jobs) ===\n\n";
+
+  Table T({"max merged ref", "mean tasks after", "mean edges after",
+           "admissible %", "mean CF", "mean makespan"});
+
+  // Bound 1 disables merging entirely; 0 means unbounded.
+  for (Tick Bound : {static_cast<Tick>(1), static_cast<Tick>(4),
+                     static_cast<Tick>(6), static_cast<Tick>(8),
+                     static_cast<Tick>(12), static_cast<Tick>(0)}) {
+    JobGenerator Gen(WorkloadConfig{}, static_cast<uint64_t>(Seed));
+    Prng EnvRng(static_cast<uint64_t>(Seed) ^ 0xc0a5);
+    Prng LoadRng(static_cast<uint64_t>(Seed) ^ 0x10ad);
+    Network Net;
+    RatioCounter Admissible;
+    OnlineStats Tasks, EdgesLeft, Cf, Makespan;
+    for (int64_t I = 0; I < Jobs; ++I) {
+      Job J = Gen.next(0);
+      Grid Env = Grid::makeRandom(GridConfig{}, EnvRng);
+      preloadGrid(Env, J.deadline(), 0.35, 0.75, 2, 10, LoadRng);
+      StrategyConfig Config;
+      Config.Kind = StrategyKind::S3;
+      Config.CoarsenMaxRef = Bound;
+      Strategy S = Strategy::build(J, Env, Net, Config, 42);
+      Tasks.add(static_cast<double>(S.scheduledJob().taskCount()));
+      EdgesLeft.add(static_cast<double>(S.scheduledJob().edgeCount()));
+      Admissible.add(S.admissible());
+      if (const ScheduleVariant *Best = S.bestByCost()) {
+        Cf.add(static_cast<double>(
+            Best->Result.Dist.costFunction(S.scheduledJob())));
+        Makespan.add(static_cast<double>(Best->Result.Dist.makespan()));
+      }
+    }
+    T.addRow({Bound == 0 ? "unbounded" : std::to_string(Bound),
+              Table::num(Tasks.mean(), 1), Table::num(EdgesLeft.mean(), 1),
+              Table::num(Admissible.percent(), 1), Table::num(Cf.mean(), 1),
+              Table::num(Makespan.mean(), 1)});
+  }
+  T.print(std::cout);
+
+  std::cout << "\nReading guide: larger bounds merge more work into fewer "
+               "macro-tasks (columns 2-3 shrink) and lower CF, but "
+               "admissibility under the tight Fig. 3 regime collapses — "
+               "the reason the library bounds S3's merges by default.\n";
+  return 0;
+}

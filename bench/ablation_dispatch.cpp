@@ -1,0 +1,117 @@
+//===-- bench/ablation_dispatch.cpp - Domain dispatch ablation ------------===//
+//
+// Part of CWS, a reproduction of Toporkov, "Application-Level and Job-Flow
+// Scheduling" (PaCT 2009). Distributed without any warranty.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Ablation of the metascheduler's job-flow distribution between
+/// processor-node domains (Fig. 1): round-robin, least booked load,
+/// EWMA load forecast (the Section-5 forecasting item) and an economic
+/// tender where domains bid their cheapest admissible schedule. A job
+/// stream is committed greedily; the sweep reports admission, cost and
+/// domain balance per policy.
+///
+//===----------------------------------------------------------------------===//
+
+#include "flow/Dispatch.h"
+#include "flow/Metascheduler.h"
+#include "job/Generator.h"
+#include "support/Flags.h"
+#include "support/Stats.h"
+#include "support/Table.h"
+
+#include <cmath>
+#include <iostream>
+
+using namespace cws;
+
+int main(int Argc, char **Argv) {
+  int64_t Jobs = 300;
+  int64_t Seed = 2009;
+  int64_t DomainCount = 3;
+  Flags F;
+  F.addInt("jobs", &Jobs, "jobs in the stream");
+  F.addInt("seed", &Seed, "experiment seed");
+  F.addInt("domains", &DomainCount, "striped domains");
+  if (!F.parse(Argc, Argv))
+    return 0;
+
+  std::cout << "=== ABLATION: domain dispatch policies (" << Jobs
+            << " jobs, " << DomainCount << " striped domains) ===\n\n";
+
+  Table T({"policy", "admitted %", "mean cost", "mean makespan",
+           "domain imbalance", "grid util %"});
+
+  for (DispatchPolicy Policy :
+       {DispatchPolicy::RoundRobin, DispatchPolicy::LeastLoaded,
+        DispatchPolicy::LeastForecast, DispatchPolicy::CheapestBid}) {
+    // Fresh, identical world per policy.
+    Prng EnvRng(static_cast<uint64_t>(Seed));
+    Grid Env = Grid::makeRandom(GridConfig{}, EnvRng);
+    Network Net;
+    WorkloadConfig W;
+    W.DeadlineSlack = 1.7;
+    JobGenerator Gen(W, static_cast<uint64_t>(Seed) + 1);
+    std::vector<Domain> Domains =
+        partitionStriped(Env, static_cast<size_t>(DomainCount));
+    DomainDispatcher Dispatcher(Env, Net, StrategyConfig{}, Domains, Policy);
+
+    RatioCounter Admitted;
+    OnlineStats Cost, Makespan;
+    std::vector<size_t> PerDomain(Domains.size(), 0);
+    Tick Now = 0;
+    Tick LastObserve = 0;
+    for (int64_t I = 0; I < Jobs; ++I) {
+      Now += 5;
+      if (Policy == DispatchPolicy::LeastForecast && Now - LastObserve >= 48) {
+        Dispatcher.observeLoad(Now, 48);
+        LastObserve = Now;
+      }
+      Job J = Gen.next(Now);
+      OwnerId Owner = Metascheduler::ownerOf(J.id());
+      DispatchDecision D = Dispatcher.dispatch(J, Owner, Now);
+      const ScheduleVariant *Pick = D.S.bestFitting(Env);
+      if (!Pick) {
+        Admitted.add(false);
+        continue;
+      }
+      bool Committed = Pick->Result.Dist.commit(Env, Owner);
+      Admitted.add(Committed);
+      if (!Committed)
+        continue;
+      ++PerDomain[D.DomainIdx];
+      Cost.add(Pick->Result.Dist.economicCost());
+      Makespan.add(static_cast<double>(Pick->Result.Dist.makespan() -
+                                       J.release()));
+    }
+
+    // Imbalance: coefficient of variation of per-domain job counts.
+    OnlineStats Counts;
+    for (size_t N : PerDomain)
+      Counts.add(static_cast<double>(N));
+    double Imbalance =
+        Counts.mean() > 0 ? Counts.stddev() / Counts.mean() : 0.0;
+    double Util = 0.0;
+    for (const auto &N : Env.nodes())
+      Util += N.timeline().utilization(0, Now + 100);
+    Util = 100.0 * Util / static_cast<double>(Env.size());
+
+    T.addRow({dispatchPolicyName(Policy), Table::num(Admitted.percent(), 1),
+              Table::num(Cost.mean(), 0), Table::num(Makespan.mean(), 1),
+              Table::num(Imbalance, 2), Table::num(Util, 1)});
+  }
+  T.print(std::cout);
+
+  std::cout << "\nReading guide: the economic tender admits the most jobs "
+               "at the lowest cost (it always finds the cheapest hosting "
+               "domain) at the price of one strategy build per bid; "
+               "least-booked-load is nearly as good for free. The EWMA "
+               "history forecast trails both — when reservation calendars "
+               "are globally visible, the booked future beats any "
+               "extrapolated past; forecasting earns its keep only where "
+               "calendars are not shared (the situation Section 5 has in "
+               "mind).\n";
+  return 0;
+}

@@ -1,0 +1,81 @@
+//===-- bench/ablation_repair.cpp - Collision repair ablation -------------===//
+//
+// Part of CWS, a reproduction of Toporkov, "Application-Level and Job-Flow
+// Scheduling" (PaCT 2009). Distributed without any warranty.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Ablation of the inter-chain collision repair mechanism: when a later
+/// critical work cannot fit the windows left by earlier ones, the
+/// scheduler may release and reschedule the blocking placements. The
+/// sweep varies the repair budget and reports how many jobs become
+/// schedulable because of it.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/Scheduler.h"
+#include "job/Generator.h"
+#include "metrics/Experiment.h"
+#include "resource/Network.h"
+#include "support/Flags.h"
+#include "support/Stats.h"
+#include "support/Table.h"
+
+#include <iostream>
+
+using namespace cws;
+
+int main(int Argc, char **Argv) {
+  int64_t Jobs = 1500;
+  int64_t Seed = 2009;
+  Flags F;
+  F.addInt("jobs", &Jobs, "random jobs in the population");
+  F.addInt("seed", &Seed, "experiment seed");
+  if (!F.parse(Argc, Argv))
+    return 0;
+
+  std::cout << "=== ABLATION: inter-chain collision repair budget ("
+            << Jobs << " jobs, cost and time bias) ===\n\n";
+
+  Table T({"repair budget", "feasible % (cost)", "feasible % (time)",
+           "mean collisions", "mean cost when feasible"});
+
+  for (int Budget : {0, 1, 2, 4, 8}) {
+    JobGenerator Gen(WorkloadConfig{}, static_cast<uint64_t>(Seed));
+    Prng EnvRng(static_cast<uint64_t>(Seed) ^ 0x51ed);
+    Prng LoadRng(static_cast<uint64_t>(Seed) ^ 0x10ad);
+    Network Net;
+    RatioCounter CostFeasible, TimeFeasible;
+    OnlineStats Collisions, Cost;
+    for (int64_t I = 0; I < Jobs; ++I) {
+      Job J = Gen.next(0);
+      Grid Env = Grid::makeRandom(GridConfig{}, EnvRng);
+      preloadGrid(Env, J.deadline(), 0.3, 0.6, 2, 8, LoadRng);
+      for (OptimizationBias Bias :
+           {OptimizationBias::Cost, OptimizationBias::Time}) {
+        SchedulerConfig Config;
+        Config.Alloc.Bias = Bias;
+        Config.RepairBudget = Budget;
+        ScheduleResult R = scheduleJob(J, Env, Net, Config, 42);
+        (Bias == OptimizationBias::Cost ? CostFeasible : TimeFeasible)
+            .add(R.Feasible);
+        if (Bias == OptimizationBias::Cost && R.Feasible) {
+          Collisions.add(static_cast<double>(R.Collisions.size()));
+          Cost.add(R.Dist.economicCost());
+        }
+      }
+    }
+    T.addRow({std::to_string(Budget), Table::num(CostFeasible.percent(), 1),
+              Table::num(TimeFeasible.percent(), 1),
+              Table::num(Collisions.mean(), 2), Table::num(Cost.mean(), 0)});
+  }
+  T.print(std::cout);
+
+  std::cout << "\nReading guide: budget 0 disables the paper's resolution "
+               "of conflicts between critical works; the feasibility gap "
+               "between the first and last row is what that mechanism "
+               "buys. Time-biased scheduling depends on it most (its "
+               "tightly packed first chains strangle later ones).\n";
+  return 0;
+}

@@ -1,0 +1,59 @@
+//===-- bench/deadline_sweep.cpp - QoS pressure sensitivity ---------------===//
+//
+// Part of CWS, a reproduction of Toporkov, "Application-Level and Job-Flow
+// Scheduling" (PaCT 2009). Distributed without any warranty.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Sensitivity of the Fig. 3a result to QoS pressure: admissibility per
+/// strategy type as the fixed-completion-time slack sweeps from brutal
+/// to comfortable. Shows where the strategy types separate and where S3
+/// (coarse grain) catches up — the crossover structure behind the
+/// paper's single operating point.
+///
+//===----------------------------------------------------------------------===//
+
+#include "metrics/Experiment.h"
+#include "support/Flags.h"
+#include "support/Table.h"
+
+#include <iostream>
+
+using namespace cws;
+
+int main(int Argc, char **Argv) {
+  int64_t Jobs = 1000;
+  int64_t Seed = 2009;
+  Flags F;
+  F.addInt("jobs", &Jobs, "random jobs per slack level");
+  F.addInt("seed", &Seed, "experiment seed");
+  if (!F.parse(Argc, Argv))
+    return 0;
+
+  std::cout << "=== SWEEP: admissibility vs deadline slack (" << Jobs
+            << " jobs per level) ===\n\n";
+
+  Table T({"deadline slack", "S1 %", "S2 %", "S3 %", "S3/S1 ratio"});
+  for (double Slack : {1.2, 1.35, 1.5, 1.8, 2.2, 2.8}) {
+    Fig3Config Config;
+    Config.JobCount = static_cast<size_t>(Jobs);
+    Config.Seed = static_cast<uint64_t>(Seed);
+    Config.Workload.DeadlineSlack = Slack;
+    std::vector<Fig3Row> Rows = runFig3(Config);
+    double S1 = Rows[0].admissiblePercent();
+    double S3 = Rows[2].admissiblePercent();
+    T.addRow({Table::num(Slack, 2), Table::num(S1, 1),
+              Table::num(Rows[1].admissiblePercent(), 1),
+              Table::num(S3, 1),
+              Table::num(S1 > 0 ? S3 / S1 : 0.0, 2)});
+  }
+  T.print(std::cout);
+
+  std::cout << "\nReading guide: under brutal deadlines every strategy "
+               "collapses together; the paper's ~38 % operating point "
+               "(slack 1.5) is where the types separate most; with "
+               "comfortable slack S3's coarse macro-tasks stop being a "
+               "handicap (the S3/S1 ratio climbs toward 1).\n";
+  return 0;
+}

@@ -1,0 +1,124 @@
+//===-- bench/fig2_example.cpp - Reproduce the Fig. 2 worked example ------===//
+//
+// Part of CWS, a reproduction of Toporkov, "Application-Level and Job-Flow
+// Scheduling" (PaCT 2009). Distributed without any warranty.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Regenerates the paper's worked example (Fig. 2): the compound job
+/// P1..P6 with data transfers D1..D8, its four critical works (12, 11,
+/// 10 and 9 time units long), and a strategy fragment with alternative
+/// distributions, reporting CF and economic cost per distribution and
+/// the collisions resolved during construction.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/Gantt.h"
+#include "core/Strategy.h"
+#include "job/Job.h"
+#include "resource/Network.h"
+#include "support/Table.h"
+
+#include <iostream>
+#include <string>
+
+using namespace cws;
+
+int main() {
+  Job J = makeFig2Job();
+  Grid Env = Grid::makeFig2();
+  Network Net;
+
+  std::cout << "=== FIG 2 / worked example: compound job P1..P6 ===\n\n";
+
+  std::cout << "Estimation table (paper Fig. 2a):\n";
+  {
+    Table T({"task", "T_i1", "T_i2", "T_i3", "T_i4", "V_ij"});
+    for (const auto &Task : J.tasks()) {
+      std::vector<std::string> Row{Task.Name};
+      for (unsigned Node = 0; Node < 4; ++Node)
+        Row.push_back(
+            std::to_string(Env.node(Node).execTicks(Task.RefTicks)));
+      Row.push_back(Table::num(Task.Volume, 0));
+      T.addRow(Row);
+    }
+    T.print(std::cout);
+  }
+
+  std::cout << "\nCritical works (paper: 12, 11, 10, 9 units incl. data "
+               "transfer time):\n";
+  {
+    Table T({"chain", "length"});
+    for (const auto &Chain : allFullChains(J)) {
+      std::string Names;
+      for (unsigned Task : Chain.TaskIds)
+        Names += (Names.empty() ? "" : "-") + J.task(Task).Name;
+      T.addRow({Names, std::to_string(Chain.RefLength)});
+    }
+    T.print(std::cout);
+  }
+
+  StrategyConfig Config;
+  Strategy S = Strategy::build(J, Env, Net, Config, /*Owner=*/1);
+
+  std::cout << "\nStrategy fragment: alternative distributions "
+               "(paper Fig. 2b: CF1 = 41, CF2 = 37, CF3 = 41; the chosen "
+               "distribution is the strictly cheapest one):\n";
+  {
+    Table T({"distribution", "level", "bias", "CF", "econ cost", "makespan",
+             "feasible"});
+    unsigned Idx = 1;
+    for (const auto &V : S.variants()) {
+      T.addRow({"D" + std::to_string(Idx++), std::to_string(V.Level),
+                optimizationBiasName(V.Bias),
+                V.feasible() ? std::to_string(V.Result.Dist.costFunction(J))
+                             : "-",
+                V.feasible() ? Table::num(V.Result.Dist.economicCost(), 1)
+                             : "-",
+                V.feasible() ? std::to_string(V.Result.Dist.makespan()) : "-",
+                V.feasible() ? "yes" : "no"});
+    }
+    T.print(std::cout);
+  }
+
+  const ScheduleVariant *Best = S.bestByCost();
+  if (Best) {
+    std::cout << "\nCheapest distribution (the paper's Distribution 2 "
+                 "analogue), task allocations:\n";
+    Table T({"task", "node", "start", "end"});
+    for (const auto &Task : J.tasks()) {
+      const Placement *P = Best->Result.Dist.find(Task.Id);
+      T.addRow({Task.Name, std::to_string(P->NodeId + 1),
+                std::to_string(P->Start), std::to_string(P->End)});
+    }
+    T.print(std::cout);
+
+    GanttOptions Options;
+    Options.ShowIdleNodes = true;
+    Options.Width = 40;
+    std::cout << "\nTimeline (the Fig. 2b picture):\n"
+              << renderGantt(J, Env, Best->Result.Dist, Options);
+
+    std::cout << "\nCollisions during construction (paper: P4 and P5 "
+                 "simultaneously attempt one node; resolved by moving "
+                 "one of them):\n";
+    Table C({"task", "contended node", "wanted", "got", "resolution"});
+    for (const auto &Record : Best->Result.Collisions)
+      C.addRow({J.task(Record.TaskId).Name,
+                std::to_string(Record.NodeId + 1),
+                std::to_string(Record.WantedStart),
+                std::to_string(Record.ActualStart),
+                collisionResolutionName(Record.Resolution)});
+    if (Best->Result.Collisions.empty())
+      C.addRow({"(none)"});
+    C.print(std::cout);
+  }
+
+  std::cout << "\nNote: node ids printed 1..4 match the paper's node "
+               "types. The paper's absolute CF values (41/37/41) are not "
+               "derivable from its own Fig. 2a table; CWS reproduces the "
+               "shape: a unique cheapest distribution among alternative "
+               "supporting schedules. See EXPERIMENTS.md.\n";
+  return 0;
+}

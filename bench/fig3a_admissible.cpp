@@ -1,0 +1,55 @@
+//===-- bench/fig3a_admissible.cpp - Reproduce Fig. 3a --------------------===//
+//
+// Part of CWS, a reproduction of Toporkov, "Application-Level and Job-Flow
+// Scheduling" (PaCT 2009). Distributed without any warranty.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Fig. 3a: the percentage of experiments with admissible
+/// application-level schedules over thousands of randomly generated
+/// compound jobs, per strategy type. Paper values: S1 38 %, S2 37 %,
+/// S3 33 %.
+///
+//===----------------------------------------------------------------------===//
+
+#include "metrics/Experiment.h"
+#include "support/Flags.h"
+#include "support/Table.h"
+
+#include <iostream>
+
+using namespace cws;
+
+int main(int Argc, char **Argv) {
+  int64_t Jobs = 12000;
+  int64_t Seed = 2009;
+  Flags F;
+  F.addInt("jobs", &Jobs, "number of randomly generated jobs");
+  F.addInt("seed", &Seed, "experiment seed");
+  if (!F.parse(Argc, Argv))
+    return 0;
+
+  Fig3Config Config;
+  Config.JobCount = static_cast<size_t>(Jobs);
+  Config.Seed = static_cast<uint64_t>(Seed);
+
+  std::cout << "=== FIG 3a: percentage of experiments with admissible "
+               "schedules (" << Jobs << " jobs) ===\n\n";
+  std::vector<Fig3Row> Rows = runFig3(Config);
+
+  const double Paper[] = {38.0, 37.0, 33.0};
+  Table T({"strategy", "paper %", "measured %", "mean variants",
+           "mean feasible"});
+  for (size_t I = 0; I < Rows.size(); ++I)
+    T.addRow({strategyName(Rows[I].Kind), Table::num(Paper[I], 0),
+              Table::num(Rows[I].admissiblePercent(), 1),
+              Table::num(Rows[I].MeanVariants, 1),
+              Table::num(Rows[I].MeanFeasibleVariants, 1)});
+  T.print(std::cout);
+
+  std::cout << "\nShape check: admissibility is well below 100 % "
+               "(application-level schedules are built for resources "
+               "already loaded by independent jobs) and S1 >= S2 > S3.\n";
+  return 0;
+}

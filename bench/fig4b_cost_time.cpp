@@ -1,0 +1,134 @@
+//===-- bench/fig4b_cost_time.cpp - Reproduce Fig. 4b ---------------------===//
+//
+// Part of CWS, a reproduction of Toporkov, "Application-Level and Job-Flow
+// Scheduling" (PaCT 2009). Distributed without any warranty.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Fig. 4b: relative job completion cost and relative task execution
+/// time for the MS1 / S2 / S3 strategies. Paper shape: the lowest-cost
+/// strategies are the "slowest" ones like S3; S2 is the fastest, most
+/// expensive and most accurate; less accurate strategies like MS1 give
+/// longer completion times than S2.
+///
+/// Methodology: the three runs share the same job flow and environment
+/// seed; the reported means are *paired* — computed only over jobs that
+/// every strategy managed to commit — so a strategy that rejects the
+/// hard jobs cannot look artificially fast on the easy remainder.
+///
+//===----------------------------------------------------------------------===//
+
+#include "flow/VirtualOrganization.h"
+#include "metrics/Experiment.h"
+#include "support/Flags.h"
+#include "support/Table.h"
+
+#include <algorithm>
+#include <iostream>
+#include <map>
+#include <set>
+
+using namespace cws;
+
+int main(int Argc, char **Argv) {
+  int64_t Jobs = 400;
+  int64_t Seed = 2009;
+  Flags F;
+  F.addInt("jobs", &Jobs, "compound jobs per strategy run");
+  F.addInt("seed", &Seed, "experiment seed");
+  if (!F.parse(Argc, Argv))
+    return 0;
+
+  const StrategyKind Kinds[] = {StrategyKind::MS1, StrategyKind::S2,
+                                StrategyKind::S3};
+
+  VoConfig Config = makeFig4VoConfig();
+  Config.JobCount = static_cast<size_t>(Jobs);
+
+  std::cout << "=== FIG 4b: relative job completion cost and task "
+               "execution time (" << Jobs << " jobs per strategy, paired "
+               "over commonly committed jobs) ===\n\n";
+
+  // Per-kind, per-job records.
+  std::map<StrategyKind, std::map<unsigned, const VoJobStats *>> ByKind;
+  std::vector<VoRunResult> Runs;
+  Runs.reserve(3);
+  for (StrategyKind Kind : Kinds)
+    Runs.push_back(runVirtualOrganization(Config, Kind,
+                                          static_cast<uint64_t>(Seed)));
+  for (const auto &Run : Runs)
+    for (const auto &St : Run.Jobs)
+      if (St.Committed)
+        ByKind[Run.Kind][St.JobId] = &St;
+
+  // Jobs committed under every strategy.
+  std::set<unsigned> Common;
+  bool First = true;
+  for (StrategyKind Kind : Kinds) {
+    std::set<unsigned> Ids;
+    for (const auto &[JobId, St] : ByKind[Kind])
+      Ids.insert(JobId);
+    if (First) {
+      Common = std::move(Ids);
+      First = false;
+    } else {
+      std::set<unsigned> Keep;
+      std::set_intersection(Common.begin(), Common.end(), Ids.begin(),
+                            Ids.end(), std::inserter(Keep, Keep.begin()));
+      Common = std::move(Keep);
+    }
+  }
+
+  struct Row {
+    double Cf = 0.0;
+    double Econ = 0.0;
+    double Run = 0.0;
+    double Response = 0.0;
+  };
+  std::map<StrategyKind, Row> Rows;
+  for (StrategyKind Kind : Kinds) {
+    Row &R = Rows[Kind];
+    for (unsigned JobId : Common) {
+      const VoJobStats *St = ByKind[Kind][JobId];
+      R.Cf += static_cast<double>(St->Cf);
+      R.Econ += St->Cost;
+      R.Run += static_cast<double>(St->runTicks());
+      R.Response += static_cast<double>(St->Completion - St->Arrival);
+    }
+    auto N = static_cast<double>(std::max<size_t>(1, Common.size()));
+    R.Cf /= N;
+    R.Econ /= N;
+    R.Run /= N;
+    R.Response /= N;
+  }
+
+  double MaxCf = 0.0, MaxEcon = 0.0, MaxResponse = 0.0;
+  for (const auto &[Kind, R] : Rows) {
+    MaxCf = std::max(MaxCf, R.Cf);
+    MaxEcon = std::max(MaxEcon, R.Econ);
+    MaxResponse = std::max(MaxResponse, R.Response);
+  }
+
+  Table T({"strategy", "rel. completion cost (CF)", "rel. econ cost",
+           "rel. task execution time", "mean CF", "mean completion ticks"});
+  for (StrategyKind Kind : Kinds) {
+    const Row &R = Rows[Kind];
+    T.addRow({strategyName(Kind),
+              Table::num(MaxCf > 0 ? R.Cf / MaxCf : 0.0, 2),
+              Table::num(MaxEcon > 0 ? R.Econ / MaxEcon : 0.0, 2),
+              Table::num(MaxResponse > 0 ? R.Response / MaxResponse : 0.0,
+                         2),
+              Table::num(R.Cf, 1), Table::num(R.Response, 1)});
+  }
+  T.print(std::cout);
+  std::cout << "\n(paired over " << Common.size()
+            << " jobs committed by all three strategies)\n";
+
+  std::cout << "\nShape check (paper Fig. 4b): S3 has the lowest relative "
+               "completion cost (CF) and sits at the slow end; MS1's "
+               "reduced estimation coverage makes its completion times "
+               "longer than S2's on the same jobs. See EXPERIMENTS.md "
+               "for the residual deviations.\n";
+  return 0;
+}

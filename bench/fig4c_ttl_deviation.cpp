@@ -1,0 +1,70 @@
+//===-- bench/fig4c_ttl_deviation.cpp - Reproduce Fig. 4c -----------------===//
+//
+// Part of CWS, a reproduction of Toporkov, "Application-Level and Job-Flow
+// Scheduling" (PaCT 2009). Distributed without any warranty.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Fig. 4c: relative strategy time-to-live and the start-time deviation
+/// to job run time ratio for MS1 / S2 / S3. Paper shape: lowest-cost
+/// strategies like S3 are the most persistent (highest TTL); the
+/// fastest, most accurate strategies like S2 are the least persistent
+/// but have the smallest start deviation; MS1's reduced coverage makes
+/// its forecasts the least accurate.
+///
+//===----------------------------------------------------------------------===//
+
+#include "metrics/Experiment.h"
+#include "support/Flags.h"
+#include "support/Table.h"
+
+#include <algorithm>
+#include <iostream>
+
+using namespace cws;
+
+int main(int Argc, char **Argv) {
+  int64_t Jobs = 400;
+  int64_t Seed = 2009;
+  Flags F;
+  F.addInt("jobs", &Jobs, "compound jobs per strategy run");
+  F.addInt("seed", &Seed, "experiment seed");
+  if (!F.parse(Argc, Argv))
+    return 0;
+
+  Fig4Config Config;
+  Config.Vo.JobCount = static_cast<size_t>(Jobs);
+  Config.Seed = static_cast<uint64_t>(Seed);
+  Config.Kinds = {StrategyKind::MS1, StrategyKind::S2, StrategyKind::S3};
+
+  std::cout << "=== FIG 4c: strategy time-to-live and start-time deviation ("
+            << Jobs << " jobs per strategy) ===\n\n";
+  std::vector<Fig4Row> Rows = runFig4(Config);
+
+  double MaxTtl = 0.0, MaxDev = 0.0;
+  for (const auto &R : Rows) {
+    MaxTtl = std::max(MaxTtl, R.Agg.MeanTtl);
+    MaxDev = std::max(MaxDev, R.Agg.MeanStartDeviationRatio);
+  }
+
+  Table T({"strategy", "rel. time-to-live", "rel. start deviation",
+           "mean TTL (ticks)", "deviation/run ratio", "switched %",
+           "reallocated %"});
+  for (const auto &R : Rows)
+    T.addRow({strategyName(R.Kind),
+              Table::num(MaxTtl > 0 ? R.Agg.MeanTtl / MaxTtl : 0.0, 2),
+              Table::num(
+                  MaxDev > 0 ? R.Agg.MeanStartDeviationRatio / MaxDev : 0.0,
+                  2),
+              Table::num(R.Agg.MeanTtl, 1),
+              Table::num(R.Agg.MeanStartDeviationRatio, 3),
+              Table::num(R.Agg.SwitchedPercent, 0),
+              Table::num(R.Agg.ReallocatedPercent, 0)});
+  T.print(std::cout);
+
+  std::cout << "\nShape check (paper Fig. 4c): S3's strategies live the "
+               "longest; MS1's reduced coverage yields the largest "
+               "start-time deviation; S2's full coverage the smallest.\n";
+  return 0;
+}

@@ -1,0 +1,74 @@
+//===-- bench/multiflow.cpp - Competing job flows -------------------------===//
+//
+// Part of CWS, a reproduction of Toporkov, "Application-Level and Job-Flow
+// Scheduling" (PaCT 2009). Distributed without any warranty.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Fig. 1 shows job flows i, j, k that "intersect each other on nodes".
+/// This study puts the strategy types into direct competition: one flow
+/// per type, fed round-robin from the same arrival stream on the same
+/// grid. Unlike the isolated Fig. 4 runs, here each flow's reservations
+/// are part of every other flow's environment.
+///
+//===----------------------------------------------------------------------===//
+
+#include "metrics/Experiment.h"
+#include "metrics/QoS.h"
+#include "support/Flags.h"
+#include "support/Table.h"
+
+#include <iostream>
+
+using namespace cws;
+
+int main(int Argc, char **Argv) {
+  int64_t Jobs = 600;
+  int64_t Seed = 2009;
+  Flags F;
+  F.addInt("jobs", &Jobs, "total compound jobs (dealt across the flows)");
+  F.addInt("seed", &Seed, "experiment seed");
+  if (!F.parse(Argc, Argv))
+    return 0;
+
+  VoConfig Config = makeFig4VoConfig();
+  Config.JobCount = static_cast<size_t>(Jobs);
+
+  std::vector<StrategyKind> Kinds{StrategyKind::S1, StrategyKind::S2,
+                                  StrategyKind::S3, StrategyKind::MS1};
+
+  std::cout << "=== MULTIFLOW: competing strategy flows on one grid ("
+            << Jobs << " jobs dealt across " << Kinds.size()
+            << " flows) ===\n\n";
+
+  std::vector<VoRunResult> Results =
+      runMultiFlowVo(Config, Kinds, static_cast<uint64_t>(Seed));
+
+  Table T({"flow", "jobs", "admissible %", "committed %", "mean CF",
+           "mean cost", "mean TTL", "shift-recovered %", "slow-node share"});
+  for (const auto &Run : Results) {
+    VoAggregates A = summarizeVo(Run);
+    double Total = Run.JobLoadPercent[0] + Run.JobLoadPercent[1] +
+                   Run.JobLoadPercent[2];
+    T.addRow({strategyName(Run.Kind), std::to_string(Run.Jobs.size()),
+              Table::num(A.AdmissiblePercent, 0),
+              Table::num(A.CommittedPercent, 0), Table::num(A.MeanCf, 1),
+              Table::num(A.MeanCost, 0), Table::num(A.MeanTtl, 1),
+              Table::num(A.ShiftRecoveredPercent, 0),
+              Table::num(Total > 0 ? 100.0 * Run.JobLoadPercent[2] / Total
+                                   : 0.0,
+                         0) +
+                  "%"});
+  }
+  T.print(std::cout);
+
+  std::cout << "\nReading guide: unlike the isolated Fig. 4 runs, each "
+               "flow here schedules around the other flows' reservations. "
+               "The per-type characters persist under competition — S3 "
+               "stays the CF-cheapest and the least slow-node-bound, MS1 "
+               "stays the most fragile (lowest TTL, most recoveries) — "
+               "which is the point of strategies as *sets* of supporting "
+               "schedules: they degrade by switching, not by failing.\n";
+  return 0;
+}

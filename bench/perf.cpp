@@ -1,0 +1,120 @@
+//===-- bench/perf.cpp - Microbenchmarks ----------------------------------===//
+//
+// Part of CWS, a reproduction of Toporkov, "Application-Level and Job-Flow
+// Scheduling" (PaCT 2009). Distributed without any warranty.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// google-benchmark microbenchmarks of the scheduling hot paths:
+/// timeline operations, critical-work extraction, the DP chain
+/// allocator via scheduleJob, full strategy generation and the cluster
+/// substrate.
+///
+//===----------------------------------------------------------------------===//
+
+#include "batch/Cluster.h"
+#include "core/Scheduler.h"
+#include "core/Strategy.h"
+#include "job/Coarsen.h"
+#include "job/Generator.h"
+#include "metrics/Experiment.h"
+#include "resource/Network.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace cws;
+
+static void BM_TimelineReserveRelease(benchmark::State &State) {
+  for (auto _ : State) {
+    Timeline T;
+    for (Tick I = 0; I < 200; ++I)
+      T.reserve(I * 10, I * 10 + 7, 1 + (I % 5));
+    for (OwnerId O = 1; O <= 5; ++O)
+      T.releaseOwner(O);
+    benchmark::DoNotOptimize(T);
+  }
+}
+BENCHMARK(BM_TimelineReserveRelease);
+
+static void BM_TimelineEarliestFit(benchmark::State &State) {
+  Timeline T;
+  Prng Rng(1);
+  for (int I = 0; I < 500; ++I) {
+    Tick B = Rng.uniformInt(0, 10000);
+    T.reserve(B, B + Rng.uniformInt(1, 8), 1);
+  }
+  Tick Probe = 0;
+  for (auto _ : State) {
+    benchmark::DoNotOptimize(T.earliestFit(Probe, 6));
+    Probe = (Probe + 97) % 10000;
+  }
+}
+BENCHMARK(BM_TimelineEarliestFit);
+
+static void BM_CriticalWorkPhases(benchmark::State &State) {
+  JobGenerator Gen(WorkloadConfig{}, 7);
+  Job J = Gen.next(0);
+  for (auto _ : State)
+    benchmark::DoNotOptimize(criticalWorkPhases(J));
+}
+BENCHMARK(BM_CriticalWorkPhases);
+
+static void BM_CoarsenJob(benchmark::State &State) {
+  JobGenerator Gen(WorkloadConfig{}, 8);
+  Job J = Gen.next(0);
+  for (auto _ : State)
+    benchmark::DoNotOptimize(coarsenJob(J));
+}
+BENCHMARK(BM_CoarsenJob);
+
+static void BM_ScheduleJobFig2(benchmark::State &State) {
+  Job J = makeFig2Job();
+  Grid Env = Grid::makeFig2();
+  Network Net;
+  SchedulerConfig Config;
+  for (auto _ : State)
+    benchmark::DoNotOptimize(scheduleJob(J, Env, Net, Config, 42));
+}
+BENCHMARK(BM_ScheduleJobFig2);
+
+static void BM_ScheduleJobRandomLoaded(benchmark::State &State) {
+  JobGenerator Gen(WorkloadConfig{}, 9);
+  Job J = Gen.next(0);
+  Prng Rng(10);
+  Grid Env = Grid::makeRandom(GridConfig{}, Rng);
+  preloadGrid(Env, J.deadline(), 0.3, 0.6, 2, 8, Rng);
+  Network Net;
+  SchedulerConfig Config;
+  for (auto _ : State)
+    benchmark::DoNotOptimize(scheduleJob(J, Env, Net, Config, 42));
+}
+BENCHMARK(BM_ScheduleJobRandomLoaded);
+
+static void BM_StrategyBuild(benchmark::State &State) {
+  JobGenerator Gen(WorkloadConfig{}, 11);
+  Job J = Gen.next(0);
+  Prng Rng(12);
+  Grid Env = Grid::makeRandom(GridConfig{}, Rng);
+  preloadGrid(Env, J.deadline(), 0.3, 0.6, 2, 8, Rng);
+  Network Net;
+  StrategyConfig Config;
+  Config.Kind = static_cast<StrategyKind>(State.range(0));
+  for (auto _ : State)
+    benchmark::DoNotOptimize(Strategy::build(J, Env, Net, Config, 42));
+}
+BENCHMARK(BM_StrategyBuild)->DenseRange(0, 3);
+
+static void BM_ClusterFcfsEasy(benchmark::State &State) {
+  BatchWorkloadConfig W;
+  W.JobCount = 500;
+  auto Trace = makeBatchTrace(W, 13);
+  ClusterConfig Config;
+  Config.NodeCount = 16;
+  Config.Backfill = BackfillMode::Easy;
+  for (auto _ : State)
+    benchmark::DoNotOptimize(runCluster(Config, Trace));
+}
+BENCHMARK(BM_ClusterFcfsEasy);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,63 @@
+//===-- bench/replication_impact.cpp - Data replication impact ------------===//
+//
+// Part of CWS, a reproduction of Toporkov, "Application-Level and Job-Flow
+// Scheduling" (PaCT 2009). Distributed without any warranty.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The data-grid angle the paper leans on (its refs [18, 19]: "The
+/// Impact of Data Replication on Job Scheduling Performance"): how much
+/// of S1's advantage comes from replication being fast and cheap? The
+/// sweep varies the replication latency factor from near-instant to
+/// no-better-than-remote and reports S1's admissibility, cost and
+/// collision profile against the S2 (remote access) baseline.
+///
+//===----------------------------------------------------------------------===//
+
+#include "metrics/Experiment.h"
+#include "support/Flags.h"
+#include "support/Table.h"
+
+#include <iostream>
+
+using namespace cws;
+
+int main(int Argc, char **Argv) {
+  int64_t Jobs = 1200;
+  int64_t Seed = 2009;
+  Flags F;
+  F.addInt("jobs", &Jobs, "random jobs per factor level");
+  F.addInt("seed", &Seed, "experiment seed");
+  if (!F.parse(Argc, Argv))
+    return 0;
+
+  std::cout << "=== SWEEP: impact of replication speed on S1 (" << Jobs
+            << " jobs per level) ===\n\n";
+
+  Table T({"replication factor", "S1 admissible %", "S2 admissible %",
+           "S1 fast-collision %", "S1 mean feasible variants"});
+
+  for (double Factor : {0.1, 0.25, 0.4, 0.6, 0.8, 1.0}) {
+    Fig3Config Config;
+    Config.JobCount = static_cast<size_t>(Jobs);
+    Config.Seed = static_cast<uint64_t>(Seed);
+    Config.StrategyCfg.DataConfig.ReplicationFactor = Factor;
+    Config.Kinds = {StrategyKind::S1, StrategyKind::S2};
+    std::vector<Fig3Row> Rows = runFig3(Config);
+    T.addRow({Table::num(Factor, 2),
+              Table::num(Rows[0].admissiblePercent(), 1),
+              Table::num(Rows[1].admissiblePercent(), 1),
+              Table::num(Rows[0].IntraCost.fastPercent(), 0),
+              Table::num(Rows[0].MeanFeasibleVariants, 2)});
+  }
+  T.print(std::cout);
+
+  std::cout << "\nReading guide: with near-instant replication S1 "
+               "clearly out-admits the remote-access baseline and its "
+               "collisions move off the fast nodes (tasks spread freely); "
+               "as replication slows toward the raw wire time the "
+               "advantage evaporates — S1 degenerates into S2, matching "
+               "the data-grid studies the paper builds on.\n";
+  return 0;
+}

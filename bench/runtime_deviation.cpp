@@ -1,0 +1,114 @@
+//===-- bench/runtime_deviation.cpp - Schedule reliability ----------------===//
+//
+// Part of CWS, a reproduction of Toporkov, "Application-Level and Job-Flow
+// Scheduling" (PaCT 2009). Distributed without any warranty.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// "Actual solving time Ti for a task can be different from user
+/// estimation Tij" — this study executes committed schedules under
+/// increasing runtime uncertainty and reports reliability (deadline
+/// hits, kills at the wall limit) and completion-forecast error per
+/// strategy type. The question behind it: whose supporting schedules
+/// degrade gracefully when estimates are wrong?
+///
+//===----------------------------------------------------------------------===//
+
+#include "flow/Execution.h"
+#include "core/Strategy.h"
+#include "job/Generator.h"
+#include "metrics/Experiment.h"
+#include "resource/Network.h"
+#include "support/Flags.h"
+#include "support/Stats.h"
+#include "support/Table.h"
+
+#include <iostream>
+
+using namespace cws;
+
+int main(int Argc, char **Argv) {
+  int64_t Jobs = 500;
+  int64_t Seed = 2009;
+  Flags F;
+  F.addInt("jobs", &Jobs, "jobs per uncertainty level");
+  F.addInt("seed", &Seed, "experiment seed");
+  if (!F.parse(Argc, Argv))
+    return 0;
+
+  std::cout << "=== EXECUTION: schedule reliability under runtime "
+               "uncertainty (" << Jobs << " jobs per level) ===\n\n";
+
+  struct Level {
+    const char *Name;
+    double Lo, Hi;
+  };
+  const Level Levels[] = {
+      {"exact (1.0)", 1.0, 1.0},
+      {"optimistic (0.6-1.0)", 0.6, 1.0},
+      {"noisy (0.6-1.1)", 0.6, 1.1},
+      {"underestimated (0.8-1.3)", 0.8, 1.3},
+  };
+  const StrategyKind Kinds[] = {StrategyKind::S1, StrategyKind::S2,
+                                StrategyKind::S3};
+
+  Table T({"uncertainty", "strategy", "deadline hit %", "killed %",
+           "mean completion gain", "mean early finishes"});
+
+  for (const auto &L : Levels) {
+    for (StrategyKind Kind : Kinds) {
+      WorkloadConfig W;
+      W.DeadlineSlack = 2.0;
+      JobGenerator Gen(W, static_cast<uint64_t>(Seed));
+      Prng EnvRng(static_cast<uint64_t>(Seed) ^ 0xe0e0);
+      Prng ExecRng(static_cast<uint64_t>(Seed) ^ 0xfafa);
+      Network Net;
+      RatioCounter Hit, Killed;
+      OnlineStats Gain, Early;
+      for (int64_t I = 0; I < Jobs; ++I) {
+        Job J = Gen.next(0);
+        Grid Env = Grid::makeRandom(GridConfig{}, EnvRng);
+        StrategyConfig SC;
+        SC.Kind = Kind;
+        Strategy S = Strategy::build(J, Env, Net, SC, 42);
+        const ScheduleVariant *Best = S.bestByCost();
+        if (!Best)
+          continue;
+        Distribution D = Best->Result.Dist;
+        if (!D.commit(Env, 42))
+          continue;
+        ExecutionConfig EC;
+        EC.FactorLo = L.Lo;
+        EC.FactorHi = L.Hi;
+        EC.DataKind = strategyDataPolicy(Kind);
+        ExecutionResult R =
+            executeDistribution(S.scheduledJob(), D, Env, ExecRng, EC);
+        Hit.add(R.Succeeded && R.MetDeadline);
+        Killed.add(R.Kills > 0);
+        if (R.Succeeded) {
+          Gain.add(static_cast<double>(R.CompletionGain));
+          Early.add(static_cast<double>(R.EarlyFinishes));
+        }
+      }
+      T.addRow({L.Name, strategyName(Kind), Table::num(Hit.percent(), 1),
+                Table::num(Killed.percent(), 1), Table::num(Gain.mean(), 1),
+                Table::num(Early.mean(), 1)});
+    }
+  }
+  T.print(std::cout);
+
+  std::cout << "\nReading guide: with exact estimates execution replays "
+               "the plan perfectly (row 1: 100 % / 0 kills — a sanity "
+               "check of the whole pipeline). With overestimating users "
+               "(the realistic case) every strategy banks completion "
+               "gains from early finishes. Once real runtimes can exceed "
+               "the reservations, kills at the wall limit dominate — "
+               "*fine-grain* plans suffer most (S1 > S2 > S3): every "
+               "task is another chance to overrun into a neighbouring "
+               "reservation, while S3's few macro-tasks sit next to more "
+               "free space. Tight plans are fragile plans; the wall-time "
+               "discipline the paper's advance reservations imply is "
+               "only as good as the estimates behind it.\n";
+  return 0;
+}

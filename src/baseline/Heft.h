@@ -1,0 +1,44 @@
+//===-- baseline/Heft.h - HEFT list scheduler -------------------*- C++ -*-===//
+//
+// Part of CWS, a reproduction of Toporkov, "Application-Level and Job-Flow
+// Scheduling" (PaCT 2009). Distributed without any warranty.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// HEFT (heterogeneous earliest finish time), the standard DAG list
+/// scheduler, as the structure-aware baseline: upward ranks order the
+/// tasks, each is placed on the node with the earliest insertion-based
+/// finish time. Unlike the critical works method it optimizes makespan
+/// only — no cost criterion, no alternative supporting schedules.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CWS_BASELINE_HEFT_H
+#define CWS_BASELINE_HEFT_H
+
+#include "core/Distribution.h"
+#include "sim/Time.h"
+
+namespace cws {
+
+class Grid;
+class Job;
+class Network;
+
+/// Result of a HEFT run.
+struct HeftResult {
+  Distribution Dist;
+  Tick Makespan = 0;
+  /// True when the schedule respects the job deadline.
+  bool MeetsDeadline = false;
+};
+
+/// Schedules \p J on a copy of \p Env (existing reservations are
+/// respected); placements start no earlier than max(\p Now, release).
+HeftResult scheduleHeft(const Job &J, const Grid &Env, const Network &Net,
+                        Tick Now = 0);
+
+} // namespace cws
+
+#endif // CWS_BASELINE_HEFT_H

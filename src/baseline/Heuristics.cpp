@@ -1,0 +1,182 @@
+//===-- baseline/Heuristics.cpp - Independent-task heuristics -------------===//
+//
+// Part of CWS, a reproduction of Toporkov, "Application-Level and Job-Flow
+// Scheduling" (PaCT 2009). Distributed without any warranty.
+//
+//===----------------------------------------------------------------------===//
+
+#include "baseline/Heuristics.h"
+#include "support/Check.h"
+
+#include <algorithm>
+#include <limits>
+
+using namespace cws;
+
+const char *cws::mappingHeuristicName(MappingHeuristic H) {
+  switch (H) {
+  case MappingHeuristic::OLB:
+    return "olb";
+  case MappingHeuristic::MET:
+    return "met";
+  case MappingHeuristic::MCT:
+    return "mct";
+  case MappingHeuristic::MinMin:
+    return "min-min";
+  case MappingHeuristic::MaxMin:
+    return "max-min";
+  case MappingHeuristic::Sufferage:
+    return "sufferage";
+  }
+  CWS_UNREACHABLE("unknown mapping heuristic");
+}
+
+namespace {
+
+/// Shared assignment bookkeeping.
+struct Mapper {
+  const std::vector<std::vector<Tick>> &Etc;
+  std::vector<Tick> Ready;
+  MappingResult Result;
+
+  Mapper(const std::vector<std::vector<Tick>> &Etc, std::vector<Tick> Ready)
+      : Etc(Etc), Ready(std::move(Ready)) {
+    size_t Tasks = Etc.size();
+    Result.NodeOf.assign(Tasks, 0);
+    Result.Start.assign(Tasks, 0);
+    Result.Finish.assign(Tasks, 0);
+  }
+
+  size_t nodes() const { return Ready.size(); }
+
+  void assign(size_t Task, size_t Node) {
+    Result.NodeOf[Task] = static_cast<unsigned>(Node);
+    Result.Start[Task] = Ready[Node];
+    Result.Finish[Task] = Ready[Node] + Etc[Task][Node];
+    Ready[Node] = Result.Finish[Task];
+    Result.Makespan = std::max(Result.Makespan, Result.Finish[Task]);
+  }
+
+  /// Node minimizing completion time of \p Task.
+  size_t bestCompletionNode(size_t Task) const {
+    size_t Best = 0;
+    Tick BestCt = std::numeric_limits<Tick>::max();
+    for (size_t Node = 0; Node < nodes(); ++Node) {
+      Tick Ct = Ready[Node] + Etc[Task][Node];
+      if (Ct < BestCt) {
+        BestCt = Ct;
+        Best = Node;
+      }
+    }
+    return Best;
+  }
+
+  Tick completionOn(size_t Task, size_t Node) const {
+    return Ready[Node] + Etc[Task][Node];
+  }
+};
+
+} // namespace
+
+MappingResult
+cws::mapIndependentTasks(const std::vector<std::vector<Tick>> &Etc,
+                         std::vector<Tick> Ready, MappingHeuristic H) {
+  CWS_CHECK(!Ready.empty(), "mapping needs at least one node");
+  for (const auto &Row : Etc)
+    CWS_CHECK(Row.size() == Ready.size(), "ragged ETC matrix");
+
+  Mapper M(Etc, std::move(Ready));
+  size_t Tasks = Etc.size();
+
+  switch (H) {
+  case MappingHeuristic::OLB:
+    // Each task, in order, to the node that becomes available soonest.
+    for (size_t Task = 0; Task < Tasks; ++Task) {
+      size_t Best = static_cast<size_t>(
+          std::min_element(M.Ready.begin(), M.Ready.end()) - M.Ready.begin());
+      M.assign(Task, Best);
+    }
+    break;
+
+  case MappingHeuristic::MET:
+    // Each task to its fastest node, ignoring load.
+    for (size_t Task = 0; Task < Tasks; ++Task) {
+      size_t Best = static_cast<size_t>(
+          std::min_element(Etc[Task].begin(), Etc[Task].end()) -
+          Etc[Task].begin());
+      M.assign(Task, Best);
+    }
+    break;
+
+  case MappingHeuristic::MCT:
+    // Each task, in order, to the node with minimum completion time.
+    for (size_t Task = 0; Task < Tasks; ++Task)
+      M.assign(Task, M.bestCompletionNode(Task));
+    break;
+
+  case MappingHeuristic::MinMin:
+  case MappingHeuristic::MaxMin: {
+    std::vector<bool> Done(Tasks, false);
+    for (size_t Round = 0; Round < Tasks; ++Round) {
+      size_t PickTask = SIZE_MAX;
+      size_t PickNode = 0;
+      Tick PickCt = 0;
+      for (size_t Task = 0; Task < Tasks; ++Task) {
+        if (Done[Task])
+          continue;
+        size_t Node = M.bestCompletionNode(Task);
+        Tick Ct = M.completionOn(Task, Node);
+        bool Better =
+            PickTask == SIZE_MAX ||
+            (H == MappingHeuristic::MinMin ? Ct < PickCt : Ct > PickCt);
+        if (Better) {
+          PickTask = Task;
+          PickNode = Node;
+          PickCt = Ct;
+        }
+      }
+      Done[PickTask] = true;
+      M.assign(PickTask, PickNode);
+    }
+    break;
+  }
+
+  case MappingHeuristic::Sufferage: {
+    std::vector<bool> Done(Tasks, false);
+    for (size_t Round = 0; Round < Tasks; ++Round) {
+      size_t PickTask = SIZE_MAX;
+      size_t PickNode = 0;
+      Tick PickSufferage = -1;
+      for (size_t Task = 0; Task < Tasks; ++Task) {
+        if (Done[Task])
+          continue;
+        // Best and second-best completion times.
+        Tick Best = std::numeric_limits<Tick>::max();
+        Tick Second = std::numeric_limits<Tick>::max();
+        size_t BestNode = 0;
+        for (size_t Node = 0; Node < M.nodes(); ++Node) {
+          Tick Ct = M.completionOn(Task, Node);
+          if (Ct < Best) {
+            Second = Best;
+            Best = Ct;
+            BestNode = Node;
+          } else if (Ct < Second) {
+            Second = Ct;
+          }
+        }
+        Tick Sufferage =
+            Second == std::numeric_limits<Tick>::max() ? 0 : Second - Best;
+        if (Sufferage > PickSufferage) {
+          PickSufferage = Sufferage;
+          PickTask = Task;
+          PickNode = BestNode;
+        }
+      }
+      Done[PickTask] = true;
+      M.assign(PickTask, PickNode);
+    }
+    break;
+  }
+  }
+  return std::move(M.Result);
+}

@@ -1,0 +1,60 @@
+//===-- baseline/Heuristics.h - Independent-task heuristics -----*- C++ -*-===//
+//
+// Part of CWS, a reproduction of Toporkov, "Application-Level and Job-Flow
+// Scheduling" (PaCT 2009). Distributed without any warranty.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The classic static mapping heuristics for independent tasks on
+/// heterogeneous nodes — OLB, MET, MCT, Min-Min, Max-Min and Sufferage —
+/// from the comparison study the paper cites as [13] (Braun et al.).
+/// They serve as structure-blind baselines for the critical works
+/// method in the ablation bench.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CWS_BASELINE_HEURISTICS_H
+#define CWS_BASELINE_HEURISTICS_H
+
+#include "sim/Time.h"
+
+#include <cstddef>
+#include <vector>
+
+namespace cws {
+
+/// The mapping heuristics of Braun et al.
+enum class MappingHeuristic { OLB, MET, MCT, MinMin, MaxMin, Sufferage };
+
+/// Display name ("olb" ... "sufferage").
+const char *mappingHeuristicName(MappingHeuristic H);
+
+/// All heuristics, for sweeps.
+inline constexpr MappingHeuristic AllMappingHeuristics[] = {
+    MappingHeuristic::OLB,    MappingHeuristic::MET,
+    MappingHeuristic::MCT,    MappingHeuristic::MinMin,
+    MappingHeuristic::MaxMin, MappingHeuristic::Sufferage,
+};
+
+/// Outcome of mapping a task set.
+struct MappingResult {
+  /// Node index per task.
+  std::vector<unsigned> NodeOf;
+  std::vector<Tick> Start;
+  std::vector<Tick> Finish;
+  Tick Makespan = 0;
+};
+
+/// Maps independent tasks using \p H.
+///
+/// \p Etc is the expected-time-to-compute matrix (Etc[task][node]);
+/// \p Ready gives each node's availability time. Tasks run back to back
+/// on their node.
+MappingResult mapIndependentTasks(const std::vector<std::vector<Tick>> &Etc,
+                                  std::vector<Tick> Ready,
+                                  MappingHeuristic H);
+
+} // namespace cws
+
+#endif // CWS_BASELINE_HEURISTICS_H

@@ -1,0 +1,47 @@
+//===-- batch/BatchJob.cpp - Local batch jobs and traces ------------------===//
+//
+// Part of CWS, a reproduction of Toporkov, "Application-Level and Job-Flow
+// Scheduling" (PaCT 2009). Distributed without any warranty.
+//
+//===----------------------------------------------------------------------===//
+
+#include "batch/BatchJob.h"
+#include "support/Check.h"
+#include "support/Prng.h"
+
+#include <algorithm>
+#include <cmath>
+
+using namespace cws;
+
+std::vector<BatchJob> cws::makeBatchTrace(const BatchWorkloadConfig &Config,
+                                          uint64_t Seed) {
+  CWS_CHECK(Config.NodesLo >= 1 && Config.NodesLo <= Config.NodesHi,
+            "invalid node demand range");
+  CWS_CHECK(Config.EstLo >= 1 && Config.EstLo <= Config.EstHi,
+            "invalid estimate range");
+  CWS_CHECK(Config.ActualLo > 0.0 && Config.ActualLo <= Config.ActualHi &&
+                Config.ActualHi <= 1.0,
+            "actual runtime factor must lie in (0, 1]");
+  CWS_CHECK(Config.PriorityLevels >= 1, "need at least one priority level");
+  Prng Rng(Seed);
+  std::vector<BatchJob> Trace;
+  Trace.reserve(Config.JobCount);
+  Tick Now = 0;
+  for (size_t I = 0; I < Config.JobCount; ++I) {
+    Now += Rng.uniformInt(Config.InterarrivalLo, Config.InterarrivalHi);
+    Tick Est = Rng.uniformInt(Config.EstLo, Config.EstHi);
+    double Factor = Rng.uniformReal(Config.ActualLo, Config.ActualHi);
+    Tick Actual = std::max<Tick>(
+        1, static_cast<Tick>(std::llround(static_cast<double>(Est) * Factor)));
+    BatchJob J{static_cast<unsigned>(I), Now,
+               static_cast<unsigned>(
+                   Rng.uniformInt(Config.NodesLo, Config.NodesHi)),
+               Est, std::min(Actual, Est), 0};
+    if (Config.PriorityLevels > 1)
+      J.Priority =
+          static_cast<int>(Rng.uniformInt(0, Config.PriorityLevels - 1));
+    Trace.push_back(J);
+  }
+  return Trace;
+}

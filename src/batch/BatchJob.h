@@ -1,0 +1,85 @@
+//===-- batch/BatchJob.h - Local batch jobs and traces ----------*- C++ -*-===//
+//
+// Part of CWS, a reproduction of Toporkov, "Application-Level and Job-Flow
+// Scheduling" (PaCT 2009). Distributed without any warranty.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Jobs of a local batch-job management system. Section 5 of the paper
+/// discusses how local queue policies (FCFS, LWF, backfilling, gang
+/// scheduling) and advance reservations affect waiting time and
+/// start-time forecast errors; this substrate lets the benches measure
+/// those claims.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CWS_BATCH_BATCHJOB_H
+#define CWS_BATCH_BATCHJOB_H
+
+#include "sim/Time.h"
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace cws {
+
+/// One rigid parallel job submitted to a cluster.
+struct BatchJob {
+  unsigned Id;
+  Tick Arrival;
+  /// Nodes needed simultaneously for the whole run.
+  unsigned Nodes;
+  /// The user's runtime estimate (the wall limit; runs never exceed it).
+  Tick EstTicks;
+  /// The real runtime, at most EstTicks.
+  Tick ActualTicks;
+  /// Scheduling priority (higher runs first under the Priority order);
+  /// in the paper's economy this follows what the user pays.
+  int Priority = 0;
+};
+
+/// Scheduling outcome of one batch job.
+struct BatchOutcome {
+  unsigned Id = 0;
+  Tick Arrival = 0;
+  /// Start predicted at submission from the then-current plan.
+  Tick ForecastStart = 0;
+  Tick Start = 0;
+  Tick Finish = 0;
+  bool Started = false;
+
+  Tick wait() const { return Start - Arrival; }
+  Tick forecastError() const {
+    Tick D = Start - ForecastStart;
+    return D < 0 ? -D : D;
+  }
+};
+
+/// Parameters of a randomized batch trace.
+struct BatchWorkloadConfig {
+  size_t JobCount = 1000;
+  /// Interarrival gap, uniform.
+  Tick InterarrivalLo = 0;
+  Tick InterarrivalHi = 8;
+  /// Node demand, uniform.
+  unsigned NodesLo = 1;
+  unsigned NodesHi = 8;
+  /// Runtime estimate, uniform.
+  Tick EstLo = 4;
+  Tick EstHi = 40;
+  /// Actual runtime = estimate * uniform(ActualLo, ActualHi), >= 1.
+  double ActualLo = 0.35;
+  double ActualHi = 1.0;
+  /// Priorities are uniform in [0, PriorityLevels); 1 disables them.
+  int PriorityLevels = 1;
+};
+
+/// Generates a deterministic batch trace (sorted by arrival).
+std::vector<BatchJob> makeBatchTrace(const BatchWorkloadConfig &Config,
+                                     uint64_t Seed);
+
+} // namespace cws
+
+#endif // CWS_BATCH_BATCHJOB_H

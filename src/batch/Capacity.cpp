@@ -1,0 +1,91 @@
+//===-- batch/Capacity.cpp - Cluster capacity profile ---------------------===//
+//
+// Part of CWS, a reproduction of Toporkov, "Application-Level and Job-Flow
+// Scheduling" (PaCT 2009). Distributed without any warranty.
+//
+//===----------------------------------------------------------------------===//
+
+#include "batch/Capacity.h"
+#include "support/Check.h"
+
+using namespace cws;
+
+CapacityProfile::CapacityProfile(unsigned TotalNodes) : Total(TotalNodes) {
+  CWS_CHECK(TotalNodes >= 1, "a cluster needs at least one node");
+}
+
+void CapacityProfile::reserve(Tick Begin, Tick End, unsigned Need) {
+  CWS_CHECK(Begin < End, "reservation must span at least one tick");
+  CWS_CHECK(Need >= 1 && Need <= Total, "invalid node demand");
+  Delta[Begin] += static_cast<int>(Need);
+  Delta[End] -= static_cast<int>(Need);
+}
+
+unsigned CapacityProfile::busyAt(Tick T) const {
+  int Busy = 0;
+  for (const auto &[Time, D] : Delta) {
+    if (Time > T)
+      break;
+    Busy += D;
+  }
+  CWS_CHECK(Busy >= 0, "negative busy count");
+  return static_cast<unsigned>(Busy);
+}
+
+bool CapacityProfile::fits(Tick Begin, Tick End, unsigned Need) const {
+  CWS_CHECK(Begin < End, "empty window");
+  int Busy = 0;
+  auto It = Delta.begin();
+  for (; It != Delta.end() && It->first <= Begin; ++It)
+    Busy += It->second;
+  int Free = static_cast<int>(Total) - Busy;
+  if (Free < static_cast<int>(Need))
+    return false;
+  for (; It != Delta.end() && It->first < End; ++It) {
+    Busy += It->second;
+    if (static_cast<int>(Total) - Busy < static_cast<int>(Need))
+      return false;
+  }
+  return true;
+}
+
+Tick CapacityProfile::earliestSlot(Tick NotBefore, Tick Dur,
+                                   unsigned Need) const {
+  CWS_CHECK(Dur > 0, "slot needs a positive duration");
+  CWS_CHECK(Need >= 1 && Need <= Total, "invalid node demand");
+  // Candidate starts are NotBefore and every breakpoint after it. The
+  // sweep tracks the busy level and, for each candidate where enough
+  // nodes are free, checks whether the freedom lasts Dur ticks.
+  Tick Candidate = NotBefore;
+  int Busy = 0;
+  auto It = Delta.begin();
+  for (; It != Delta.end() && It->first <= NotBefore; ++It)
+    Busy += It->second;
+  // Invariant: Busy is the level at Candidate; It points at the first
+  // breakpoint strictly after Candidate.
+  while (true) {
+    if (static_cast<int>(Total) - Busy >= static_cast<int>(Need)) {
+      // Free now; see how long it stays free.
+      Tick End = Candidate + Dur;
+      bool Ok = true;
+      int Level = Busy;
+      for (auto Probe = It; Probe != Delta.end() && Probe->first < End;
+           ++Probe) {
+        Level += Probe->second;
+        if (static_cast<int>(Total) - Level < static_cast<int>(Need)) {
+          Ok = false;
+          break;
+        }
+      }
+      if (Ok)
+        return Candidate;
+    }
+    if (It == Delta.end())
+      return Candidate; // Beyond the last breakpoint everything is free.
+    Candidate = It->first;
+    Busy += It->second;
+    ++It;
+    // Skip further breakpoints at the same time (map keys are unique, so
+    // nothing to do), loop re-checks at the new candidate.
+  }
+}

@@ -1,0 +1,54 @@
+//===-- batch/Capacity.h - Cluster capacity profile -------------*- C++ -*-===//
+//
+// Part of CWS, a reproduction of Toporkov, "Application-Level and Job-Flow
+// Scheduling" (PaCT 2009). Distributed without any warranty.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A step function of busy node count over time. The batch schedulers
+/// plan against it: running jobs, advance reservations and (for
+/// conservative backfilling) queued jobs' planned slots all subtract
+/// capacity; earliestSlot answers "when do N nodes become free for D
+/// ticks".
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CWS_BATCH_CAPACITY_H
+#define CWS_BATCH_CAPACITY_H
+
+#include "sim/Time.h"
+
+#include <map>
+
+namespace cws {
+
+/// Busy-node step function over a fixed total capacity.
+class CapacityProfile {
+public:
+  explicit CapacityProfile(unsigned TotalNodes);
+
+  unsigned total() const { return Total; }
+
+  /// Marks \p Need nodes busy over [Begin, End).
+  void reserve(Tick Begin, Tick End, unsigned Need);
+
+  /// Busy node count at time \p T.
+  unsigned busyAt(Tick T) const;
+
+  /// True when \p Need nodes are free throughout [Begin, End).
+  bool fits(Tick Begin, Tick End, unsigned Need) const;
+
+  /// Earliest T >= NotBefore with \p Need nodes free for \p Dur ticks.
+  /// \p Need must not exceed the total capacity.
+  Tick earliestSlot(Tick NotBefore, Tick Dur, unsigned Need) const;
+
+private:
+  unsigned Total;
+  /// Delta encoding: busy count changes by Delta[t] at time t.
+  std::map<Tick, int> Delta;
+};
+
+} // namespace cws
+
+#endif // CWS_BATCH_CAPACITY_H

@@ -1,0 +1,241 @@
+//===-- batch/Cluster.cpp - Local batch cluster simulator -----------------===//
+//
+// Part of CWS, a reproduction of Toporkov, "Application-Level and Job-Flow
+// Scheduling" (PaCT 2009). Distributed without any warranty.
+//
+//===----------------------------------------------------------------------===//
+
+#include "batch/Cluster.h"
+#include "batch/Capacity.h"
+#include "support/Check.h"
+
+#include <algorithm>
+
+using namespace cws;
+
+const char *cws::backfillModeName(BackfillMode Mode) {
+  switch (Mode) {
+  case BackfillMode::None:
+    return "none";
+  case BackfillMode::Easy:
+    return "easy";
+  case BackfillMode::Conservative:
+    return "conservative";
+  }
+  CWS_UNREACHABLE("unknown backfill mode");
+}
+
+namespace {
+
+struct RunningJob {
+  size_t JobIdx;
+  Tick EstFinish;
+  Tick ActualFinish;
+};
+
+/// Shared state of one cluster simulation.
+class ClusterSim {
+public:
+  ClusterSim(const ClusterConfig &Config, const std::vector<BatchJob> &Jobs,
+             const std::vector<AdvanceReservation> &Reservations)
+      : Config(Config), Jobs(Jobs), Reservations(Reservations),
+        Outcomes(Jobs.size()) {
+    CWS_CHECK(Config.NodeCount >= 1, "cluster needs nodes");
+    for (const auto &J : Jobs) {
+      CWS_CHECK(J.Nodes >= 1 && J.Nodes <= Config.NodeCount,
+                "job demands more nodes than the cluster has");
+      CWS_CHECK(J.ActualTicks >= 1 && J.ActualTicks <= J.EstTicks,
+                "actual runtime must be within (0, estimate]");
+    }
+    for (const auto &R : Reservations)
+      CWS_CHECK(R.Start < R.End && R.Nodes >= 1 &&
+                    R.Nodes <= Config.NodeCount,
+                "malformed advance reservation");
+    ArrivalOrder.resize(Jobs.size());
+    for (size_t I = 0; I < Jobs.size(); ++I)
+      ArrivalOrder[I] = I;
+    std::stable_sort(ArrivalOrder.begin(), ArrivalOrder.end(),
+                     [&](size_t A, size_t B) {
+                       return Jobs[A].Arrival < Jobs[B].Arrival;
+                     });
+  }
+
+  std::vector<BatchOutcome> run();
+
+private:
+  /// Capacity profile of running jobs (estimate-based) and reservations,
+  /// as seen at time \p Now.
+  CapacityProfile makeProfile(Tick Now) const;
+
+  /// Planned start of every queued job in policy order (conservative
+  /// planning); used for start-time forecasts.
+  Tick forecastStart(Tick Now, size_t TargetIdx) const;
+
+  void startJob(size_t JobIdx, Tick Now);
+  void tryStart(Tick Now);
+
+  const ClusterConfig &Config;
+  const std::vector<BatchJob> &Jobs;
+  const std::vector<AdvanceReservation> &Reservations;
+  std::vector<BatchOutcome> Outcomes;
+  std::vector<size_t> ArrivalOrder;
+  std::vector<size_t> Queue;
+  std::vector<RunningJob> Running;
+};
+
+CapacityProfile ClusterSim::makeProfile(Tick Now) const {
+  CapacityProfile P(Config.NodeCount);
+  for (const auto &R : Running)
+    if (R.EstFinish > Now)
+      P.reserve(Now, R.EstFinish, Jobs[R.JobIdx].Nodes);
+  for (const auto &AR : Reservations)
+    if (AR.End > Now)
+      P.reserve(std::max(Now, AR.Start), AR.End, AR.Nodes);
+  return P;
+}
+
+Tick ClusterSim::forecastStart(Tick Now, size_t TargetIdx) const {
+  CapacityProfile P = makeProfile(Now);
+  std::vector<size_t> Plan = Queue;
+  orderQueue(Plan, Jobs, Config.Order);
+  for (size_t JobIdx : Plan) {
+    const BatchJob &J = Jobs[JobIdx];
+    Tick T = P.earliestSlot(Now, J.EstTicks, J.Nodes);
+    if (JobIdx == TargetIdx)
+      return T;
+    P.reserve(T, T + J.EstTicks, J.Nodes);
+  }
+  CWS_UNREACHABLE("forecast target is not queued");
+}
+
+void ClusterSim::startJob(size_t JobIdx, Tick Now) {
+  const BatchJob &J = Jobs[JobIdx];
+  Running.push_back({JobIdx, Now + J.EstTicks, Now + J.ActualTicks});
+  BatchOutcome &O = Outcomes[JobIdx];
+  O.Start = Now;
+  O.Finish = Now + J.ActualTicks;
+  O.Started = true;
+  Queue.erase(std::find(Queue.begin(), Queue.end(), JobIdx));
+}
+
+void ClusterSim::tryStart(Tick Now) {
+  CapacityProfile P = makeProfile(Now);
+  std::vector<size_t> Order = Queue;
+  orderQueue(Order, Jobs, Config.Order);
+
+  bool HeadBlocked = false;
+  for (size_t JobIdx : Order) {
+    const BatchJob &J = Jobs[JobIdx];
+    switch (Config.Backfill) {
+    case BackfillMode::None:
+      if (!P.fits(Now, Now + J.EstTicks, J.Nodes))
+        return; // Strict order: the head blocks everyone behind it.
+      P.reserve(Now, Now + J.EstTicks, J.Nodes);
+      startJob(JobIdx, Now);
+      break;
+    case BackfillMode::Easy:
+      if (P.fits(Now, Now + J.EstTicks, J.Nodes)) {
+        // Starts now; cannot delay the head because the head's
+        // reservation (if any) is already part of the profile.
+        P.reserve(Now, Now + J.EstTicks, J.Nodes);
+        startJob(JobIdx, Now);
+      } else if (!HeadBlocked) {
+        // First blocked job in order is the head: give it the earliest
+        // reservation so backfilled jobs cannot push it back.
+        Tick T = P.earliestSlot(Now, J.EstTicks, J.Nodes);
+        P.reserve(T, T + J.EstTicks, J.Nodes);
+        HeadBlocked = true;
+      }
+      break;
+    case BackfillMode::Conservative: {
+      // Every queued job gets a planned slot; whoever plans at Now runs.
+      Tick T = P.earliestSlot(Now, J.EstTicks, J.Nodes);
+      P.reserve(T, T + J.EstTicks, J.Nodes);
+      if (T == Now)
+        startJob(JobIdx, Now);
+      break;
+    }
+    }
+  }
+}
+
+std::vector<BatchOutcome> ClusterSim::run() {
+  size_t NextArrival = 0;
+  Tick LastNow = -1;
+  while (NextArrival < ArrivalOrder.size() || !Running.empty() ||
+         !Queue.empty()) {
+    // Next event: an arrival, a completion, or a reservation end (a
+    // reservation end can unblock a queued job without any other event).
+    Tick Now = TickMax;
+    if (NextArrival < ArrivalOrder.size())
+      Now = std::min(Now, Jobs[ArrivalOrder[NextArrival]].Arrival);
+    for (const auto &R : Running)
+      Now = std::min(Now, R.ActualFinish);
+    if (!Queue.empty())
+      for (const auto &AR : Reservations)
+        if (AR.End > LastNow)
+          Now = std::min(Now, AR.End);
+    CWS_CHECK(Now < TickMax, "no next event although work remains");
+    CWS_CHECK(Now > LastNow, "event loop made no progress");
+    LastNow = Now;
+
+    // Completions first: they free capacity for same-tick decisions.
+    for (size_t I = Running.size(); I-- > 0;)
+      if (Running[I].ActualFinish <= Now)
+        Running.erase(Running.begin() + static_cast<ptrdiff_t>(I));
+
+    // Arrivals: enqueue and record the start-time forecast.
+    while (NextArrival < ArrivalOrder.size() &&
+           Jobs[ArrivalOrder[NextArrival]].Arrival <= Now) {
+      size_t JobIdx = ArrivalOrder[NextArrival++];
+      Queue.push_back(JobIdx);
+      BatchOutcome &O = Outcomes[JobIdx];
+      O.Id = Jobs[JobIdx].Id;
+      O.Arrival = Jobs[JobIdx].Arrival;
+      O.ForecastStart = forecastStart(Now, JobIdx);
+    }
+
+    tryStart(Now);
+  }
+  CWS_CHECK(Queue.empty(), "jobs left unscheduled");
+  return std::move(Outcomes);
+}
+
+} // namespace
+
+std::vector<BatchOutcome>
+cws::runCluster(const ClusterConfig &Config, const std::vector<BatchJob> &Jobs,
+                const std::vector<AdvanceReservation> &Reservations) {
+  return ClusterSim(Config, Jobs, Reservations).run();
+}
+
+ClusterMetrics cws::summarizeCluster(const std::vector<BatchJob> &Jobs,
+                                     const std::vector<BatchOutcome> &Outcomes,
+                                     unsigned NodeCount) {
+  CWS_CHECK(Jobs.size() == Outcomes.size(), "mismatched outcome list");
+  ClusterMetrics M;
+  if (Jobs.empty())
+    return M;
+  double TotalWork = 0.0;
+  for (size_t I = 0; I < Jobs.size(); ++I) {
+    const BatchOutcome &O = Outcomes[I];
+    CWS_CHECK(O.Started, "summarizing an unfinished run");
+    double Wait = static_cast<double>(O.wait());
+    M.MeanWait += Wait;
+    M.MaxWait = std::max(M.MaxWait, Wait);
+    M.MeanForecastError += static_cast<double>(O.forecastError());
+    M.MeanSlowdown += (Wait + static_cast<double>(Jobs[I].ActualTicks)) /
+                      static_cast<double>(Jobs[I].ActualTicks);
+    M.Makespan = std::max(M.Makespan, O.Finish);
+    TotalWork += static_cast<double>(Jobs[I].ActualTicks) *
+                 static_cast<double>(Jobs[I].Nodes);
+  }
+  auto N = static_cast<double>(Jobs.size());
+  M.MeanWait /= N;
+  M.MeanForecastError /= N;
+  M.MeanSlowdown /= N;
+  if (M.Makespan > 0)
+    M.Utilization = TotalWork / (static_cast<double>(NodeCount) *
+                                 static_cast<double>(M.Makespan));
+  return M;
+}

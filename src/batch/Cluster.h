@@ -1,0 +1,85 @@
+//===-- batch/Cluster.h - Local batch cluster simulator ---------*- C++ -*-===//
+//
+// Part of CWS, a reproduction of Toporkov, "Application-Level and Job-Flow
+// Scheduling" (PaCT 2009). Distributed without any warranty.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A local batch-job management system over a homogeneous node pool:
+/// FCFS/LWF queue orders, EASY and conservative backfilling, and advance
+/// reservations. Scheduling plans with user runtime *estimates*; jobs
+/// actually run for their (never longer) real runtime, which is what
+/// makes start-time forecasts err — the effect Section 5 discusses.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CWS_BATCH_CLUSTER_H
+#define CWS_BATCH_CLUSTER_H
+
+#include "batch/BatchJob.h"
+#include "batch/QueuePolicy.h"
+#include "sim/Time.h"
+
+#include <vector>
+
+namespace cws {
+
+/// Backfilling disciplines.
+enum class BackfillMode {
+  /// Strict queue order; the head blocks everyone.
+  None,
+  /// EASY: the head holds one reservation; later jobs may jump ahead if
+  /// they do not delay it.
+  Easy,
+  /// Conservative: every queued job holds a planned slot; a job may jump
+  /// ahead only into holes that delay nobody's plan.
+  Conservative,
+};
+
+/// Short name ("none" / "easy" / "conservative").
+const char *backfillModeName(BackfillMode Mode);
+
+/// An advance reservation: \p Nodes nodes are handed to an external
+/// owner during [Start, End), bypassing the queue (the paper's
+/// mechanism [20] that application-level schedules rely on).
+struct AdvanceReservation {
+  Tick Start;
+  Tick End;
+  unsigned Nodes;
+};
+
+/// Cluster scheduler configuration.
+struct ClusterConfig {
+  unsigned NodeCount = 16;
+  QueueOrder Order = QueueOrder::FCFS;
+  BackfillMode Backfill = BackfillMode::None;
+};
+
+/// Simulates a whole trace through the cluster; returns one outcome per
+/// job (same order as \p Jobs). \p Reservations are booked before any
+/// job may use the capacity.
+std::vector<BatchOutcome>
+runCluster(const ClusterConfig &Config, const std::vector<BatchJob> &Jobs,
+           const std::vector<AdvanceReservation> &Reservations = {});
+
+/// Aggregate queueing metrics of one run.
+struct ClusterMetrics {
+  double MeanWait = 0.0;
+  double MaxWait = 0.0;
+  /// Mean |Start - ForecastStart|.
+  double MeanForecastError = 0.0;
+  /// Mean (wait + actual) / actual, the bounded slowdown.
+  double MeanSlowdown = 0.0;
+  double Utilization = 0.0;
+  Tick Makespan = 0;
+};
+
+/// Computes metrics for outcomes of \p Jobs on \p NodeCount nodes.
+ClusterMetrics summarizeCluster(const std::vector<BatchJob> &Jobs,
+                                const std::vector<BatchOutcome> &Outcomes,
+                                unsigned NodeCount);
+
+} // namespace cws
+
+#endif // CWS_BATCH_CLUSTER_H

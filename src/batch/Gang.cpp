@@ -1,0 +1,90 @@
+//===-- batch/Gang.cpp - Gang scheduling ----------------------------------===//
+//
+// Part of CWS, a reproduction of Toporkov, "Application-Level and Job-Flow
+// Scheduling" (PaCT 2009). Distributed without any warranty.
+//
+//===----------------------------------------------------------------------===//
+
+#include "batch/Gang.h"
+#include "support/Check.h"
+
+#include <algorithm>
+
+using namespace cws;
+
+std::vector<BatchOutcome> cws::runGang(const GangConfig &Config,
+                                       const std::vector<BatchJob> &Jobs) {
+  CWS_CHECK(Config.NodeCount >= 1, "gang scheduling needs nodes");
+  CWS_CHECK(Config.Quantum >= 1, "quantum must be positive");
+  for (const auto &J : Jobs)
+    CWS_CHECK(J.Nodes >= 1 && J.Nodes <= Config.NodeCount,
+              "job demands more nodes than the cluster has");
+
+  std::vector<BatchOutcome> Outcomes(Jobs.size());
+  std::vector<size_t> ByArrival(Jobs.size());
+  for (size_t I = 0; I < Jobs.size(); ++I) {
+    ByArrival[I] = I;
+    Outcomes[I].Id = Jobs[I].Id;
+    Outcomes[I].Arrival = Jobs[I].Arrival;
+    Outcomes[I].ForecastStart = Jobs[I].Arrival;
+  }
+  std::stable_sort(ByArrival.begin(), ByArrival.end(), [&](size_t A, size_t B) {
+    return Jobs[A].Arrival < Jobs[B].Arrival;
+  });
+
+  struct Active {
+    size_t JobIdx;
+    Tick Remaining;
+  };
+  std::vector<Active> Pool; // In arrival order; rotation gives fairness.
+  size_t NextArrival = 0;
+  size_t RotateFrom = 0;
+  Tick Now = Jobs.empty() ? 0 : Jobs[ByArrival[0]].Arrival;
+
+  while (NextArrival < ByArrival.size() || !Pool.empty()) {
+    if (Pool.empty() && NextArrival < ByArrival.size())
+      Now = std::max(Now, Jobs[ByArrival[NextArrival]].Arrival);
+    while (NextArrival < ByArrival.size() &&
+           Jobs[ByArrival[NextArrival]].Arrival <= Now) {
+      size_t JobIdx = ByArrival[NextArrival++];
+      Pool.push_back({JobIdx, Jobs[JobIdx].ActualTicks});
+    }
+
+    // One quantum: pack jobs round-robin starting at the rotation point.
+    unsigned Free = Config.NodeCount;
+    std::vector<size_t> Scheduled;
+    for (size_t Step = 0; Step < Pool.size() && Free > 0; ++Step) {
+      size_t Slot = (RotateFrom + Step) % Pool.size();
+      const BatchJob &J = Jobs[Pool[Slot].JobIdx];
+      if (J.Nodes <= Free) {
+        Free -= J.Nodes;
+        Scheduled.push_back(Slot);
+      }
+    }
+    if (!Pool.empty())
+      RotateFrom = (RotateFrom + 1) % Pool.size();
+
+    for (size_t Slot : Scheduled) {
+      Active &A = Pool[Slot];
+      BatchOutcome &O = Outcomes[A.JobIdx];
+      if (!O.Started) {
+        O.Started = true;
+        O.Start = Now;
+      }
+      Tick Served = std::min(Config.Quantum, A.Remaining);
+      A.Remaining -= Served;
+      if (A.Remaining == 0)
+        O.Finish = Now + Served;
+    }
+    // Drop finished jobs (descending slot order keeps indices valid).
+    std::sort(Scheduled.rbegin(), Scheduled.rend());
+    for (size_t Slot : Scheduled)
+      if (Pool[Slot].Remaining == 0)
+        Pool.erase(Pool.begin() + static_cast<ptrdiff_t>(Slot));
+    if (RotateFrom >= Pool.size())
+      RotateFrom = 0;
+
+    Now += Config.Quantum;
+  }
+  return Outcomes;
+}

@@ -1,0 +1,41 @@
+//===-- batch/Gang.h - Gang scheduling --------------------------*- C++ -*-===//
+//
+// Part of CWS, a reproduction of Toporkov, "Application-Level and Job-Flow
+// Scheduling" (PaCT 2009). Distributed without any warranty.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Gang scheduling, one of the Section-5 local queue-management
+/// alternatives: all nodes of a parallel job run together within
+/// round-robin time quanta, so short jobs get service while long jobs
+/// are in flight instead of waiting behind them.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CWS_BATCH_GANG_H
+#define CWS_BATCH_GANG_H
+
+#include "batch/BatchJob.h"
+#include "sim/Time.h"
+
+#include <vector>
+
+namespace cws {
+
+/// Gang scheduler parameters.
+struct GangConfig {
+  unsigned NodeCount = 16;
+  /// Length of one scheduling quantum.
+  Tick Quantum = 4;
+};
+
+/// Runs the trace under quantum-based gang scheduling. Outcomes report
+/// the first quantum a job received service as its Start; ForecastStart
+/// equals Arrival (gang gives no reservation-style forecast).
+std::vector<BatchOutcome> runGang(const GangConfig &Config,
+                                  const std::vector<BatchJob> &Jobs);
+
+} // namespace cws
+
+#endif // CWS_BATCH_GANG_H

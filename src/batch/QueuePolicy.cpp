@@ -1,0 +1,59 @@
+//===-- batch/QueuePolicy.cpp - Queue ordering policies -------------------===//
+//
+// Part of CWS, a reproduction of Toporkov, "Application-Level and Job-Flow
+// Scheduling" (PaCT 2009). Distributed without any warranty.
+//
+//===----------------------------------------------------------------------===//
+
+#include "batch/QueuePolicy.h"
+#include "support/Check.h"
+
+#include <algorithm>
+
+using namespace cws;
+
+const char *cws::queueOrderName(QueueOrder Order) {
+  switch (Order) {
+  case QueueOrder::FCFS:
+    return "fcfs";
+  case QueueOrder::LWF:
+    return "lwf";
+  case QueueOrder::Priority:
+    return "priority";
+  }
+  CWS_UNREACHABLE("unknown queue order");
+}
+
+void cws::orderQueue(std::vector<size_t> &Queue,
+                     const std::vector<BatchJob> &Jobs, QueueOrder Order) {
+  switch (Order) {
+  case QueueOrder::FCFS:
+    std::stable_sort(Queue.begin(), Queue.end(), [&](size_t A, size_t B) {
+      if (Jobs[A].Arrival != Jobs[B].Arrival)
+        return Jobs[A].Arrival < Jobs[B].Arrival;
+      return Jobs[A].Id < Jobs[B].Id;
+    });
+    return;
+  case QueueOrder::LWF:
+    std::stable_sort(Queue.begin(), Queue.end(), [&](size_t A, size_t B) {
+      Tick WorkA = Jobs[A].EstTicks * static_cast<Tick>(Jobs[A].Nodes);
+      Tick WorkB = Jobs[B].EstTicks * static_cast<Tick>(Jobs[B].Nodes);
+      if (WorkA != WorkB)
+        return WorkA < WorkB;
+      if (Jobs[A].Arrival != Jobs[B].Arrival)
+        return Jobs[A].Arrival < Jobs[B].Arrival;
+      return Jobs[A].Id < Jobs[B].Id;
+    });
+    return;
+  case QueueOrder::Priority:
+    std::stable_sort(Queue.begin(), Queue.end(), [&](size_t A, size_t B) {
+      if (Jobs[A].Priority != Jobs[B].Priority)
+        return Jobs[A].Priority > Jobs[B].Priority;
+      if (Jobs[A].Arrival != Jobs[B].Arrival)
+        return Jobs[A].Arrival < Jobs[B].Arrival;
+      return Jobs[A].Id < Jobs[B].Id;
+    });
+    return;
+  }
+  CWS_UNREACHABLE("unknown queue order");
+}

@@ -1,0 +1,44 @@
+//===-- batch/QueuePolicy.h - Queue ordering policies -----------*- C++ -*-===//
+//
+// Part of CWS, a reproduction of Toporkov, "Application-Level and Job-Flow
+// Scheduling" (PaCT 2009). Distributed without any warranty.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Queue ordering of the local batch system: FCFS (the policy the
+/// paper's experiments assume) and least-work-first (LWF), one of the
+/// Section-5 alternatives.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CWS_BATCH_QUEUEPOLICY_H
+#define CWS_BATCH_QUEUEPOLICY_H
+
+#include "batch/BatchJob.h"
+
+#include <vector>
+
+namespace cws {
+
+/// Queue ordering disciplines.
+enum class QueueOrder {
+  /// First come, first served.
+  FCFS,
+  /// Least work first: estimated runtime x nodes, ties by arrival.
+  LWF,
+  /// Highest priority first (the paper's dynamic priorities: users who
+  /// pay more for a resource go first), ties FCFS.
+  Priority,
+};
+
+/// Short name ("fcfs" / "lwf" / "priority").
+const char *queueOrderName(QueueOrder Order);
+
+/// Sorts \p Queue (indices into \p Jobs) according to \p Order.
+void orderQueue(std::vector<size_t> &Queue, const std::vector<BatchJob> &Jobs,
+                QueueOrder Order);
+
+} // namespace cws
+
+#endif // CWS_BATCH_QUEUEPOLICY_H

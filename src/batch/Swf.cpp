@@ -1,0 +1,124 @@
+//===-- batch/Swf.cpp - Standard Workload Format traces -------------------===//
+//
+// Part of CWS, a reproduction of Toporkov, "Application-Level and Job-Flow
+// Scheduling" (PaCT 2009). Distributed without any warranty.
+//
+//===----------------------------------------------------------------------===//
+
+#include "batch/Swf.h"
+#include "support/Check.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+using namespace cws;
+
+namespace {
+
+/// Splits one line into whitespace-separated numeric fields; returns
+/// false when any field fails to parse.
+bool parseFields(std::string_view Line, std::vector<double> &Fields) {
+  Fields.clear();
+  size_t Pos = 0;
+  while (Pos < Line.size()) {
+    while (Pos < Line.size() &&
+           (Line[Pos] == ' ' || Line[Pos] == '\t' || Line[Pos] == '\r'))
+      ++Pos;
+    if (Pos >= Line.size())
+      break;
+    size_t Start = Pos;
+    while (Pos < Line.size() && Line[Pos] != ' ' && Line[Pos] != '\t' &&
+           Line[Pos] != '\r')
+      ++Pos;
+    std::string Token(Line.substr(Start, Pos - Start));
+    char *End = nullptr;
+    double Value = std::strtod(Token.c_str(), &End);
+    if (End == Token.c_str() || *End != '\0')
+      return false;
+    Fields.push_back(Value);
+  }
+  return true;
+}
+
+} // namespace
+
+SwfImportResult cws::readSwf(std::string_view Text,
+                             const SwfImportConfig &Config) {
+  CWS_CHECK(Config.TimeScale >= 1, "time scale must be at least 1");
+  SwfImportResult Result;
+  size_t LineStart = 0;
+  std::vector<double> Fields;
+  while (LineStart < Text.size()) {
+    size_t LineEnd = Text.find('\n', LineStart);
+    if (LineEnd == std::string_view::npos)
+      LineEnd = Text.size();
+    std::string_view Line = Text.substr(LineStart, LineEnd - LineStart);
+    LineStart = LineEnd + 1;
+
+    // Comments and blank lines.
+    size_t First = Line.find_first_not_of(" \t\r");
+    if (First == std::string_view::npos || Line[First] == ';')
+      continue;
+
+    if (!parseFields(Line, Fields) || Fields.size() < 5) {
+      ++Result.SkippedLines;
+      continue;
+    }
+
+    auto Field = [&](size_t OneBased) -> double {
+      return OneBased <= Fields.size() ? Fields[OneBased - 1] : -1.0;
+    };
+
+    double Submit = Field(2);
+    double RunTime = Field(4);
+    double AllocProcs = Field(5);
+    double ReqProcs = Field(8);
+    double ReqTime = Field(9);
+
+    double Procs = ReqProcs > 0 ? ReqProcs : AllocProcs;
+    double Est = ReqTime > 0 ? ReqTime : RunTime;
+    if (Submit < 0 || RunTime <= 0 || Procs <= 0 || Est <= 0) {
+      ++Result.SkippedLines;
+      continue;
+    }
+
+    BatchJob J;
+    J.Id = static_cast<unsigned>(Field(1) >= 0 ? Field(1)
+                                               : Result.Jobs.size());
+    J.Arrival = static_cast<Tick>(Submit) / Config.TimeScale;
+    J.Nodes = static_cast<unsigned>(Procs);
+    if (Config.NodeCap > 0)
+      J.Nodes = std::min(J.Nodes, Config.NodeCap);
+    J.EstTicks = std::max<Tick>(1, static_cast<Tick>(Est) / Config.TimeScale);
+    J.ActualTicks = std::max<Tick>(
+        1, static_cast<Tick>(RunTime) / Config.TimeScale);
+    // The substrate assumes runs never exceed the wall limit.
+    J.ActualTicks = std::min(J.ActualTicks, J.EstTicks);
+    Result.Jobs.push_back(J);
+    if (Config.MaxJobs > 0 && Result.Jobs.size() >= Config.MaxJobs)
+      break;
+  }
+  std::stable_sort(Result.Jobs.begin(), Result.Jobs.end(),
+                   [](const BatchJob &A, const BatchJob &B) {
+                     return A.Arrival < B.Arrival;
+                   });
+  return Result;
+}
+
+std::string cws::writeSwf(const std::vector<BatchJob> &Jobs) {
+  std::string Out =
+      "; SWF trace written by CWS (fields 1,2,4,5,8,9 meaningful)\n";
+  char Buf[160];
+  for (const auto &J : Jobs) {
+    std::snprintf(Buf, sizeof(Buf),
+                  "%u %lld -1 %lld %u -1 -1 %u %lld -1 -1 -1 -1 -1 -1 -1 "
+                  "-1 -1\n",
+                  J.Id, static_cast<long long>(J.Arrival),
+                  static_cast<long long>(J.ActualTicks), J.Nodes, J.Nodes,
+                  static_cast<long long>(J.EstTicks));
+    Out += Buf;
+  }
+  return Out;
+}

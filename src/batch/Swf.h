@@ -1,0 +1,59 @@
+//===-- batch/Swf.h - Standard Workload Format traces -----------*- C++ -*-===//
+//
+// Part of CWS, a reproduction of Toporkov, "Application-Level and Job-Flow
+// Scheduling" (PaCT 2009). Distributed without any warranty.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Reader and writer for the Standard Workload Format (SWF) used by the
+/// Parallel Workloads Archive, so real cluster logs can drive the local
+/// batch substrate instead of synthetic traces. Only the fields the
+/// substrate needs are interpreted: job number (1), submit time (2),
+/// run time (4), allocated processors (5), requested processors (8) and
+/// requested time (9); `;` starts a comment line.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CWS_BATCH_SWF_H
+#define CWS_BATCH_SWF_H
+
+#include "batch/BatchJob.h"
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cws {
+
+/// Options for importing an SWF trace.
+struct SwfImportConfig {
+  /// Jobs requesting more nodes than this are clamped to it (the
+  /// cluster the trace will run on); 0 keeps requests as logged.
+  unsigned NodeCap = 0;
+  /// Divide all times by this factor (SWF logs are in seconds; the
+  /// simulator uses abstract ticks).
+  Tick TimeScale = 1;
+  /// Stop after this many jobs; 0 reads everything.
+  size_t MaxJobs = 0;
+};
+
+/// Result of an import: the jobs plus how many lines were skipped as
+/// malformed or degenerate (zero runtime / zero processors).
+struct SwfImportResult {
+  std::vector<BatchJob> Jobs;
+  size_t SkippedLines = 0;
+};
+
+/// Parses SWF text. Never aborts on malformed input — bad lines are
+/// counted and skipped.
+SwfImportResult readSwf(std::string_view Text,
+                        const SwfImportConfig &Config = SwfImportConfig());
+
+/// Renders jobs as SWF lines (the interpreted fields; others are -1).
+std::string writeSwf(const std::vector<BatchJob> &Jobs);
+
+} // namespace cws
+
+#endif // CWS_BATCH_SWF_H

@@ -1,0 +1,119 @@
+//===-- core/ChainAllocator.h - DP allocation of one chain ------*- C++ -*-===//
+//
+// Part of CWS, a reproduction of Toporkov, "Application-Level and Job-Flow
+// Scheduling" (PaCT 2009). Distributed without any warranty.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The dynamic-programming allocator of the critical works method: given
+/// one critical work (a chain of tasks), the current partial
+/// distribution and the node timelines, it searches "the best
+/// combination of available resources" by a DP over (chain position,
+/// node) states keeping a Pareto front of (finish time, economic cost)
+/// labels — minimizing cost subject to the job's fixed completion time,
+/// or minimizing finish time under the Time bias.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CWS_CORE_CHAINALLOCATOR_H
+#define CWS_CORE_CHAINALLOCATOR_H
+
+#include "core/Collision.h"
+#include "core/CostModel.h"
+#include "core/CriticalWork.h"
+#include "core/Distribution.h"
+#include "resource/DataPolicy.h"
+#include "sim/Time.h"
+
+#include <cstddef>
+#include <vector>
+
+namespace cws {
+
+class Grid;
+class Job;
+
+/// What the DP optimizes, subject to the deadline either way.
+enum class OptimizationBias {
+  /// Minimize economic cost; finish time breaks ties.
+  Cost,
+  /// Minimize finish time; economic cost breaks ties.
+  Time,
+};
+
+/// Short name ("cost" / "time").
+const char *optimizationBiasName(OptimizationBias Bias);
+
+/// Knobs of one allocation run.
+struct AllocatorPolicy {
+  /// Node ids the variant may use (the "environment event" it covers).
+  std::vector<unsigned> CandidateNodes;
+  OptimizationBias Bias = OptimizationBias::Cost;
+  /// Economic penalty for placing consecutive chain tasks on different
+  /// nodes. Coarse-grain strategies (S3) set this high, gluing chains to
+  /// a single node and minimizing data exchanges.
+  double NodeSwitchPenalty = 0.0;
+  /// Pareto front size cap per (position, node) state.
+  size_t MaxFrontSize = 8;
+};
+
+/// Allocates critical works into a scratch grid.
+///
+/// The allocator mutates the grid's timelines (reserving each placement
+/// for the given owner) and the data policy's replica memory; callers
+/// own both and typically operate on copies while generating a strategy.
+class ChainAllocator {
+public:
+  ChainAllocator(const Job &J, Grid &ScratchGrid, DataPolicy &Policy,
+                 const CostModel &Cost, const AllocatorPolicy &Params);
+
+  /// Places every task of \p Work. On success the placements are
+  /// appended to \p Dist, reserved in the grid under \p Owner, and any
+  /// contention is recorded in \p Collisions. Returns false (leaving all
+  /// state untouched) when the chain cannot meet its windows.
+  bool allocate(const CriticalWork &Work, Distribution &Dist, Tick Release,
+                Tick Deadline, OwnerId Owner,
+                std::vector<CollisionRecord> &Collisions);
+
+private:
+  struct Label {
+    Tick Finish;
+    double Cost;
+    /// Start of this task on this node (Finish - reservation).
+    Tick Start;
+    /// Back-pointers: candidate-node index and label index at the
+    /// previous position; -1 at position 0.
+    int32_t PrevNode;
+    int32_t PrevLabel;
+  };
+
+  /// Ready time of chain position \p Pos on node \p NodeId considering
+  /// placed predecessors only (the immediate chain predecessor is added
+  /// by the DP transition).
+  Tick externalReady(unsigned TaskId, unsigned NodeId,
+                     const Distribution &Dist, Tick Release) const;
+
+  /// Latest feasible finish of \p TaskId on \p NodeId given placed
+  /// successors and the deadline.
+  Tick latestFinish(unsigned TaskId, unsigned NodeId,
+                    const Distribution &Dist, Tick Deadline) const;
+
+  /// Inbound transfer ticks billed from already placed predecessors.
+  Tick placedInboundTicks(unsigned TaskId, unsigned NodeId,
+                          const Distribution &Dist, unsigned SkipPred) const;
+
+  /// Inserts a label into a Pareto front (sorted by Finish ascending,
+  /// Cost strictly descending); drops it when dominated.
+  void insertLabel(std::vector<Label> &Front, Label L) const;
+
+  const Job &J;
+  Grid &G;
+  DataPolicy &Policy;
+  const CostModel &Cost;
+  const AllocatorPolicy &Params;
+};
+
+} // namespace cws
+
+#endif // CWS_CORE_CHAINALLOCATOR_H

@@ -1,0 +1,37 @@
+//===-- core/Collision.cpp - Resource collisions --------------------------===//
+//
+// Part of CWS, a reproduction of Toporkov, "Application-Level and Job-Flow
+// Scheduling" (PaCT 2009). Distributed without any warranty.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Collision.h"
+#include "resource/Grid.h"
+#include "support/Check.h"
+
+using namespace cws;
+
+const char *cws::collisionResolutionName(CollisionResolution R) {
+  switch (R) {
+  case CollisionResolution::Shifted:
+    return "shifted";
+  case CollisionResolution::Moved:
+    return "moved";
+  }
+  CWS_UNREACHABLE("unknown collision resolution");
+}
+
+CollisionSplit
+cws::splitCollisions(const std::vector<CollisionRecord> &Records,
+                     const Grid &G, OwnerId IntraJobOwner) {
+  CollisionSplit Split;
+  for (const auto &R : Records) {
+    if (IntraJobOwner != 0 && R.BlockingOwner != IntraJobOwner)
+      continue;
+    if (G.node(R.NodeId).group() == PerfGroup::Fast)
+      ++Split.Fast;
+    else
+      ++Split.Slow;
+  }
+  return Split;
+}

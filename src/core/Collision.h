@@ -1,0 +1,83 @@
+//===-- core/Collision.h - Resource collisions ------------------*- C++ -*-===//
+//
+// Part of CWS, a reproduction of Toporkov, "Application-Level and Job-Flow
+// Scheduling" (PaCT 2009). Distributed without any warranty.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Collision records. A collision is a "conflict between tasks of
+/// different critical works competing for the same resource" (Fig. 2b's
+/// P4/P5 conflict on node 3); CWS also records conflicts against
+/// background reservations of independent jobs. Fig. 3b reports how
+/// collisions split between fast and slow nodes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CWS_CORE_COLLISION_H
+#define CWS_CORE_COLLISION_H
+
+#include "resource/Node.h"
+#include "sim/Time.h"
+
+#include <cstddef>
+#include <vector>
+
+namespace cws {
+
+class Grid;
+
+/// How a collision was resolved.
+enum class CollisionResolution {
+  /// The task kept the contended node but started later.
+  Shifted,
+  /// The task was re-allocated to a different node (the paper's P5 case:
+  /// "resolved by the allocation of P4 to the processor node 3 and P5 to
+  /// the node 4").
+  Moved,
+};
+
+/// Short name ("shifted" / "moved").
+const char *collisionResolutionName(CollisionResolution R);
+
+/// One detected and resolved collision.
+struct CollisionRecord {
+  /// The task whose preferred slot was taken.
+  unsigned TaskId;
+  /// The contended node.
+  unsigned NodeId;
+  /// Holder of the conflicting reservation; equal to the scheduling
+  /// job's owner id for intra-job (critical-work vs critical-work)
+  /// collisions, different for collisions with background load.
+  OwnerId BlockingOwner;
+  /// Where the task wanted to start and where it ended up (on the
+  /// contended node for Shifted; on the replacement node for Moved).
+  Tick WantedStart;
+  Tick ActualStart;
+  CollisionResolution Resolution;
+};
+
+/// Collision counts split the way Fig. 3b reports them: the fast band
+/// versus everything slower.
+struct CollisionSplit {
+  size_t Fast = 0;
+  size_t Slow = 0;
+
+  size_t total() const { return Fast + Slow; }
+  double fastPercent() const {
+    return total() ? 100.0 * static_cast<double>(Fast) /
+                         static_cast<double>(total())
+                   : 0.0;
+  }
+  double slowPercent() const { return total() ? 100.0 - fastPercent() : 0.0; }
+};
+
+/// Splits \p Records by the contended node's performance group.
+/// \p IntraJobOwner restricts counting to collisions whose blocking
+/// owner matches (pass 0 to count everything).
+CollisionSplit splitCollisions(const std::vector<CollisionRecord> &Records,
+                               const Grid &G, OwnerId IntraJobOwner = 0);
+
+} // namespace cws
+
+#endif // CWS_CORE_COLLISION_H

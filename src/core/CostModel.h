@@ -1,0 +1,62 @@
+//===-- core/CostModel.h - Cost functions and economics ---------*- C++ -*-===//
+//
+// Part of CWS, a reproduction of Toporkov, "Application-Level and Job-Flow
+// Scheduling" (PaCT 2009). Distributed without any warranty.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The two cost notions of the paper. The *cost function* CF of a
+/// distribution is the sum over tasks of ceil(V_ij / T_i) — computation
+/// volume over the real node load time, "rounded to nearest not-smaller
+/// integer" (Fig. 2b: CF2 = 37 vs CF1 = CF3 = 41). The *economic cost*
+/// implements the virtual organization's quota economy: faster nodes
+/// cost more per tick, transfers are billed to the consumer, so a user
+/// pays extra "to use more powerful resource or to start the task
+/// faster".
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CWS_CORE_COSTMODEL_H
+#define CWS_CORE_COSTMODEL_H
+
+#include "sim/Time.h"
+
+#include <cstdint>
+
+namespace cws {
+
+class Grid;
+
+/// Economic parameters of the virtual organization.
+struct CostConfig {
+  /// Quota units billed per tick of data transfer.
+  double TransferCostPerTick = 12.0;
+};
+
+/// Computes cost-function terms and economic prices.
+class CostModel {
+public:
+  explicit CostModel(const Grid &G, CostConfig Config = CostConfig());
+
+  /// One task's CF term: ceil(Volume / LoadTicks). \p LoadTicks is the
+  /// real time the node is loaded by the task (its reservation length).
+  static int64_t cfTerm(double Volume, Tick LoadTicks);
+
+  /// Quota units for occupying \p NodeId for \p Ticks.
+  double nodeCost(unsigned NodeId, Tick Ticks) const;
+
+  /// Quota units for \p Ticks of data transfer.
+  double transferCost(Tick Ticks) const;
+
+  const CostConfig &config() const { return Config; }
+  const Grid &grid() const { return G; }
+
+private:
+  const Grid &G;
+  CostConfig Config;
+};
+
+} // namespace cws
+
+#endif // CWS_CORE_COSTMODEL_H

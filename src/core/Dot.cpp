@@ -1,0 +1,61 @@
+//===-- core/Dot.cpp - Graphviz export of information graphs ----------------===//
+//
+// Part of CWS, a reproduction of Toporkov, "Application-Level and Job-Flow
+// Scheduling" (PaCT 2009). Distributed without any warranty.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Dot.h"
+#include "core/Distribution.h"
+
+#include <cstdio>
+
+using namespace cws;
+
+namespace {
+
+/// A small qualitative palette cycled by node id.
+const char *nodeColor(unsigned NodeId) {
+  static const char *Palette[] = {"#a6cee3", "#b2df8a", "#fb9a99",
+                                  "#fdbf6f", "#cab2d6", "#ffff99",
+                                  "#1f78b4", "#33a02c"};
+  return Palette[NodeId % (sizeof(Palette) / sizeof(Palette[0]))];
+}
+
+std::string renderDot(const Job &J, const Distribution *D) {
+  std::string Out = "digraph job {\n  rankdir=LR;\n  node [shape=box, "
+                    "style=filled, fillcolor=white];\n";
+  char Buf[256];
+  for (const auto &T : J.tasks()) {
+    const Placement *P = D ? D->find(T.Id) : nullptr;
+    if (P)
+      std::snprintf(Buf, sizeof(Buf),
+                    "  t%u [label=\"%s\\nref %lld vol %g\\n@%u [%lld,%lld)\""
+                    ", fillcolor=\"%s\"];\n",
+                    T.Id, T.Name.c_str(),
+                    static_cast<long long>(T.RefTicks), T.Volume, P->NodeId,
+                    static_cast<long long>(P->Start),
+                    static_cast<long long>(P->End), nodeColor(P->NodeId));
+    else
+      std::snprintf(Buf, sizeof(Buf),
+                    "  t%u [label=\"%s\\nref %lld vol %g\"];\n", T.Id,
+                    T.Name.c_str(), static_cast<long long>(T.RefTicks),
+                    T.Volume);
+    Out += Buf;
+  }
+  for (const auto &E : J.edges()) {
+    std::snprintf(Buf, sizeof(Buf), "  t%u -> t%u [label=\"%lld\"];\n",
+                  E.Src, E.Dst, static_cast<long long>(E.BaseTransfer));
+    Out += Buf;
+  }
+  Out += "}\n";
+  return Out;
+}
+
+} // namespace
+
+std::string cws::jobDot(const Job &J) { return renderDot(J, nullptr); }
+
+std::string cws::jobDot(const Job &J, const Distribution &D) {
+  return renderDot(J, &D);
+}

@@ -1,0 +1,36 @@
+//===-- core/Dot.h - Graphviz export of information graphs -------*- C++ -*-===//
+//
+// Part of CWS, a reproduction of Toporkov, "Application-Level and Job-Flow
+// Scheduling" (PaCT 2009). Distributed without any warranty.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Graphviz (DOT) rendering of a compound job's information graph —
+/// the paper's Fig. 2a picture. Optionally annotates every task with
+/// its placement from a distribution, coloring tasks by node.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CWS_CORE_DOT_H
+#define CWS_CORE_DOT_H
+
+#include "job/Job.h"
+
+#include <string>
+
+namespace cws {
+
+class Distribution;
+
+/// Renders \p J as a DOT digraph: one node per task (label "name
+/// ref/vol"), one edge per data transfer (label: transfer ticks).
+std::string jobDot(const Job &J);
+
+/// Like jobDot, but annotates each placed task with "@node [start,end)"
+/// and colors tasks by their assigned node.
+std::string jobDot(const Job &J, const Distribution &D);
+
+} // namespace cws
+
+#endif // CWS_CORE_DOT_H

@@ -1,0 +1,99 @@
+//===-- core/Gantt.cpp - ASCII schedule rendering -------------------------===//
+//
+// Part of CWS, a reproduction of Toporkov, "Application-Level and Job-Flow
+// Scheduling" (PaCT 2009). Distributed without any warranty.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Gantt.h"
+#include "job/Job.h"
+#include "resource/Grid.h"
+#include "support/Check.h"
+
+#include <algorithm>
+#include <cstdio>
+
+using namespace cws;
+
+namespace {
+
+/// Task label: 'A'..'Z', then 'a'..'z', then '*'.
+char taskLabel(size_t Index) {
+  if (Index < 26)
+    return static_cast<char>('A' + Index);
+  if (Index < 52)
+    return static_cast<char>('a' + (Index - 26));
+  return '*';
+}
+
+} // namespace
+
+std::string cws::renderGantt(const Job &J, const Grid &Env,
+                             const Distribution &D,
+                             const GanttOptions &Options) {
+  CWS_CHECK(Options.Width >= 8, "gantt needs at least 8 columns");
+  Tick Span = std::max<Tick>(1, D.makespan());
+  // Whole ticks per column, rounded up so the chart always fits.
+  Tick PerCol = (Span + static_cast<Tick>(Options.Width) - 1) /
+                static_cast<Tick>(Options.Width);
+  auto Columns = static_cast<size_t>((Span + PerCol - 1) / PerCol);
+
+  auto ColOf = [&](Tick T) {
+    return static_cast<size_t>(
+        std::min<Tick>(T / PerCol, static_cast<Tick>(Columns) - 1));
+  };
+
+  // Letter per task id, in placement order for stable legends.
+  std::vector<char> LabelOf(J.taskCount(), '?');
+  for (size_t I = 0; I < D.placements().size(); ++I)
+    LabelOf[D.placements()[I].TaskId] = taskLabel(I);
+
+  std::string Out;
+  char Buf[128];
+  std::snprintf(Buf, sizeof(Buf),
+                "time 0..%lld, one column = %lld tick(s)\n",
+                static_cast<long long>(Span),
+                static_cast<long long>(PerCol));
+  Out += Buf;
+
+  for (const auto &N : Env.nodes()) {
+    std::string Row(Columns, '.');
+    bool Used = false;
+    if (Options.ShowForeignLoad) {
+      for (const auto &I : N.timeline().intervals()) {
+        if (I.Begin >= Span)
+          break;
+        for (size_t C = ColOf(I.Begin);
+             C <= ColOf(std::min(Span, I.End) - 1); ++C)
+          Row[C] = '#';
+      }
+    }
+    for (const auto &P : D.placements()) {
+      if (P.NodeId != N.id())
+        continue;
+      Used = true;
+      for (size_t C = ColOf(P.Start); C <= ColOf(P.End - 1); ++C)
+        Row[C] = LabelOf[P.TaskId];
+    }
+    if (!Used && !Options.ShowIdleNodes)
+      continue;
+    std::snprintf(Buf, sizeof(Buf), "node %2u (perf %4.2f) |", N.id(),
+                  N.relPerf());
+    Out += Buf;
+    Out += Row;
+    Out += "|\n";
+  }
+
+  Out += "legend:";
+  for (const auto &P : D.placements()) {
+    std::snprintf(Buf, sizeof(Buf), " %c=%s[%lld,%lld)",
+                  LabelOf[P.TaskId], J.task(P.TaskId).Name.c_str(),
+                  static_cast<long long>(P.Start),
+                  static_cast<long long>(P.End));
+    Out += Buf;
+  }
+  if (Options.ShowForeignLoad)
+    Out += "  #=other reservations";
+  Out += "\n";
+  return Out;
+}

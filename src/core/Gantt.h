@@ -1,0 +1,47 @@
+//===-- core/Gantt.h - ASCII schedule rendering -----------------*- C++ -*-===//
+//
+// Part of CWS, a reproduction of Toporkov, "Application-Level and Job-Flow
+// Scheduling" (PaCT 2009). Distributed without any warranty.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// ASCII Gantt rendering of distributions — the textual equivalent of
+/// the paper's Fig. 2b timelines. One row per node; the job's tasks are
+/// labelled with letters, other reservations (background load, other
+/// jobs) show as '#'.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CWS_CORE_GANTT_H
+#define CWS_CORE_GANTT_H
+
+#include "core/Distribution.h"
+
+#include <cstddef>
+#include <string>
+
+namespace cws {
+
+class Grid;
+class Job;
+
+/// Rendering options.
+struct GanttOptions {
+  /// Characters available for the time axis.
+  size_t Width = 64;
+  /// Also draw nodes that carry no placement of this distribution.
+  bool ShowIdleNodes = false;
+  /// Draw reservations of other owners as '#'.
+  bool ShowForeignLoad = true;
+};
+
+/// Renders \p D on \p Env as a multi-line string, including a legend
+/// mapping letters to tasks. Time runs from 0 to the distribution's
+/// makespan (at least 1 tick).
+std::string renderGantt(const Job &J, const Grid &Env, const Distribution &D,
+                        const GanttOptions &Options = GanttOptions());
+
+} // namespace cws
+
+#endif // CWS_CORE_GANTT_H

@@ -1,0 +1,91 @@
+//===-- core/Scheduler.cpp - The critical works method --------------------===//
+//
+// Part of CWS, a reproduction of Toporkov, "Application-Level and Job-Flow
+// Scheduling" (PaCT 2009). Distributed without any warranty.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Scheduler.h"
+#include "job/Job.h"
+#include "support/Check.h"
+
+#include <algorithm>
+
+using namespace cws;
+
+ScheduleResult cws::scheduleJob(const Job &J, const Grid &Env,
+                                const Network &Net,
+                                const SchedulerConfig &Config, OwnerId Owner,
+                                Tick Now) {
+  CWS_CHECK(Owner != 0, "scheduling needs a non-zero owner id");
+  ScheduleResult Result;
+  if (J.taskCount() == 0) {
+    Result.Feasible = true;
+    return Result;
+  }
+  CWS_CHECK(J.isAcyclic(), "compound jobs must be acyclic");
+
+  Grid Scratch = Env;
+  DataPolicy Policy(Config.DataKind, Net, Config.DataConfig);
+  CostModel Cost(Scratch, Config.Costs);
+
+  AllocatorPolicy Alloc = Config.Alloc;
+  if (Alloc.CandidateNodes.empty())
+    for (const auto &N : Scratch.nodes())
+      Alloc.CandidateNodes.push_back(N.id());
+
+  ChainAllocator Allocator(J, Scratch, Policy, Cost, Alloc);
+
+  Tick Release = std::max(Now, J.release());
+  std::vector<bool> Assigned(J.taskCount(), false);
+  size_t Remaining = J.taskCount();
+  // Collision repair budget: when a later critical work cannot fit the
+  // windows left by earlier ones, the conflicting placed successors are
+  // released and rescheduled ("resolving collisions caused by conflicts
+  // between tasks of different critical works").
+  int Repairs = 0;
+  const int MaxRepairs = Config.RepairBudget;
+  while (Remaining > 0) {
+    CriticalWork Work = findCriticalWork(J, Assigned);
+    CWS_CHECK(!Work.TaskIds.empty(), "tasks remain but no critical work");
+    Result.Phases.push_back(Work);
+    if (Allocator.allocate(Work, Result.Dist, Release, J.deadline(), Owner,
+                           Result.Collisions)) {
+      for (unsigned TaskId : Work.TaskIds) {
+        Assigned[TaskId] = true;
+        --Remaining;
+      }
+      continue;
+    }
+
+    // The chain cannot meet its windows. Its placed successors impose
+    // the latest-finish bounds; free them and let later phases place
+    // them again around this chain.
+    std::vector<unsigned> Blockers;
+    for (unsigned TaskId : Work.TaskIds)
+      for (size_t EdgeIdx : J.outEdges(TaskId)) {
+        unsigned Succ = J.edge(EdgeIdx).Dst;
+        if (Result.Dist.find(Succ) &&
+            std::find(Blockers.begin(), Blockers.end(), Succ) ==
+                Blockers.end())
+          Blockers.push_back(Succ);
+      }
+    if (Blockers.empty() || Repairs >= MaxRepairs)
+      return Result; // Genuinely infeasible within the deadline.
+    ++Repairs;
+    for (unsigned Blocked : Blockers) {
+      std::optional<Placement> P = Result.Dist.remove(Blocked);
+      CWS_CHECK(P, "blocker vanished from the distribution");
+      bool Released =
+          Scratch.node(P->NodeId).timeline().release(P->Start, P->End, Owner);
+      CWS_CHECK(Released, "blocker had no reservation");
+      Assigned[Blocked] = false;
+      ++Remaining;
+      Result.Collisions.push_back({Blocked, P->NodeId, Owner, P->Start,
+                                   P->Start, CollisionResolution::Moved});
+    }
+  }
+  Result.Feasible =
+      Result.Dist.covers(J) && Result.Dist.makespan() <= J.deadline();
+  return Result;
+}

@@ -1,0 +1,215 @@
+//===-- core/Strategy.cpp - Scheduling strategies -------------------------===//
+//
+// Part of CWS, a reproduction of Toporkov, "Application-Level and Job-Flow
+// Scheduling" (PaCT 2009). Distributed without any warranty.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Strategy.h"
+#include "job/Coarsen.h"
+#include "job/Estimates.h"
+#include "job/Job.h"
+#include "support/Check.h"
+
+#include <cmath>
+
+#include <algorithm>
+#include <limits>
+
+using namespace cws;
+
+const char *cws::strategyName(StrategyKind Kind) {
+  switch (Kind) {
+  case StrategyKind::S1:
+    return "S1";
+  case StrategyKind::S2:
+    return "S2";
+  case StrategyKind::S3:
+    return "S3";
+  case StrategyKind::MS1:
+    return "MS1";
+  }
+  CWS_UNREACHABLE("unknown strategy kind");
+}
+
+DataPolicyKind cws::strategyDataPolicy(StrategyKind Kind) {
+  switch (Kind) {
+  case StrategyKind::S1:
+  case StrategyKind::MS1:
+    return DataPolicyKind::ActiveReplication;
+  case StrategyKind::S2:
+    return DataPolicyKind::RemoteAccess;
+  case StrategyKind::S3:
+    return DataPolicyKind::StaticStorage;
+  }
+  CWS_UNREACHABLE("unknown strategy kind");
+}
+
+bool cws::strategyBestWorstOnly(StrategyKind Kind) {
+  return Kind == StrategyKind::MS1;
+}
+
+/// Distinct node performances quantized to at most MaxLevels values
+/// (always keeping the fastest and the slowest).
+static std::vector<double> quantizeLevels(std::vector<double> Levels,
+                                          size_t MaxLevels) {
+  CWS_CHECK(MaxLevels >= 2, "need at least two estimation levels");
+  if (Levels.size() <= MaxLevels)
+    return Levels;
+  std::vector<double> Picked;
+  Picked.reserve(MaxLevels);
+  for (size_t I = 0; I < MaxLevels; ++I) {
+    size_t Idx = I * (Levels.size() - 1) / (MaxLevels - 1);
+    Picked.push_back(Levels[Idx]);
+  }
+  Picked.erase(std::unique(Picked.begin(), Picked.end()), Picked.end());
+  return Picked;
+}
+
+/// True when both distributions place every task identically.
+static bool sameDistribution(const Distribution &A, const Distribution &B) {
+  if (A.size() != B.size())
+    return false;
+  for (const auto &P : A.placements()) {
+    const Placement *Q = B.find(P.TaskId);
+    if (!Q || Q->NodeId != P.NodeId || Q->Start != P.Start || Q->End != P.End)
+      return false;
+  }
+  return true;
+}
+
+Strategy Strategy::build(const Job &J, const Grid &Env, const Network &Net,
+                         const StrategyConfig &Config, OwnerId Owner,
+                         Tick Now) {
+  Strategy S;
+  S.Kind = Config.Kind;
+  S.JobId = J.id();
+  S.BuiltAt = Now;
+  // S3 plans the job at coarse granularity: fewer, larger tasks and
+  // fewer data exchanges (the transformation keeps the QoS contract).
+  if (Config.Kind == StrategyKind::S3) {
+    CoarsenConfig CC;
+    CC.SiblingRounds = Config.CoarsenSiblingRounds;
+    CC.MaxMergedRef = Config.CoarsenMaxRef;
+    S.Scheduled = coarsenJob(J, CC).Coarse;
+  } else {
+    S.Scheduled = J;
+  }
+  // Restrict to the allowed node set (a domain), when given.
+  auto IsAllowed = [&Config](unsigned NodeId) {
+    return Config.AllowedNodes.empty() ||
+           std::find(Config.AllowedNodes.begin(), Config.AllowedNodes.end(),
+                     NodeId) != Config.AllowedNodes.end();
+  };
+  std::vector<double> NodePerfs;
+  for (const auto &N : Env.nodes())
+    if (IsAllowed(N.id()))
+      NodePerfs.push_back(N.relPerf());
+  CWS_CHECK(!NodePerfs.empty(), "no allowed nodes in the environment");
+  std::sort(NodePerfs.begin(), NodePerfs.end(), std::greater<double>());
+  NodePerfs.erase(std::unique(NodePerfs.begin(), NodePerfs.end(),
+                              [](double A, double B) {
+                                return std::abs(A - B) < 1e-12;
+                              }),
+                  NodePerfs.end());
+  S.Levels = quantizeLevels(std::move(NodePerfs), Config.MaxLevels);
+
+  std::vector<size_t> Covered;
+  if (strategyBestWorstOnly(Config.Kind) && S.Levels.size() > 2)
+    Covered = {0, S.Levels.size() - 1};
+  else
+    for (size_t I = 0; I < S.Levels.size(); ++I)
+      Covered.push_back(I);
+
+  for (size_t Level : Covered) {
+    // The variant for level L covers the event "every node faster than L
+    // is taken": it may only use nodes at or below that performance.
+    std::vector<unsigned> Candidates;
+    for (const auto &N : Env.nodes())
+      if (IsAllowed(N.id()) && N.relPerf() <= S.Levels[Level] + 1e-9)
+        Candidates.push_back(N.id());
+    if (Candidates.empty())
+      continue;
+
+    for (OptimizationBias Bias :
+         {OptimizationBias::Cost, OptimizationBias::Time}) {
+      SchedulerConfig SC;
+      SC.DataKind = strategyDataPolicy(Config.Kind);
+      SC.DataConfig = Config.DataConfig;
+      SC.Costs = Config.Costs;
+      SC.Alloc.CandidateNodes = Candidates;
+      SC.Alloc.Bias = Bias;
+      SC.Alloc.NodeSwitchPenalty =
+          Config.Kind == StrategyKind::S3 ? Config.CoarsePenalty : 0.0;
+      SC.Alloc.MaxFrontSize = Config.MaxFrontSize;
+
+      ScheduleVariant Variant{Level, S.Levels[Level], Bias,
+                              scheduleJob(S.Scheduled, Env, Net, SC, Owner,
+                                          Now)};
+
+      // Identical supporting schedules add no coverage; keep one.
+      bool Duplicate = false;
+      for (const auto &Existing : S.Variants)
+        if (Existing.feasible() == Variant.feasible() &&
+            sameDistribution(Existing.Result.Dist, Variant.Result.Dist)) {
+          Duplicate = true;
+          break;
+        }
+      if (!Duplicate)
+        S.Variants.push_back(std::move(Variant));
+    }
+  }
+  return S;
+}
+
+size_t Strategy::feasibleCount() const {
+  size_t Count = 0;
+  for (const auto &V : Variants)
+    if (V.feasible())
+      ++Count;
+  return Count;
+}
+
+const ScheduleVariant *Strategy::bestByCost() const {
+  const ScheduleVariant *Best = nullptr;
+  for (const auto &V : Variants) {
+    if (!V.feasible())
+      continue;
+    if (!Best ||
+        V.Result.Dist.economicCost() < Best->Result.Dist.economicCost())
+      Best = &V;
+  }
+  return Best;
+}
+
+const ScheduleVariant *Strategy::bestByTime() const {
+  const ScheduleVariant *Best = nullptr;
+  for (const auto &V : Variants) {
+    if (!V.feasible())
+      continue;
+    if (!Best || V.Result.Dist.makespan() < Best->Result.Dist.makespan())
+      Best = &V;
+  }
+  return Best;
+}
+
+const ScheduleVariant *Strategy::bestFitting(const Grid &Current,
+                                             OwnerId Ignore) const {
+  const ScheduleVariant *Best = nullptr;
+  for (const auto &V : Variants) {
+    if (!V.feasible() || !V.Result.Dist.fitsGrid(Current, Ignore))
+      continue;
+    if (!Best ||
+        V.Result.Dist.economicCost() < Best->Result.Dist.economicCost())
+      Best = &V;
+  }
+  return Best;
+}
+
+std::vector<CollisionRecord> Strategy::allCollisions() const {
+  std::vector<CollisionRecord> All;
+  for (const auto &V : Variants)
+    All.insert(All.end(), V.Result.Collisions.begin(),
+               V.Result.Collisions.end());
+  return All;
+}

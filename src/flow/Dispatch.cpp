@@ -1,0 +1,118 @@
+//===-- flow/Dispatch.cpp - Job-flow distribution across domains ----------===//
+//
+// Part of CWS, a reproduction of Toporkov, "Application-Level and Job-Flow
+// Scheduling" (PaCT 2009). Distributed without any warranty.
+//
+//===----------------------------------------------------------------------===//
+
+#include "flow/Dispatch.h"
+#include "support/Check.h"
+
+#include <limits>
+
+using namespace cws;
+
+const char *cws::dispatchPolicyName(DispatchPolicy Policy) {
+  switch (Policy) {
+  case DispatchPolicy::RoundRobin:
+    return "round-robin";
+  case DispatchPolicy::LeastLoaded:
+    return "least-loaded";
+  case DispatchPolicy::LeastForecast:
+    return "least-forecast";
+  case DispatchPolicy::CheapestBid:
+    return "cheapest-bid";
+  }
+  CWS_UNREACHABLE("unknown dispatch policy");
+}
+
+DomainDispatcher::DomainDispatcher(Grid &Env, const Network &Net,
+                                   StrategyConfig Config,
+                                   std::vector<Domain> Domains,
+                                   DispatchPolicy Policy)
+    : Env(Env), Net(Net), Config(std::move(Config)),
+      Domains(std::move(Domains)), Policy(Policy), Forecaster(Env.size()) {
+  CWS_CHECK(!this->Domains.empty(), "dispatcher needs domains");
+  for (const auto &D : this->Domains)
+    CWS_CHECK(!D.NodeIds.empty(), "dispatcher domains must be non-empty");
+}
+
+Strategy DomainDispatcher::buildOn(const Job &J, const Domain &D,
+                                   OwnerId Owner, Tick Now) const {
+  StrategyConfig Restricted = Config;
+  Restricted.AllowedNodes = D.NodeIds;
+  return Strategy::build(J, Env, Net, Restricted, Owner, Now);
+}
+
+void DomainDispatcher::observeLoad(Tick Now, Tick Window) {
+  Forecaster.observe(Env, Now > Window ? Now - Window : 0,
+                     std::max<Tick>(Now, 1));
+}
+
+DispatchDecision DomainDispatcher::dispatch(const Job &J, OwnerId Owner,
+                                            Tick Now) {
+  DispatchDecision Decision;
+  switch (Policy) {
+  case DispatchPolicy::RoundRobin:
+    Decision.DomainIdx = NextRoundRobin;
+    NextRoundRobin = (NextRoundRobin + 1) % Domains.size();
+    break;
+
+  case DispatchPolicy::LeastLoaded: {
+    double Best = std::numeric_limits<double>::max();
+    for (size_t I = 0; I < Domains.size(); ++I) {
+      double Load = domainBookedLoad(Env, Domains[I], Now,
+                                     std::max(J.deadline(), Now + 1));
+      if (Load < Best) {
+        Best = Load;
+        Decision.DomainIdx = I;
+      }
+    }
+    break;
+  }
+
+  case DispatchPolicy::LeastForecast: {
+    double Best = std::numeric_limits<double>::max();
+    for (size_t I = 0; I < Domains.size(); ++I) {
+      double Load = Forecaster.domainForecast(Domains[I]);
+      if (Load < Best) {
+        Best = Load;
+        Decision.DomainIdx = I;
+      }
+    }
+    break;
+  }
+
+  case DispatchPolicy::CheapestBid: {
+    // Economic tender: every node manager offers its cheapest
+    // admissible supporting schedule; the metascheduler takes the
+    // lowest bid. The winner's strategy is reused, so losing domains
+    // cost only their generation time.
+    double BestBid = std::numeric_limits<double>::max();
+    std::optional<Strategy> Winner;
+    for (size_t I = 0; I < Domains.size(); ++I) {
+      Strategy S = buildOn(J, Domains[I], Owner, Now);
+      double Bid = std::numeric_limits<double>::infinity();
+      if (const ScheduleVariant *Best = S.bestByCost())
+        Bid = Best->Result.Dist.economicCost();
+      Decision.Bids.push_back(Bid);
+      if (Bid < BestBid) {
+        BestBid = Bid;
+        Decision.DomainIdx = I;
+        Winner = std::move(S);
+      }
+    }
+    if (Winner) {
+      Decision.S = std::move(*Winner);
+      return Decision;
+    }
+    // No admissible bid anywhere: return the first domain's strategy
+    // so the caller still sees the (inadmissible) result.
+    Decision.DomainIdx = 0;
+    break;
+  }
+  }
+
+  Decision.S = buildOn(J, Domains[Decision.DomainIdx], Owner, Now);
+  return Decision;
+}

@@ -1,0 +1,44 @@
+//===-- flow/Domain.cpp - Processor node domains ---------------------------===//
+//
+// Part of CWS, a reproduction of Toporkov, "Application-Level and Job-Flow
+// Scheduling" (PaCT 2009). Distributed without any warranty.
+//
+//===----------------------------------------------------------------------===//
+
+#include "flow/Domain.h"
+#include "support/Check.h"
+
+using namespace cws;
+
+std::vector<Domain> cws::partitionByGroup(const Grid &Env) {
+  std::vector<Domain> Domains;
+  for (PerfGroup Group :
+       {PerfGroup::Fast, PerfGroup::Medium, PerfGroup::Slow}) {
+    std::vector<unsigned> Ids = Env.idsInGroup(Group);
+    if (Ids.empty())
+      continue;
+    Domains.push_back({perfGroupName(Group), std::move(Ids)});
+  }
+  return Domains;
+}
+
+std::vector<Domain> cws::partitionStriped(const Grid &Env, size_t Count) {
+  CWS_CHECK(Count >= 1, "need at least one domain");
+  Count = std::min(Count, Env.size());
+  std::vector<Domain> Domains(Count);
+  for (size_t I = 0; I < Count; ++I)
+    Domains[I].Name = "stripe-" + std::to_string(I);
+  std::vector<unsigned> ByPerf = Env.idsByPerf();
+  for (size_t I = 0; I < ByPerf.size(); ++I)
+    Domains[I % Count].NodeIds.push_back(ByPerf[I]);
+  return Domains;
+}
+
+double cws::domainBookedLoad(const Grid &Env, const Domain &D, Tick From,
+                             Tick To) {
+  CWS_CHECK(!D.NodeIds.empty(), "empty domain");
+  double Sum = 0.0;
+  for (unsigned NodeId : D.NodeIds)
+    Sum += Env.node(NodeId).timeline().utilization(From, To);
+  return Sum / static_cast<double>(D.NodeIds.size());
+}

@@ -1,0 +1,56 @@
+//===-- flow/Domain.h - Processor node domains ------------------*- C++ -*-===//
+//
+// Part of CWS, a reproduction of Toporkov, "Application-Level and Job-Flow
+// Scheduling" (PaCT 2009). Distributed without any warranty.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Processor node domains of the hierarchical framework (Fig. 1):
+/// "processor nodes with the similar architecture, contents,
+/// administrating policy are grouped together under the node manager
+/// control". The metascheduler distributes job-flows between domains.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CWS_FLOW_DOMAIN_H
+#define CWS_FLOW_DOMAIN_H
+
+#include "resource/Grid.h"
+#include "sim/Time.h"
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace cws {
+
+/// A named subset of the grid under one node manager.
+struct Domain {
+  std::string Name;
+  std::vector<unsigned> NodeIds;
+
+  bool contains(unsigned NodeId) const {
+    for (unsigned Id : NodeIds)
+      if (Id == NodeId)
+        return true;
+    return false;
+  }
+};
+
+/// One domain per performance group (fast / medium / slow); empty
+/// groups are omitted.
+std::vector<Domain> partitionByGroup(const Grid &Env);
+
+/// \p Count domains of near-equal size, nodes dealt round-robin in
+/// descending performance so every domain gets a slice of each tier.
+std::vector<Domain> partitionStriped(const Grid &Env, size_t Count);
+
+/// Booked utilization of a domain over [From, To): the mean of its
+/// nodes' timeline utilizations. This is the forward-looking load the
+/// reservation calendars already know about.
+double domainBookedLoad(const Grid &Env, const Domain &D, Tick From, Tick To);
+
+} // namespace cws
+
+#endif // CWS_FLOW_DOMAIN_H

@@ -1,0 +1,87 @@
+//===-- flow/Execution.h - Executing committed schedules --------*- C++ -*-===//
+//
+// Part of CWS, a reproduction of Toporkov, "Application-Level and Job-Flow
+// Scheduling" (PaCT 2009). Distributed without any warranty.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Execution of a committed distribution under runtime deviations: the
+/// paper stresses that "actual solving time Ti for a task can be
+/// different from user estimation Tij". Tasks may finish early (a
+/// successor starts sooner when its data is ready and its node has an
+/// unreserved lead-in gap) or overrun their wall time (the local system
+/// grants a short extension only into unreserved time — otherwise the
+/// task is killed at its limit and the job fails). Reservations are
+/// hard boundaries: even the job's own calendar is never violated. The
+/// result quantifies schedule reliability and completion-forecast error.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CWS_FLOW_EXECUTION_H
+#define CWS_FLOW_EXECUTION_H
+
+#include "core/Distribution.h"
+#include "resource/DataPolicy.h"
+#include "support/Prng.h"
+
+#include <cstddef>
+#include <vector>
+
+namespace cws {
+
+class Grid;
+class Job;
+class Network;
+
+/// Runtime deviation model: a task's actual duration is its reserved
+/// wall time scaled by a uniform factor in [FactorLo, FactorHi]
+/// (at least one tick).
+struct ExecutionConfig {
+  double FactorLo = 0.6;
+  double FactorHi = 1.0;
+  /// Longest wall-time extension a local system will grant an
+  /// overrunning task (0 = kill exactly at the limit).
+  Tick MaxExtension = 4;
+  /// Data policy the schedule was planned with; execution transfers are
+  /// additionally bounded by each edge's planned gap (the plan already
+  /// proved the data can arrive within it).
+  DataPolicyKind DataKind = DataPolicyKind::RemoteAccess;
+  DataPolicyConfig DataConfig;
+};
+
+/// Actual run of one task.
+struct TaskExecution {
+  unsigned TaskId = 0;
+  unsigned NodeId = 0;
+  Tick Start = 0;
+  Tick End = 0;
+  bool Overran = false;
+  bool Killed = false;
+};
+
+/// Outcome of executing one distribution.
+struct ExecutionResult {
+  std::vector<TaskExecution> Tasks;
+  /// When the last task actually finished (0 when killed early).
+  Tick Completion = 0;
+  bool Succeeded = false;
+  bool MetDeadline = false;
+  size_t EarlyFinishes = 0;
+  size_t Overruns = 0;
+  size_t Kills = 0;
+  /// Planned completion minus actual completion (positive = early).
+  Tick CompletionGain = 0;
+};
+
+/// Executes \p D for \p J against the calendars of \p Env (typically
+/// with D committed, though execution only *reads* the timelines: it
+/// checks lead-in gaps and extension grants, never reserves). \p Rng
+/// drives the per-task duration factors.
+ExecutionResult executeDistribution(const Job &J, const Distribution &D,
+                                    const Grid &Env, Prng &Rng,
+                                    const ExecutionConfig &Config = {});
+
+} // namespace cws
+
+#endif // CWS_FLOW_EXECUTION_H

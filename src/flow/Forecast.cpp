@@ -1,0 +1,40 @@
+//===-- flow/Forecast.cpp - Node load level forecasting --------------------===//
+//
+// Part of CWS, a reproduction of Toporkov, "Application-Level and Job-Flow
+// Scheduling" (PaCT 2009). Distributed without any warranty.
+//
+//===----------------------------------------------------------------------===//
+
+#include "flow/Forecast.h"
+#include "support/Check.h"
+
+using namespace cws;
+
+LoadForecaster::LoadForecaster(size_t NodeCount, double Alpha)
+    : Alpha(Alpha), Level(NodeCount, 0.0) {
+  CWS_CHECK(Alpha > 0.0 && Alpha <= 1.0, "alpha must be in (0, 1]");
+}
+
+void LoadForecaster::observe(const Grid &Env, Tick From, Tick To) {
+  CWS_CHECK(Env.size() == Level.size(), "grid size changed under forecaster");
+  CWS_CHECK(From < To, "empty observation window");
+  for (const auto &N : Env.nodes()) {
+    double U = N.timeline().utilization(From, To);
+    double &L = Level[N.id()];
+    L = Observations == 0 ? U : Alpha * U + (1.0 - Alpha) * L;
+  }
+  ++Observations;
+}
+
+double LoadForecaster::forecast(unsigned NodeId) const {
+  CWS_CHECK(NodeId < Level.size(), "node id out of range");
+  return Level[NodeId];
+}
+
+double LoadForecaster::domainForecast(const Domain &D) const {
+  CWS_CHECK(!D.NodeIds.empty(), "empty domain");
+  double Sum = 0.0;
+  for (unsigned NodeId : D.NodeIds)
+    Sum += forecast(NodeId);
+  return Sum / static_cast<double>(D.NodeIds.size());
+}

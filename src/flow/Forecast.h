@@ -1,0 +1,55 @@
+//===-- flow/Forecast.h - Node load level forecasting -----------*- C++ -*-===//
+//
+// Part of CWS, a reproduction of Toporkov, "Application-Level and Job-Flow
+// Scheduling" (PaCT 2009). Distributed without any warranty.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Node load-level forecasting — the Section-5 future-work item
+/// ("local processor nodes load level forecasting methods
+/// development"). An exponentially weighted moving average of observed
+/// per-node utilization; the dispatcher can steer job-flows by forecast
+/// instead of by the instantaneous reservation calendar.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CWS_FLOW_FORECAST_H
+#define CWS_FLOW_FORECAST_H
+
+#include "flow/Domain.h"
+#include "resource/Grid.h"
+#include "sim/Time.h"
+
+#include <cstddef>
+#include <vector>
+
+namespace cws {
+
+/// EWMA load forecaster over the nodes of one grid.
+class LoadForecaster {
+public:
+  /// \p Alpha is the EWMA smoothing weight of the newest observation.
+  explicit LoadForecaster(size_t NodeCount, double Alpha = 0.3);
+
+  /// Feeds the utilization of every node over the window [From, To).
+  void observe(const Grid &Env, Tick From, Tick To);
+
+  /// Forecast load level of one node in [0, 1]; 0 before any
+  /// observation.
+  double forecast(unsigned NodeId) const;
+
+  /// Mean forecast over a domain's nodes.
+  double domainForecast(const Domain &D) const;
+
+  size_t observations() const { return Observations; }
+
+private:
+  double Alpha;
+  std::vector<double> Level;
+  size_t Observations = 0;
+};
+
+} // namespace cws
+
+#endif // CWS_FLOW_FORECAST_H

@@ -1,0 +1,186 @@
+//===-- flow/JobManager.cpp - Per-flow job managers -----------------------===//
+//
+// Part of CWS, a reproduction of Toporkov, "Application-Level and Job-Flow
+// Scheduling" (PaCT 2009). Distributed without any warranty.
+//
+//===----------------------------------------------------------------------===//
+
+#include "flow/JobManager.h"
+#include "core/Shift.h"
+#include "support/Check.h"
+
+using namespace cws;
+
+bool JobManager::onArrival(const Job &J, Tick Now) {
+  Strategy S = Meta.buildStrategy(J, Now);
+
+  VoJobStats St;
+  St.JobId = J.id();
+  St.Arrival = Now;
+  St.Deadline = J.deadline();
+  St.Admissible = S.admissible();
+
+  size_t ForecastVariant = SIZE_MAX;
+  if (const ScheduleVariant *Best = S.bestByCost()) {
+    St.ForecastStart = Best->Result.Dist.startTime();
+    St.Collisions = Best->Result.Collisions.size();
+    ForecastVariant = static_cast<size_t>(Best - S.variants().data());
+  }
+  Stats.push_back(St);
+
+  if (!St.Admissible) {
+    // Nothing will ever run; the strategy was dead on arrival.
+    Stats.back().TtlClosed = true;
+    return false;
+  }
+  ActiveJob A{J, std::move(S), Stats.size() - 1, ForecastVariant};
+  Active.emplace(J.id(), std::move(A));
+  return true;
+}
+
+std::optional<Tick> JobManager::onNegotiation(unsigned JobId, Tick Now) {
+  auto It = Active.find(JobId);
+  CWS_CHECK(It != Active.end(), "negotiation for an unknown job");
+  ActiveJob &A = It->second;
+  VoJobStats &St = statsOf(A);
+  OwnerId Owner = Metascheduler::ownerOf(JobId);
+
+  const ScheduleVariant *Pick = A.S.bestFitting(Meta.grid(), Owner);
+  if (!Pick) {
+    // The whole arrival-time strategy went stale during negotiation:
+    // close its TTL.
+    if (!St.TtlClosed) {
+      St.Ttl = Now - St.Arrival;
+      St.TtlClosed = true;
+    }
+    // Cheapest recovery first: shift a stale supporting schedule as a
+    // whole — structure and co-allocation survive, only the start
+    // moves.
+    const ScheduleVariant *ShiftBase = nullptr;
+    Tick BestShift = 0;
+    double BestCost = 0.0;
+    for (const auto &V : A.S.variants()) {
+      if (!V.feasible())
+        continue;
+      std::optional<Tick> Delta = minimalFeasibleShift(
+          V.Result.Dist, Meta.grid(), A.TheJob.deadline(), Owner);
+      if (!Delta)
+        continue;
+      double Cost = V.Result.Dist.economicCost();
+      if (!ShiftBase || Cost < BestCost) {
+        ShiftBase = &V;
+        BestShift = *Delta;
+        BestCost = Cost;
+      }
+    }
+    if (ShiftBase) {
+      Distribution Shifted =
+          shiftDistribution(ShiftBase->Result.Dist, BestShift);
+      if (Meta.commitDistribution(A.TheJob, Shifted, UserId)) {
+        St.Committed = true;
+        St.Switched = true;
+        St.ShiftRecovered = true;
+        St.CommitShift = BestShift;
+        St.ActualStart = Shifted.startTime();
+        St.Completion = Shifted.makespan();
+        St.Cost = Shifted.economicCost();
+        St.Cf = Shifted.costFunction(A.S.scheduledJob());
+        A.Committed = true;
+        runExecution(A, Shifted);
+        return St.Completion;
+      }
+    }
+    // Shifting failed: ask the metascheduler for a full reallocation.
+    Strategy Fresh = Meta.reallocate(A.TheJob, Now);
+    if (!Fresh.admissible()) {
+      St.Rejected = true;
+      A.Done = true;
+      maybeRetire(JobId);
+      return std::nullopt;
+    }
+    A.S = std::move(Fresh);
+    A.ForecastVariant = SIZE_MAX;
+    St.Reallocated = true;
+    Pick = A.S.bestByCost();
+    CWS_CHECK(Pick, "admissible strategy without a cheapest variant");
+  }
+
+  size_t PickIdx = static_cast<size_t>(Pick - A.S.variants().data());
+  if (St.Reallocated || PickIdx != A.ForecastVariant)
+    St.Switched = true;
+
+  if (!Meta.commit(A.TheJob, *Pick, UserId)) {
+    // Out of quota or raced by a same-tick reservation.
+    St.Rejected = true;
+    if (!St.TtlClosed) {
+      St.Ttl = Now - St.Arrival;
+      St.TtlClosed = true;
+    }
+    A.Done = true;
+    maybeRetire(JobId);
+    return std::nullopt;
+  }
+
+  St.Committed = true;
+  St.ActualStart = Pick->Result.Dist.startTime();
+  St.Completion = Pick->Result.Dist.makespan();
+  St.Cost = Pick->Result.Dist.economicCost();
+  St.Cf = Pick->Result.Dist.costFunction(A.S.scheduledJob());
+  A.Committed = true;
+  runExecution(A, Pick->Result.Dist);
+  return St.Completion;
+}
+
+void JobManager::runExecution(ActiveJob &A, const Distribution &D) {
+  if (!ExecEnabled)
+    return;
+  ExecutionConfig Config = Exec;
+  Config.DataKind = strategyDataPolicy(A.S.kind());
+  ExecutionResult R =
+      executeDistribution(A.S.scheduledJob(), D, Meta.grid(), ExecRng,
+                          Config);
+  VoJobStats &St = statsOf(A);
+  St.ActualCompletion = R.Completion;
+  St.ExecutionKilled = !R.Succeeded;
+}
+
+void JobManager::onEnvironmentChange(Tick Now) {
+  std::vector<unsigned> Retire;
+  for (auto &[JobId, A] : Active) {
+    VoJobStats &St = statsOf(A);
+    if (St.TtlClosed)
+      continue;
+    if (!A.S.bestFitting(Meta.grid(), Metascheduler::ownerOf(JobId))) {
+      St.Ttl = Now - St.Arrival;
+      St.TtlClosed = true;
+      if (A.Done)
+        Retire.push_back(JobId);
+    }
+  }
+  for (unsigned JobId : Retire)
+    maybeRetire(JobId);
+}
+
+void JobManager::onCompletion(unsigned JobId, Tick Now) {
+  auto It = Active.find(JobId);
+  CWS_CHECK(It != Active.end(), "completion for an unknown job");
+  ActiveJob &A = It->second;
+  VoJobStats &St = statsOf(A);
+  CWS_CHECK(St.Committed, "completion of an uncommitted job");
+  if (!St.TtlClosed) {
+    // The strategy outlived the job; its TTL is capped at completion.
+    St.Ttl = Now - St.Arrival;
+    St.TtlClosed = true;
+  }
+  A.Done = true;
+  maybeRetire(JobId);
+}
+
+void JobManager::maybeRetire(unsigned JobId) {
+  auto It = Active.find(JobId);
+  if (It == Active.end())
+    return;
+  const ActiveJob &A = It->second;
+  if (A.Done && Stats[A.StatsIdx].TtlClosed)
+    Active.erase(It);
+}

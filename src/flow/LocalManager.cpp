@@ -1,0 +1,69 @@
+//===-- flow/LocalManager.cpp - Local batch management --------------------===//
+//
+// Part of CWS, a reproduction of Toporkov, "Application-Level and Job-Flow
+// Scheduling" (PaCT 2009). Distributed without any warranty.
+//
+//===----------------------------------------------------------------------===//
+
+#include "flow/LocalManager.h"
+#include "support/Check.h"
+
+#include <limits>
+
+using namespace cws;
+
+const char *cws::localQueuePolicyName(LocalQueuePolicy Policy) {
+  switch (Policy) {
+  case LocalQueuePolicy::Immediate:
+    return "immediate";
+  case LocalQueuePolicy::StrictFcfs:
+    return "strict-fcfs";
+  }
+  CWS_UNREACHABLE("unknown local queue policy");
+}
+
+LocalManager::LocalManager(Grid &Env, Domain D, LocalQueuePolicy Policy,
+                           Tick MaxLookahead)
+    : Env(Env), D(std::move(D)), Policy(Policy), MaxLookahead(MaxLookahead) {
+  CWS_CHECK(!this->D.NodeIds.empty(), "local manager needs nodes");
+  CWS_CHECK(MaxLookahead >= 0, "negative lookahead");
+}
+
+bool LocalManager::reserveAdvance(unsigned NodeId, Tick Begin, Tick End,
+                                  OwnerId Owner) {
+  if (!D.contains(NodeId))
+    return false;
+  return Env.node(NodeId).timeline().reserve(Begin, End, Owner);
+}
+
+std::optional<LocalPlacement> LocalManager::submitLocal(Tick Now, Tick Dur,
+                                                        OwnerId Owner) {
+  CWS_CHECK(Dur > 0, "local job needs a positive duration");
+  Tick NotBefore = Now;
+  if (Policy == LocalQueuePolicy::StrictFcfs)
+    NotBefore = std::max(NotBefore, QueueFront);
+
+  // Best node: the earliest start across the domain; ties go to the
+  // first node in the domain order.
+  unsigned BestNode = 0;
+  Tick BestStart = std::numeric_limits<Tick>::max();
+  for (unsigned NodeId : D.NodeIds) {
+    Tick Start = Env.node(NodeId).timeline().earliestFit(NotBefore, Dur);
+    if (Start < BestStart) {
+      BestStart = Start;
+      BestNode = NodeId;
+    }
+  }
+  if (BestStart - Now > MaxLookahead) {
+    ++Rejected;
+    return std::nullopt;
+  }
+  bool Ok = Env.node(BestNode).timeline().reserve(BestStart, BestStart + Dur,
+                                                  Owner);
+  CWS_CHECK(Ok, "earliestFit returned an occupied slot");
+  if (Policy == LocalQueuePolicy::StrictFcfs)
+    QueueFront = std::max(QueueFront, BestStart);
+  ++Placed;
+  TotalWait += static_cast<double>(BestStart - Now);
+  return LocalPlacement{BestNode, BestStart, BestStart + Dur};
+}

@@ -1,0 +1,93 @@
+//===-- flow/LocalManager.h - Local batch management ------------*- C++ -*-===//
+//
+// Part of CWS, a reproduction of Toporkov, "Application-Level and Job-Flow
+// Scheduling" (PaCT 2009). Distributed without any warranty.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The local batch-job management system of one domain — Fig. 1's
+/// bottom layer and the subject of Section 5's "simulation approach of
+/// local job passing": it owns admission to its nodes' timelines. The
+/// metascheduler asks it for advance reservations (the placements of a
+/// committed distribution); local users submit single-node jobs that
+/// are placed according to the local queue policy. The policy choice is
+/// what the paper's future work asks about: how does local queue
+/// management interact with the QoS of the global job flows?
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CWS_FLOW_LOCALMANAGER_H
+#define CWS_FLOW_LOCALMANAGER_H
+
+#include "flow/Domain.h"
+#include "resource/Grid.h"
+#include "sim/Time.h"
+
+#include <cstddef>
+#include <optional>
+
+namespace cws {
+
+/// How a local manager places the jobs of its own users.
+enum class LocalQueuePolicy {
+  /// Every job books the earliest gap on the best node immediately —
+  /// aggressive gap filling (EASY-backfill-like for single-node jobs).
+  Immediate,
+  /// Strict FCFS: a job never starts before the job submitted before it
+  /// (no jumping into earlier gaps), which leaves holes unused.
+  StrictFcfs,
+};
+
+/// Short name ("immediate" / "strict-fcfs").
+const char *localQueuePolicyName(LocalQueuePolicy Policy);
+
+/// One booked local job.
+struct LocalPlacement {
+  unsigned NodeId;
+  Tick Start;
+  Tick End;
+};
+
+/// Local batch manager of one domain.
+class LocalManager {
+public:
+  /// \p MaxLookahead: a local job whose earliest start lies further
+  /// than this beyond its submission is rejected ("queue full").
+  LocalManager(Grid &Env, Domain D, LocalQueuePolicy Policy,
+               Tick MaxLookahead = 400);
+
+  /// Metascheduler-side advance reservation on a specific node; fails
+  /// when the node is outside this domain or the slot is taken.
+  bool reserveAdvance(unsigned NodeId, Tick Begin, Tick End, OwnerId Owner);
+
+  /// Local-user submission at \p Now for \p Dur ticks on one node.
+  /// Returns the booked placement, or std::nullopt when rejected.
+  std::optional<LocalPlacement> submitLocal(Tick Now, Tick Dur,
+                                            OwnerId Owner);
+
+  const Domain &domain() const { return D; }
+  LocalQueuePolicy policy() const { return Policy; }
+
+  /// Aggregate statistics over the local submissions so far.
+  size_t placed() const { return Placed; }
+  size_t rejected() const { return Rejected; }
+  double meanLocalWait() const {
+    return Placed ? TotalWait / static_cast<double>(Placed) : 0.0;
+  }
+
+private:
+  Grid &Env;
+  Domain D;
+  LocalQueuePolicy Policy;
+  Tick MaxLookahead;
+  /// StrictFcfs: no later submission may start before this.
+  Tick QueueFront = 0;
+  size_t Placed = 0;
+  size_t Rejected = 0;
+  double TotalWait = 0.0;
+};
+
+} // namespace cws
+
+#endif // CWS_FLOW_LOCALMANAGER_H

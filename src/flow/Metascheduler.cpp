@@ -1,0 +1,35 @@
+//===-- flow/Metascheduler.cpp - Job-flow metascheduler -------------------===//
+//
+// Part of CWS, a reproduction of Toporkov, "Application-Level and Job-Flow
+// Scheduling" (PaCT 2009). Distributed without any warranty.
+//
+//===----------------------------------------------------------------------===//
+
+#include "flow/Metascheduler.h"
+#include "job/Job.h"
+#include "support/Check.h"
+
+using namespace cws;
+
+bool Metascheduler::commit(const Job &J, const ScheduleVariant &Variant,
+                           unsigned UserId) {
+  CWS_CHECK(Variant.feasible(), "committing an infeasible variant");
+  return commitDistribution(J, Variant.Result.Dist, UserId);
+}
+
+bool Metascheduler::commitDistribution(const Job &J, const Distribution &D,
+                                       unsigned UserId) {
+  double Cost = D.economicCost();
+  if (!Econ.canAfford(UserId, Cost))
+    return false;
+  if (!D.commit(Env, ownerOf(J.id())))
+    return false;
+  bool Charged = Econ.charge(UserId, Cost);
+  CWS_CHECK(Charged, "charge failed after affordability check");
+  return true;
+}
+
+Strategy Metascheduler::reallocate(const Job &J, Tick Now) {
+  Env.releaseOwner(ownerOf(J.id()));
+  return buildStrategy(J, Now);
+}

@@ -1,0 +1,73 @@
+//===-- flow/Metascheduler.h - Job-flow metascheduler -----------*- C++ -*-===//
+//
+// Part of CWS, a reproduction of Toporkov, "Application-Level and Job-Flow
+// Scheduling" (PaCT 2009). Distributed without any warranty.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The metascheduler at the top of the hierarchical framework (Fig. 1):
+/// it builds strategies for incoming jobs against the current
+/// environment, owns the owner-id space that ties reservations to jobs,
+/// commits chosen supporting schedules (charging the quota economy) and
+/// serves reallocation requests when a job's strategy goes stale.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CWS_FLOW_METASCHEDULER_H
+#define CWS_FLOW_METASCHEDULER_H
+
+#include "core/Strategy.h"
+#include "flow/Economy.h"
+#include "job/Job.h"
+#include "resource/Grid.h"
+#include "resource/Network.h"
+
+namespace cws {
+
+/// First owner id handed to compound jobs; background load and other
+/// reserved owners live below it.
+inline constexpr OwnerId JobOwnerBase = 1000;
+
+/// Top-level dispatcher of the scheduling framework.
+class Metascheduler {
+public:
+  Metascheduler(Grid &Env, const Network &Net, Economy &Econ,
+                StrategyConfig Config)
+      : Env(Env), Net(Net), Econ(Econ), Config(Config) {}
+
+  /// Owner id a job's reservations use.
+  static OwnerId ownerOf(unsigned JobId) { return JobOwnerBase + JobId; }
+
+  /// Builds the flow's strategy for \p J against the current load.
+  Strategy buildStrategy(const Job &J, Tick Now) const {
+    return Strategy::build(J, Env, Net, Config, ownerOf(J.id()), Now);
+  }
+
+  /// Commits \p Variant's distribution for \p J if user \p UserId can
+  /// pay and every slot is still free; charges the economy on success.
+  bool commit(const Job &J, const ScheduleVariant &Variant, unsigned UserId);
+
+  /// Commits an explicit distribution (e.g. a shifted supporting
+  /// schedule produced by the negotiation layer) under the same rules.
+  bool commitDistribution(const Job &J, const Distribution &D,
+                          unsigned UserId);
+
+  /// Reallocation: drops any reservations \p J holds and rebuilds its
+  /// strategy from the current environment state.
+  Strategy reallocate(const Job &J, Tick Now);
+
+  Grid &grid() { return Env; }
+  const Grid &grid() const { return Env; }
+  const StrategyConfig &strategyConfig() const { return Config; }
+
+private:
+  Grid &Env;
+  const Network &Net;
+  Economy &Econ;
+  StrategyConfig Config;
+};
+
+} // namespace cws
+
+#endif // CWS_FLOW_METASCHEDULER_H

@@ -1,0 +1,149 @@
+//===-- flow/VirtualOrganization.cpp - Two-level VO simulation ------------===//
+//
+// Part of CWS, a reproduction of Toporkov, "Application-Level and Job-Flow
+// Scheduling" (PaCT 2009). Distributed without any warranty.
+//
+//===----------------------------------------------------------------------===//
+
+#include "flow/VirtualOrganization.h"
+#include "flow/Economy.h"
+#include "flow/Metascheduler.h"
+#include "resource/Network.h"
+#include "sim/Simulator.h"
+#include "support/Check.h"
+
+#include <algorithm>
+#include <array>
+#include <memory>
+
+using namespace cws;
+
+std::vector<VoRunResult>
+cws::runMultiFlowVo(const VoConfig &Config,
+                    const std::vector<StrategyKind> &Kinds, uint64_t Seed) {
+  CWS_CHECK(!Kinds.empty(), "need at least one flow");
+  Prng Root(Seed);
+  Grid Env = Grid::makeRandom(Config.GridCfg, Root);
+  Network Net;
+  Economy Econ;
+
+  // One metascheduler strategy profile, one job manager and one quota
+  // account per flow.
+  std::vector<std::unique_ptr<Metascheduler>> Metas;
+  std::vector<std::unique_ptr<JobManager>> Managers;
+  for (StrategyKind Kind : Kinds) {
+    StrategyConfig SC = Config.Strategy;
+    SC.Kind = Kind;
+    unsigned User = Econ.addUser(Config.UserQuota);
+    Metas.push_back(std::make_unique<Metascheduler>(Env, Net, Econ, SC));
+    Managers.push_back(std::make_unique<JobManager>(*Metas.back(), User));
+  }
+
+  Simulator Sim;
+  if (Config.ExecuteWithDeviations)
+    for (auto &M : Managers)
+      M->enableExecution(Config.Execution, Root.fork());
+  Prng ArrivalRng = Root.fork();
+  Prng NegotiationRng = Root.fork();
+  Prng BackgroundRng = Root.fork();
+  JobGenerator Gen(Config.Workload, Root.next());
+
+  // Pre-generate the flow so the arrival schedule is independent of the
+  // strategy types under test.
+  std::vector<Job> Flow;
+  Flow.reserve(Config.JobCount);
+  Tick At = 0;
+  for (size_t I = 0; I < Config.JobCount; ++I) {
+    At += ArrivalRng.uniformInt(Config.InterarrivalLo,
+                                Config.InterarrivalHi);
+    Flow.push_back(Gen.next(At));
+  }
+  Tick LastArrival = Flow.empty() ? 0 : Flow.back().release();
+
+  // Background flows run past the last arrival so every strategy's TTL
+  // has a chance to close.
+  Tick BackgroundUntil = LastArrival + 600;
+  BackgroundLoad Background(Env, Sim, Config.Background, BackgroundRng);
+  Background.setObserver([&Managers](Tick Now) {
+    for (auto &M : Managers)
+      M->onEnvironmentChange(Now);
+  });
+  Background.start(BackgroundUntil);
+
+  // Deal jobs to the flows round-robin.
+  std::vector<size_t> FlowOf(Config.JobCount, 0);
+  for (size_t I = 0; I < Flow.size(); ++I) {
+    size_t F = I % Kinds.size();
+    FlowOf[Flow[I].id()] = F;
+    JobManager &Manager = *Managers[F];
+    const Job &J = Flow[I];
+    Tick Delay = NegotiationRng.uniformInt(Config.NegotiationLo,
+                                           Config.NegotiationHi);
+    Sim.at(J.release(), [&Sim, &Manager, J, Delay](Tick Now) {
+      if (!Manager.onArrival(J, Now))
+        return;
+      unsigned JobId = J.id();
+      Sim.after(Delay, [&Sim, &Manager, JobId](Tick NegotiationNow) {
+        std::optional<Tick> Completion =
+            Manager.onNegotiation(JobId, NegotiationNow);
+        if (Completion)
+          Sim.at(*Completion, [&Manager, JobId](Tick CompletionNow) {
+            Manager.onCompletion(JobId, CompletionNow);
+          });
+      });
+    });
+  }
+
+  Sim.run();
+
+  std::vector<VoRunResult> Results(Kinds.size());
+  Tick Horizon = Sim.now();
+  for (size_t F = 0; F < Kinds.size(); ++F) {
+    Results[F].Kind = Kinds[F];
+    Results[F].BackgroundJobs = Background.placed();
+    Results[F].Jobs = Managers[F]->takeStats();
+    for (const auto &St : Results[F].Jobs)
+      Horizon = std::max(Horizon, St.Completion);
+  }
+  Horizon = std::max<Tick>(Horizon, 1);
+
+  // Attribute node occupancy per flow via the owner ids.
+  size_t GroupNodes[3] = {0, 0, 0};
+  std::vector<std::array<Tick, 3>> JobTicks(Kinds.size(), {0, 0, 0});
+  Tick BackgroundTicks[3] = {0, 0, 0};
+  for (const auto &N : Env.nodes()) {
+    auto G = static_cast<size_t>(N.group());
+    ++GroupNodes[G];
+    for (const auto &I : N.timeline().intervals()) {
+      Tick Len =
+          std::min(I.End, Horizon) - std::min(I.Begin, Horizon);
+      if (I.Owner >= JobOwnerBase) {
+        auto JobId = static_cast<size_t>(I.Owner - JobOwnerBase);
+        CWS_CHECK(JobId < FlowOf.size(), "unknown job owner");
+        JobTicks[FlowOf[JobId]][G] += Len;
+      } else if (I.Owner == BackgroundOwner) {
+        BackgroundTicks[G] += Len;
+      }
+    }
+  }
+  for (size_t F = 0; F < Kinds.size(); ++F) {
+    Results[F].Horizon = Horizon;
+    for (size_t G = 0; G < 3; ++G) {
+      if (GroupNodes[G] == 0)
+        continue;
+      double Denom = static_cast<double>(GroupNodes[G]) *
+                     static_cast<double>(Horizon);
+      Results[F].JobLoadPercent[G] =
+          100.0 * static_cast<double>(JobTicks[F][G]) / Denom;
+      Results[F].BackgroundLoadPercent[G] =
+          100.0 * static_cast<double>(BackgroundTicks[G]) / Denom;
+    }
+  }
+  return Results;
+}
+
+VoRunResult cws::runVirtualOrganization(const VoConfig &Config,
+                                        StrategyKind Kind, uint64_t Seed) {
+  std::vector<VoRunResult> Results = runMultiFlowVo(Config, {Kind}, Seed);
+  return std::move(Results.front());
+}

@@ -1,0 +1,84 @@
+//===-- flow/VirtualOrganization.h - Two-level VO simulation ----*- C++ -*-===//
+//
+// Part of CWS, a reproduction of Toporkov, "Application-Level and Job-Flow
+// Scheduling" (PaCT 2009). Distributed without any warranty.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The coordinated two-level simulation of Section 4: a stream of
+/// compound jobs flows through the metascheduler and a job manager while
+/// independent background flows keep loading the nodes. This harness
+/// produces every Fig. 4 QoS factor: per-group load levels, job cost,
+/// task execution time, strategy time-to-live and start-time deviation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CWS_FLOW_VIRTUALORGANIZATION_H
+#define CWS_FLOW_VIRTUALORGANIZATION_H
+
+#include "core/Strategy.h"
+#include "flow/BackgroundLoad.h"
+#include "flow/JobManager.h"
+#include "job/Generator.h"
+#include "resource/Grid.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace cws {
+
+/// Parameters of one virtual-organization run.
+struct VoConfig {
+  GridConfig GridCfg;
+  WorkloadConfig Workload;
+  /// Strategy generation parameters; Kind is overridden per run.
+  StrategyConfig Strategy;
+  BackgroundConfig Background;
+  /// Compound jobs in the flow.
+  size_t JobCount = 200;
+  /// Interarrival gap between compound jobs, uniform.
+  Tick InterarrivalLo = 10;
+  Tick InterarrivalHi = 40;
+  /// Delay between strategy generation and commitment (resource
+  /// negotiation with the local systems), uniform.
+  Tick NegotiationLo = 4;
+  Tick NegotiationHi = 16;
+  /// Quota of the flow's user account.
+  double UserQuota = 1e12;
+  /// When true, committed schedules are executed under runtime
+  /// deviations (Execution) and actual completions / wall-limit kills
+  /// are recorded in the per-job stats.
+  bool ExecuteWithDeviations = false;
+  ExecutionConfig Execution;
+};
+
+/// Result of one run.
+struct VoRunResult {
+  StrategyKind Kind = StrategyKind::S1;
+  std::vector<VoJobStats> Jobs;
+  /// Node utilization by committed compound jobs, percent, indexed by
+  /// PerfGroup (Fast, Medium, Slow).
+  double JobLoadPercent[3] = {0, 0, 0};
+  /// Node utilization by background flows, percent, same indexing.
+  double BackgroundLoadPercent[3] = {0, 0, 0};
+  Tick Horizon = 0;
+  size_t BackgroundJobs = 0;
+};
+
+/// Runs the whole simulation for one strategy type.
+VoRunResult runVirtualOrganization(const VoConfig &Config, StrategyKind Kind,
+                                   uint64_t Seed);
+
+/// Runs several *competing* flows in one virtual organization: jobs of
+/// the shared arrival stream are dealt round-robin to one flow per
+/// strategy type, so the flows intersect on the same nodes (Fig. 1's
+/// flows i, j, k). Returns one result per flow, in \p Kinds order;
+/// JobLoadPercent is attributed per flow.
+std::vector<VoRunResult> runMultiFlowVo(const VoConfig &Config,
+                                        const std::vector<StrategyKind> &Kinds,
+                                        uint64_t Seed);
+
+} // namespace cws
+
+#endif // CWS_FLOW_VIRTUALORGANIZATION_H

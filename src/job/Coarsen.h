@@ -1,0 +1,59 @@
+//===-- job/Coarsen.h - Computation granularity control ---------*- C++ -*-===//
+//
+// Part of CWS, a reproduction of Toporkov, "Application-Level and Job-Flow
+// Scheduling" (PaCT 2009). Distributed without any warranty.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Granularity transformation of compound jobs. The paper's strategy
+/// types differ in *computational granularity*: S1/S2 schedule the job
+/// "with fine-grain computations" as submitted, while S3 uses
+/// "coarse-grain computations" — the same work partitioned into fewer,
+/// larger tasks, which minimizes data exchanges at the price of
+/// parallelism. coarsenJob applies series contraction (merging linear
+/// task runs) and bounded sibling merging (tasks with identical
+/// dependency sets) to produce the coarse-grain view of a job.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CWS_JOB_COARSEN_H
+#define CWS_JOB_COARSEN_H
+
+#include "job/Job.h"
+
+#include <cstddef>
+#include <vector>
+
+namespace cws {
+
+/// Coarsening knobs.
+struct CoarsenConfig {
+  /// Merge linear runs (u -> v where u is v's only predecessor and v is
+  /// u's only successor); the internal transfer disappears.
+  bool MergeSeries = true;
+  /// Rounds of sibling merging: per round, disjoint pairs of tasks with
+  /// identical predecessor and successor sets are fused, halving that
+  /// slice of parallelism. 0 disables sibling merging.
+  unsigned SiblingRounds = 1;
+  /// Upper bound on a merged task's reference ticks; merges that would
+  /// exceed it are skipped. Oversized macro-tasks need long contiguous
+  /// free slots, which loaded timelines rarely have. 0 means unbounded.
+  Tick MaxMergedRef = 8;
+};
+
+/// Result of coarsening: the coarse job plus, for each coarse task, the
+/// original task ids it absorbed.
+struct CoarseJob {
+  Job Coarse;
+  std::vector<std::vector<unsigned>> Members;
+};
+
+/// Builds the coarse-grain view of \p J. Deadline and release carry
+/// over (the QoS contract does not change with granularity); merged
+/// tasks sum reference times and volumes.
+CoarseJob coarsenJob(const Job &J, const CoarsenConfig &Config = {});
+
+} // namespace cws
+
+#endif // CWS_JOB_COARSEN_H

@@ -1,0 +1,58 @@
+//===-- job/Estimates.h - User execution-time estimations -------*- C++ -*-===//
+//
+// Part of CWS, a reproduction of Toporkov, "Application-Level and Job-Flow
+// Scheduling" (PaCT 2009). Distributed without any warranty.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The user estimation table of Fig. 2a generalized: for every task and
+/// every distinct performance level present in the environment, the
+/// estimated execution time T_ij. Strategies sweep estimation levels to
+/// generate their supporting schedules; the MS1 modification keeps only
+/// the best and worst level, trading coverage for generation cost.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CWS_JOB_ESTIMATES_H
+#define CWS_JOB_ESTIMATES_H
+
+#include "job/Job.h"
+#include "sim/Time.h"
+
+#include <cstddef>
+#include <vector>
+
+namespace cws {
+
+class Grid;
+
+/// The T_ij estimation table for one job over a set of performance
+/// levels (fastest level first).
+class EstimateGrid {
+public:
+  /// Builds estimates for \p PerfLevels (must be sorted descending,
+  /// non-empty, all positive).
+  EstimateGrid(const Job &J, std::vector<double> PerfLevels);
+
+  size_t levels() const { return PerfLevels.size(); }
+  double perfAt(size_t Level) const;
+
+  /// Estimated execution ticks of \p TaskId at \p Level.
+  Tick ticks(unsigned TaskId, size_t Level) const;
+
+  /// The level indices a strategy of the given coverage uses: all of
+  /// them, or just {best, worst} for the reduced MS1 coverage.
+  std::vector<size_t> coveredLevels(bool BestWorstOnly) const;
+
+  /// Distinct node performances of \p G, descending.
+  static std::vector<double> environmentLevels(const Grid &G);
+
+private:
+  std::vector<double> PerfLevels;
+  std::vector<std::vector<Tick>> Table; // [task][level]
+};
+
+} // namespace cws
+
+#endif // CWS_JOB_ESTIMATES_H

@@ -1,0 +1,146 @@
+//===-- job/Job.cpp - Compound jobs as information graphs -----------------===//
+//
+// Part of CWS, a reproduction of Toporkov, "Application-Level and Job-Flow
+// Scheduling" (PaCT 2009). Distributed without any warranty.
+//
+//===----------------------------------------------------------------------===//
+
+#include "job/Job.h"
+#include "support/Check.h"
+
+#include <algorithm>
+
+using namespace cws;
+
+unsigned Job::addTask(std::string Name, Tick RefTicks, double Volume) {
+  CWS_CHECK(RefTicks > 0, "task needs a positive reference time");
+  CWS_CHECK(Volume >= 0.0, "task volume must be non-negative");
+  auto TaskId = static_cast<unsigned>(Tasks.size());
+  Tasks.push_back({TaskId, std::move(Name), RefTicks, Volume});
+  In.emplace_back();
+  Out.emplace_back();
+  return TaskId;
+}
+
+void Job::addEdge(unsigned Src, unsigned Dst, Tick BaseTransfer) {
+  CWS_CHECK(Src < Tasks.size() && Dst < Tasks.size(),
+            "edge endpoint out of range");
+  CWS_CHECK(Src != Dst, "self-dependency is not allowed");
+  CWS_CHECK(BaseTransfer >= 0, "negative transfer time");
+  size_t EdgeIdx = Edges.size();
+  Edges.push_back({Src, Dst, BaseTransfer});
+  Out[Src].push_back(EdgeIdx);
+  In[Dst].push_back(EdgeIdx);
+}
+
+const Task &Job::task(unsigned TaskId) const {
+  CWS_CHECK(TaskId < Tasks.size(), "task id out of range");
+  return Tasks[TaskId];
+}
+
+const DataEdge &Job::edge(size_t EdgeIdx) const {
+  CWS_CHECK(EdgeIdx < Edges.size(), "edge index out of range");
+  return Edges[EdgeIdx];
+}
+
+const std::vector<size_t> &Job::inEdges(unsigned TaskId) const {
+  CWS_CHECK(TaskId < In.size(), "task id out of range");
+  return In[TaskId];
+}
+
+const std::vector<size_t> &Job::outEdges(unsigned TaskId) const {
+  CWS_CHECK(TaskId < Out.size(), "task id out of range");
+  return Out[TaskId];
+}
+
+std::vector<unsigned> Job::sources() const {
+  std::vector<unsigned> Result;
+  for (const auto &T : Tasks)
+    if (In[T.Id].empty())
+      Result.push_back(T.Id);
+  return Result;
+}
+
+std::vector<unsigned> Job::sinks() const {
+  std::vector<unsigned> Result;
+  for (const auto &T : Tasks)
+    if (Out[T.Id].empty())
+      Result.push_back(T.Id);
+  return Result;
+}
+
+std::vector<unsigned> Job::topoOrder() const {
+  std::vector<unsigned> InDegree(Tasks.size(), 0);
+  for (const auto &E : Edges)
+    ++InDegree[E.Dst];
+  std::vector<unsigned> Ready;
+  for (const auto &T : Tasks)
+    if (InDegree[T.Id] == 0)
+      Ready.push_back(T.Id);
+  std::vector<unsigned> Order;
+  Order.reserve(Tasks.size());
+  // Kahn's algorithm; Ready is kept as a stack for determinism.
+  while (!Ready.empty()) {
+    unsigned Next = Ready.back();
+    Ready.pop_back();
+    Order.push_back(Next);
+    for (size_t EdgeIdx : Out[Next])
+      if (--InDegree[Edges[EdgeIdx].Dst] == 0)
+        Ready.push_back(Edges[EdgeIdx].Dst);
+  }
+  if (Order.size() != Tasks.size())
+    return {};
+  return Order;
+}
+
+bool Job::isAcyclic() const {
+  return Tasks.empty() || !topoOrder().empty();
+}
+
+Tick Job::criticalPathRefTicks() const {
+  std::vector<unsigned> Order = topoOrder();
+  CWS_CHECK(Order.size() == Tasks.size() || Tasks.empty(),
+            "critical path of a cyclic graph");
+  std::vector<Tick> Longest(Tasks.size(), 0);
+  Tick Best = 0;
+  for (unsigned TaskId : Order) {
+    Tick Arrival = 0;
+    for (size_t EdgeIdx : In[TaskId]) {
+      const DataEdge &E = Edges[EdgeIdx];
+      Arrival = std::max(Arrival, Longest[E.Src] + E.BaseTransfer);
+    }
+    Longest[TaskId] = Arrival + Tasks[TaskId].RefTicks;
+    Best = std::max(Best, Longest[TaskId]);
+  }
+  return Best;
+}
+
+Tick Job::totalRefTicks() const {
+  Tick Sum = 0;
+  for (const auto &T : Tasks)
+    Sum += T.RefTicks;
+  return Sum;
+}
+
+Job cws::makeFig2Job() {
+  Job J;
+  // Reference times are the Ti1 row of Fig. 2a; volumes are the Vij row.
+  unsigned P1 = J.addTask("P1", 2, 20);
+  unsigned P2 = J.addTask("P2", 3, 30);
+  unsigned P3 = J.addTask("P3", 1, 10);
+  unsigned P4 = J.addTask("P4", 2, 20);
+  unsigned P5 = J.addTask("P5", 1, 10);
+  unsigned P6 = J.addTask("P6", 2, 20);
+  // D1..D8, each one tick, reproducing the critical work lengths
+  // 12/11/10/9 of Section 3.
+  J.addEdge(P1, P2, 1); // D1
+  J.addEdge(P1, P3, 1); // D2
+  J.addEdge(P2, P4, 1); // D3
+  J.addEdge(P2, P5, 1); // D4
+  J.addEdge(P3, P4, 1); // D5
+  J.addEdge(P3, P5, 1); // D6
+  J.addEdge(P4, P6, 1); // D7
+  J.addEdge(P5, P6, 1); // D8
+  J.setDeadline(20);
+  return J;
+}

@@ -1,0 +1,167 @@
+//===-- lang/Lexer.cpp - Job description language lexer -------------------===//
+//
+// Part of CWS, a reproduction of Toporkov, "Application-Level and Job-Flow
+// Scheduling" (PaCT 2009). Distributed without any warranty.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/Lexer.h"
+#include "support/Check.h"
+
+#include <cctype>
+
+using namespace cws;
+
+const char *cws::tokenKindName(TokenKind Kind) {
+  switch (Kind) {
+  case TokenKind::Identifier:
+    return "identifier";
+  case TokenKind::Number:
+    return "number";
+  case TokenKind::String:
+    return "string";
+  case TokenKind::Arrow:
+    return "'->'";
+  case TokenKind::EndOfInput:
+    return "end of input";
+  case TokenKind::Error:
+    return "invalid token";
+  }
+  CWS_UNREACHABLE("unknown token kind");
+}
+
+Lexer::Lexer(std::string_view Input) : Input(Input) {}
+
+static bool isIdentStart(char C) {
+  return std::isalpha(static_cast<unsigned char>(C)) || C == '_';
+}
+
+static bool isIdentBody(char C) {
+  // '+' appears in the generated names of coarse-grain macro-tasks.
+  return std::isalnum(static_cast<unsigned char>(C)) || C == '_' ||
+         C == '-' || C == '.' || C == '+';
+}
+
+void Lexer::skipTrivia() {
+  while (Pos < Input.size()) {
+    char C = Input[Pos];
+    if (C == '\n') {
+      ++Pos;
+      ++Line;
+      Col = 1;
+      continue;
+    }
+    if (C == ' ' || C == '\t' || C == '\r' || C == ',' || C == ';') {
+      ++Pos;
+      ++Col;
+      continue;
+    }
+    if (C == '#') {
+      while (Pos < Input.size() && Input[Pos] != '\n') {
+        ++Pos;
+        ++Col;
+      }
+      continue;
+    }
+    return;
+  }
+}
+
+Token Lexer::lexToken() {
+  skipTrivia();
+  Token T;
+  T.Line = Line;
+  T.Col = Col;
+  if (Pos >= Input.size()) {
+    T.Kind = TokenKind::EndOfInput;
+    return T;
+  }
+
+  char C = Input[Pos];
+
+  if (C == '-' && Pos + 1 < Input.size() && Input[Pos + 1] == '>') {
+    Pos += 2;
+    Col += 2;
+    T.Kind = TokenKind::Arrow;
+    T.Text = "->";
+    return T;
+  }
+
+  if (std::isdigit(static_cast<unsigned char>(C)) ||
+      ((C == '-' || C == '+') && Pos + 1 < Input.size() &&
+       std::isdigit(static_cast<unsigned char>(Input[Pos + 1])))) {
+    size_t Start = Pos;
+    if (C == '-' || C == '+') {
+      ++Pos;
+      ++Col;
+    }
+    bool SeenDot = false;
+    while (Pos < Input.size() &&
+           (std::isdigit(static_cast<unsigned char>(Input[Pos])) ||
+            (Input[Pos] == '.' && !SeenDot))) {
+      SeenDot |= Input[Pos] == '.';
+      ++Pos;
+      ++Col;
+    }
+    T.Kind = TokenKind::Number;
+    T.Text = std::string(Input.substr(Start, Pos - Start));
+    return T;
+  }
+
+  if (isIdentStart(C)) {
+    size_t Start = Pos;
+    while (Pos < Input.size() && isIdentBody(Input[Pos])) {
+      // "a->b" must lex as identifier, arrow, identifier.
+      if (Input[Pos] == '-' && Pos + 1 < Input.size() &&
+          Input[Pos + 1] == '>')
+        break;
+      ++Pos;
+      ++Col;
+    }
+    T.Kind = TokenKind::Identifier;
+    T.Text = std::string(Input.substr(Start, Pos - Start));
+    return T;
+  }
+
+  if (C == '"') {
+    ++Pos;
+    ++Col;
+    size_t Start = Pos;
+    while (Pos < Input.size() && Input[Pos] != '"' && Input[Pos] != '\n') {
+      ++Pos;
+      ++Col;
+    }
+    if (Pos >= Input.size() || Input[Pos] != '"') {
+      T.Kind = TokenKind::Error;
+      T.Text = "unterminated string";
+      return T;
+    }
+    T.Kind = TokenKind::String;
+    T.Text = std::string(Input.substr(Start, Pos - Start));
+    ++Pos; // Closing quote.
+    ++Col;
+    return T;
+  }
+
+  T.Kind = TokenKind::Error;
+  T.Text = std::string(1, C);
+  ++Pos;
+  ++Col;
+  return T;
+}
+
+Token Lexer::next() {
+  if (HasLookahead) {
+    HasLookahead = false;
+    return Lookahead;
+  }
+  return lexToken();
+}
+
+const Token &Lexer::peek() {
+  if (!HasLookahead) {
+    Lookahead = lexToken();
+    HasLookahead = true;
+  }
+  return Lookahead;
+}

@@ -1,0 +1,83 @@
+//===-- lang/Lexer.h - Job description language lexer -----------*- C++ -*-===//
+//
+// Part of CWS, a reproduction of Toporkov, "Application-Level and Job-Flow
+// Scheduling" (PaCT 2009). Distributed without any warranty.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lexer for the CWS job description language — the textual
+/// resource-query format playing the role the paper assigns to JDL /
+/// ClassAds: users describe compound jobs (tasks, data dependencies,
+/// QoS attributes) and optionally environments declaratively.
+///
+/// Token kinds: identifiers, numbers (integer or real, optional sign),
+/// quoted strings, the arrow `->`, and end-of-input. `#` starts a
+/// comment running to end of line. Newlines are insignificant.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CWS_LANG_LEXER_H
+#define CWS_LANG_LEXER_H
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+namespace cws {
+
+/// Kinds of tokens in the job description language.
+enum class TokenKind {
+  Identifier,
+  Number,
+  String,
+  Arrow,
+  EndOfInput,
+  Error,
+};
+
+/// Display name of a token kind ("identifier", "number", ...).
+const char *tokenKindName(TokenKind Kind);
+
+/// One lexed token with its source location (1-based).
+struct Token {
+  TokenKind Kind = TokenKind::EndOfInput;
+  /// The token's text; for String tokens, without the quotes.
+  std::string Text;
+  size_t Line = 1;
+  size_t Col = 1;
+
+  bool is(TokenKind K) const { return Kind == K; }
+
+  /// True for an Identifier with exactly this text.
+  bool isKeyword(std::string_view Word) const {
+    return Kind == TokenKind::Identifier && Text == Word;
+  }
+};
+
+/// Single-pass lexer over a description buffer.
+class Lexer {
+public:
+  explicit Lexer(std::string_view Input);
+
+  /// Lexes and consumes the next token.
+  Token next();
+
+  /// Lexes the next token without consuming it.
+  const Token &peek();
+
+private:
+  void skipTrivia();
+  Token lexToken();
+
+  std::string_view Input;
+  size_t Pos = 0;
+  size_t Line = 1;
+  size_t Col = 1;
+  Token Lookahead;
+  bool HasLookahead = false;
+};
+
+} // namespace cws
+
+#endif // CWS_LANG_LEXER_H

@@ -1,0 +1,89 @@
+//===-- lang/Parser.h - Job description language parser ---------*- C++ -*-===//
+//
+// Part of CWS, a reproduction of Toporkov, "Application-Level and Job-Flow
+// Scheduling" (PaCT 2009). Distributed without any warranty.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Parser for the CWS job description language. Grammar (newlines and
+/// commas are insignificant; `#` comments to end of line):
+///
+/// \code
+///   file     := stmt*
+///   stmt     := jobDecl | taskDecl | edgeDecl | nodeDecl
+///   jobDecl  := "job" (STRING | IDENT)? attr*
+///   taskDecl := "task" IDENT attr*
+///   edgeDecl := "edge" IDENT "->" IDENT attr*
+///   nodeDecl := "node" attr*
+///   attr     := IDENT NUMBER
+/// \endcode
+///
+/// Job attributes: `deadline`, `release`, `id`. Task attributes: `ref`
+/// (required, reference execution ticks), `vol` (computation volume,
+/// default 10 x ref). Edge attribute: `transfer` (default 1). Node
+/// attributes: `perf` (required), `price` (default from the standard
+/// price model). Example:
+///
+/// \code
+///   job "wf" deadline 30
+///   task prepare  ref 2 vol 20
+///   task simulate ref 4
+///   edge prepare -> simulate transfer 1
+///   node perf 1.0
+///   node perf 0.33 price 1.1
+/// \endcode
+///
+/// Errors are collected as diagnostics with source locations; the
+/// parser recovers at statement boundaries so one description yields
+/// every error at once.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CWS_LANG_PARSER_H
+#define CWS_LANG_PARSER_H
+
+#include "job/Job.h"
+#include "resource/Grid.h"
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cws {
+
+/// One parse error with its 1-based source location.
+struct Diagnostic {
+  size_t Line;
+  size_t Col;
+  std::string Message;
+};
+
+/// Outcome of parsing a description.
+struct ParseResult {
+  Job TheJob;
+  /// Nodes declared in the description (may be empty: environments are
+  /// often provided programmatically).
+  Grid Env;
+  bool HasJob = false;
+  bool HasEnv = false;
+  std::vector<Diagnostic> Errors;
+
+  bool ok() const { return Errors.empty(); }
+};
+
+/// Parses \p Text; never aborts on user input (all problems become
+/// diagnostics).
+ParseResult parseJobDescription(std::string_view Text);
+
+/// Renders \p J back into the description language; the output parses
+/// to an equivalent job (round-trip property).
+std::string printJobDescription(const Job &J);
+
+/// Renders \p Diags one per line as "line:col: message".
+std::string formatDiagnostics(const std::vector<Diagnostic> &Diags);
+
+} // namespace cws
+
+#endif // CWS_LANG_PARSER_H

@@ -1,0 +1,75 @@
+//===-- metrics/Export.cpp - CSV export of schedules and stats ------------===//
+//
+// Part of CWS, a reproduction of Toporkov, "Application-Level and Job-Flow
+// Scheduling" (PaCT 2009). Distributed without any warranty.
+//
+//===----------------------------------------------------------------------===//
+
+#include "metrics/Export.h"
+#include "job/Job.h"
+
+#include <cstdio>
+
+using namespace cws;
+
+std::string cws::distributionCsv(const Job &J, const Distribution &D) {
+  std::string Out = "task,name,node,start,end,cost\n";
+  char Buf[160];
+  for (const auto &P : D.placements()) {
+    std::snprintf(Buf, sizeof(Buf), "%u,%s,%u,%lld,%lld,%.3f\n", P.TaskId,
+                  J.task(P.TaskId).Name.c_str(), P.NodeId,
+                  static_cast<long long>(P.Start),
+                  static_cast<long long>(P.End), P.EconomicCost);
+    Out += Buf;
+  }
+  return Out;
+}
+
+std::string cws::strategyCsv(const Strategy &S) {
+  std::string Out =
+      "variant,level_perf,bias,feasible,start,makespan,econ_cost,cf,"
+      "collisions\n";
+  char Buf[200];
+  size_t Idx = 0;
+  for (const auto &V : S.variants()) {
+    const Distribution &D = V.Result.Dist;
+    if (V.feasible())
+      std::snprintf(Buf, sizeof(Buf), "%zu,%.3f,%s,1,%lld,%lld,%.3f,%lld,%zu\n",
+                    Idx, V.LevelPerf, optimizationBiasName(V.Bias),
+                    static_cast<long long>(D.startTime()),
+                    static_cast<long long>(D.makespan()), D.economicCost(),
+                    static_cast<long long>(
+                        D.costFunction(S.scheduledJob())),
+                    V.Result.Collisions.size());
+    else
+      std::snprintf(Buf, sizeof(Buf), "%zu,%.3f,%s,0,,,,,%zu\n", Idx,
+                    V.LevelPerf, optimizationBiasName(V.Bias),
+                    V.Result.Collisions.size());
+    Out += Buf;
+    ++Idx;
+  }
+  return Out;
+}
+
+std::string cws::voStatsCsv(const std::vector<VoJobStats> &Stats) {
+  std::string Out =
+      "job,arrival,deadline,admissible,committed,rejected,reallocated,"
+      "switched,forecast_start,actual_start,completion,cost,cf,ttl,"
+      "ttl_closed,collisions\n";
+  char Buf[256];
+  for (const auto &St : Stats) {
+    std::snprintf(
+        Buf, sizeof(Buf),
+        "%u,%lld,%lld,%d,%d,%d,%d,%d,%lld,%lld,%lld,%.3f,%lld,%lld,%d,%zu\n",
+        St.JobId, static_cast<long long>(St.Arrival),
+        static_cast<long long>(St.Deadline), St.Admissible, St.Committed,
+        St.Rejected, St.Reallocated, St.Switched,
+        static_cast<long long>(St.ForecastStart),
+        static_cast<long long>(St.ActualStart),
+        static_cast<long long>(St.Completion), St.Cost,
+        static_cast<long long>(St.Cf), static_cast<long long>(St.Ttl),
+        St.TtlClosed, St.Collisions);
+    Out += Buf;
+  }
+  return Out;
+}

@@ -1,0 +1,39 @@
+//===-- metrics/Export.h - CSV export of schedules and stats ----*- C++ -*-===//
+//
+// Part of CWS, a reproduction of Toporkov, "Application-Level and Job-Flow
+// Scheduling" (PaCT 2009). Distributed without any warranty.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// CSV renderers for external analysis and plotting: a distribution's
+/// placements, a strategy's variant summary, and the per-job QoS
+/// records of a virtual-organization run.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CWS_METRICS_EXPORT_H
+#define CWS_METRICS_EXPORT_H
+
+#include "core/Distribution.h"
+#include "core/Strategy.h"
+#include "flow/JobManager.h"
+
+#include <string>
+#include <vector>
+
+namespace cws {
+
+/// Placements as CSV: task,name,node,start,end,cost.
+std::string distributionCsv(const Job &J, const Distribution &D);
+
+/// Variant summary as CSV: variant,level_perf,bias,feasible,start,
+/// makespan,econ_cost,cf,collisions.
+std::string strategyCsv(const Strategy &S);
+
+/// Per-job VO records as CSV (one row per job).
+std::string voStatsCsv(const std::vector<VoJobStats> &Stats);
+
+} // namespace cws
+
+#endif // CWS_METRICS_EXPORT_H

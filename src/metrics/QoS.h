@@ -1,0 +1,65 @@
+//===-- metrics/QoS.h - QoS factor aggregation ------------------*- C++ -*-===//
+//
+// Part of CWS, a reproduction of Toporkov, "Application-Level and Job-Flow
+// Scheduling" (PaCT 2009). Distributed without any warranty.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Aggregation of the paper's QoS factors over one virtual-organization
+/// run: job completion cost, task execution time, scheduling forecast
+/// errors (start-time deviation) and strategy time-to-live.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CWS_METRICS_QOS_H
+#define CWS_METRICS_QOS_H
+
+#include "flow/VirtualOrganization.h"
+
+#include <cstddef>
+
+namespace cws {
+
+/// Mean QoS factors of one run.
+struct VoAggregates {
+  size_t Jobs = 0;
+  size_t Committed = 0;
+  double AdmissiblePercent = 0.0;
+  double CommittedPercent = 0.0;
+  double RejectedPercent = 0.0;
+  double SwitchedPercent = 0.0;
+  double ReallocatedPercent = 0.0;
+  /// Share of jobs recovered by shifting a stale supporting schedule.
+  double ShiftRecoveredPercent = 0.0;
+  /// Mean shift (ticks) over shift-recovered commits.
+  double MeanCommitShift = 0.0;
+  /// Mean quota cost of committed jobs.
+  double MeanCost = 0.0;
+  /// Mean cost-function value CF of committed jobs (the paper's "job
+  /// completion cost").
+  double MeanCf = 0.0;
+  /// Mean wall time from actual start to completion (the paper's "task
+  /// execution time" factor).
+  double MeanRunTicks = 0.0;
+  /// Mean wall time from arrival to completion.
+  double MeanResponseTicks = 0.0;
+  /// Mean strategy time-to-live (admissible jobs).
+  double MeanTtl = 0.0;
+  /// Mean |actual - forecast| start deviation over committed jobs.
+  double MeanStartDeviation = 0.0;
+  /// Mean start deviation / run time (Fig. 4c's ratio).
+  double MeanStartDeviationRatio = 0.0;
+  /// Mean collisions per job during strategy construction.
+  double MeanCollisions = 0.0;
+  /// Share of committed jobs killed at a wall limit (only when the run
+  /// executed schedules under runtime deviations).
+  double ExecutionKilledPercent = 0.0;
+};
+
+/// Computes the aggregates of one run.
+VoAggregates summarizeVo(const VoRunResult &Run);
+
+} // namespace cws
+
+#endif // CWS_METRICS_QOS_H

@@ -1,0 +1,102 @@
+//===-- resource/Grid.h - The distributed environment -----------*- C++ -*-===//
+//
+// Part of CWS, a reproduction of Toporkov, "Application-Level and Job-Flow
+// Scheduling" (PaCT 2009). Distributed without any warranty.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The set of processor nodes a virtual organization schedules on, plus
+/// the randomized factory matching the paper's simulated environment:
+/// 20..30 nodes split into three relative-performance bands.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CWS_RESOURCE_GRID_H
+#define CWS_RESOURCE_GRID_H
+
+#include "resource/Node.h"
+#include "support/Prng.h"
+
+#include <cstddef>
+#include <vector>
+
+namespace cws {
+
+/// Parameters of the randomized environment of Section 4.
+struct GridConfig {
+  /// Node count is uniform in [MinNodes, MaxNodes] ("varied from 20 to
+  /// 30" to conform to the task parallelism degree).
+  unsigned MinNodes = 20;
+  unsigned MaxNodes = 30;
+
+  /// Share of nodes per band; the remainder is slow.
+  double FastShare = 1.0 / 3.0;
+  double MediumShare = 1.0 / 3.0;
+
+  /// Relative performance ranges of the paper: fast 0.66..1, medium
+  /// 0.33..0.66, slow exactly 0.33.
+  double FastLo = 0.66;
+  double FastHi = 1.0;
+  double MediumLo = 0.35;
+  double MediumHi = 0.66;
+  double SlowPerf = 0.33;
+
+  /// Economic model: price per tick = PriceBase * RelPerf^PriceExponent.
+  /// With an exponent above 1 the total price of a fixed amount of work
+  /// grows with performance — the paper's "user should pay additional
+  /// cost in order to use more powerful resource".
+  double PriceBase = 10.0;
+  double PriceExponent = 2.0;
+};
+
+/// An ordered collection of processor nodes.
+class Grid {
+public:
+  Grid() = default;
+
+  /// Adds a node with the config's price model; returns its id.
+  unsigned addNode(double RelPerf, const GridConfig &Config = GridConfig());
+
+  /// Adds a node with an explicit price; returns its id.
+  unsigned addNodePriced(double RelPerf, double PricePerTick);
+
+  /// Builds the randomized Section-4 environment.
+  static Grid makeRandom(const GridConfig &Config, Prng &Rng);
+
+  /// Builds the four-type environment of the Fig. 2 worked example:
+  /// node ids 0..3 with relative performance 1, 1/2, 1/3, 1/4 — they
+  /// correspond to the paper's node types 1..4.
+  static Grid makeFig2();
+
+  size_t size() const { return Nodes.size(); }
+  bool empty() const { return Nodes.empty(); }
+
+  ProcessorNode &node(unsigned Id);
+  const ProcessorNode &node(unsigned Id) const;
+
+  std::vector<ProcessorNode> &nodes() { return Nodes; }
+  const std::vector<ProcessorNode> &nodes() const { return Nodes; }
+
+  /// Ids of nodes in the given band, fastest first.
+  std::vector<unsigned> idsInGroup(PerfGroup Group) const;
+
+  /// Ids of all nodes, fastest first.
+  std::vector<unsigned> idsByPerf() const;
+
+  /// Mean utilization of the band over [From, To).
+  double groupUtilization(PerfGroup Group, Tick From, Tick To) const;
+
+  /// Releases every reservation held by \p Owner across all nodes.
+  void releaseOwner(OwnerId Owner);
+
+  /// Clears every timeline (fresh environment).
+  void clearTimelines();
+
+private:
+  std::vector<ProcessorNode> Nodes;
+};
+
+} // namespace cws
+
+#endif // CWS_RESOURCE_GRID_H

@@ -1,0 +1,22 @@
+//===-- resource/Network.cpp - Data transfer model ------------------------===//
+//
+// Part of CWS, a reproduction of Toporkov, "Application-Level and Job-Flow
+// Scheduling" (PaCT 2009). Distributed without any warranty.
+//
+//===----------------------------------------------------------------------===//
+
+#include "resource/Network.h"
+#include "support/Check.h"
+
+#include <cmath>
+
+using namespace cws;
+
+Tick Network::transferTicks(Tick BaseTicks, unsigned SrcNode,
+                            unsigned DstNode) const {
+  CWS_CHECK(BaseTicks >= 0, "negative base transfer time");
+  if (SrcNode == DstNode || BaseTicks == 0)
+    return SrcNode == DstNode ? 0 : Config.Latency;
+  double Scaled = static_cast<double>(BaseTicks) * Config.TransferScale;
+  return Config.Latency + static_cast<Tick>(std::ceil(Scaled - 1e-9));
+}

@@ -1,0 +1,82 @@
+//===-- sim/EventQueue.h - Discrete event queue -----------------*- C++ -*-===//
+//
+// Part of CWS, a reproduction of Toporkov, "Application-Level and Job-Flow
+// Scheduling" (PaCT 2009). Distributed without any warranty.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The pending-event set of the discrete event simulator: a binary heap
+/// keyed by (time, insertion sequence) so same-tick events fire in
+/// submission order, which keeps runs deterministic.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CWS_SIM_EVENTQUEUE_H
+#define CWS_SIM_EVENTQUEUE_H
+
+#include "sim/Time.h"
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+namespace cws {
+
+/// An event handler; receives the firing time.
+using EventFn = std::function<void(Tick)>;
+
+/// Identifies a scheduled event for cancellation.
+using EventId = uint64_t;
+
+/// Min-heap of timed events with stable same-tick ordering and lazy
+/// cancellation via tombstones.
+class EventQueue {
+public:
+  /// Schedules \p Fn at \p At. Returns an id usable with cancel().
+  EventId schedule(Tick At, EventFn Fn);
+
+  /// Cancels a pending event; returns false if it already fired or was
+  /// cancelled before.
+  bool cancel(EventId Id);
+
+  /// True when no live events remain.
+  bool empty() const { return Handlers.empty(); }
+
+  /// Number of live (non-cancelled, unfired) events.
+  size_t size() const { return Handlers.size(); }
+
+  /// Time of the earliest live event; TickMax when empty.
+  Tick nextTime();
+
+  /// Pops and runs the earliest live event; returns its time. Requires
+  /// !empty().
+  Tick runNext();
+
+private:
+  struct Entry {
+    Tick At;
+    uint64_t Seq;
+    EventId Id;
+  };
+
+  static bool later(const Entry &A, const Entry &B) {
+    if (A.At != B.At)
+      return A.At > B.At;
+    return A.Seq > B.Seq;
+  }
+
+  /// Removes cancelled entries from the heap top.
+  void skipDead();
+
+  std::vector<Entry> Heap;
+  std::unordered_map<EventId, EventFn> Handlers;
+  uint64_t NextSeq = 0;
+  EventId NextId = 1;
+};
+
+} // namespace cws
+
+#endif // CWS_SIM_EVENTQUEUE_H

@@ -1,0 +1,47 @@
+//===-- sim/Simulator.cpp - Discrete event simulation kernel --------------===//
+//
+// Part of CWS, a reproduction of Toporkov, "Application-Level and Job-Flow
+// Scheduling" (PaCT 2009). Distributed without any warranty.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/Simulator.h"
+#include "support/Check.h"
+
+#include <algorithm>
+
+using namespace cws;
+
+EventId Simulator::at(Tick At, EventFn Fn) {
+  return Events.schedule(std::max(At, Now), std::move(Fn));
+}
+
+EventId Simulator::after(Tick Delay, EventFn Fn) {
+  CWS_CHECK(Delay >= 0, "cannot schedule into the past");
+  return Events.schedule(Now + Delay, std::move(Fn));
+}
+
+size_t Simulator::run(Tick Until) {
+  size_t Executed = 0;
+  while (!Events.empty() && Events.nextTime() <= Until) {
+    // Advance the clock before dispatching so handlers scheduling
+    // relative work (after()) see the firing time as now().
+    Now = Events.nextTime();
+    Events.runNext();
+    ++Executed;
+  }
+  if (Events.empty() || Now > Until)
+    return Executed;
+  // The next event lies beyond the horizon: advance the clock to it so a
+  // subsequent run() resumes consistently.
+  Now = std::max(Now, Until);
+  return Executed;
+}
+
+bool Simulator::step() {
+  if (Events.empty())
+    return false;
+  Now = Events.nextTime();
+  Events.runNext();
+  return true;
+}

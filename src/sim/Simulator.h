@@ -1,0 +1,56 @@
+//===-- sim/Simulator.h - Discrete event simulation kernel ------*- C++ -*-===//
+//
+// Part of CWS, a reproduction of Toporkov, "Application-Level and Job-Flow
+// Scheduling" (PaCT 2009). Distributed without any warranty.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The discrete event simulation kernel driving the job-flow experiments:
+/// a monotonically advancing clock plus an event queue. The paper's own
+/// evaluation is a simulation ("we have implemented a simulation
+/// environment of the scheduling framework"); this is our substitute.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CWS_SIM_SIMULATOR_H
+#define CWS_SIM_SIMULATOR_H
+
+#include "sim/EventQueue.h"
+#include "sim/Time.h"
+
+namespace cws {
+
+/// Discrete event simulator with a monotone clock.
+class Simulator {
+public:
+  /// Current simulation time.
+  Tick now() const { return Now; }
+
+  /// Schedules \p Fn at absolute time \p At (clamped to now()).
+  EventId at(Tick At, EventFn Fn);
+
+  /// Schedules \p Fn after \p Delay ticks.
+  EventId after(Tick Delay, EventFn Fn);
+
+  /// Cancels a pending event.
+  bool cancel(EventId Id) { return Events.cancel(Id); }
+
+  /// Runs until the queue drains or the clock passes \p Until.
+  /// Returns the number of events executed.
+  size_t run(Tick Until = TickMax);
+
+  /// Executes exactly one event if any remain; returns false otherwise.
+  bool step();
+
+  /// Number of pending events.
+  size_t pending() const { return Events.size(); }
+
+private:
+  EventQueue Events;
+  Tick Now = 0;
+};
+
+} // namespace cws
+
+#endif // CWS_SIM_SIMULATOR_H

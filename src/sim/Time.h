@@ -1,0 +1,35 @@
+//===-- sim/Time.h - Simulation time ----------------------------*- C++ -*-===//
+//
+// Part of CWS, a reproduction of Toporkov, "Application-Level and Job-Flow
+// Scheduling" (PaCT 2009). Distributed without any warranty.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Integral simulation time. The paper reasons in whole "time units"
+/// (Fig. 2 timelines, the Ti estimation table), so CWS uses 64-bit ticks
+/// throughout: comparisons are exact and collisions are unambiguous.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CWS_SIM_TIME_H
+#define CWS_SIM_TIME_H
+
+#include <cstdint>
+
+namespace cws {
+
+/// One simulated time unit.
+using Tick = int64_t;
+
+/// Sentinel for "no deadline" / "never".
+inline constexpr Tick TickMax = INT64_MAX / 4;
+
+/// Integer ceil(A / B) for positive B. Used to turn computation volumes
+/// into whole-tick execution times ("rounded to nearest not-smaller
+/// integer" in the paper).
+constexpr Tick ceilDiv(Tick A, Tick B) { return (A + B - 1) / B; }
+
+} // namespace cws
+
+#endif // CWS_SIM_TIME_H

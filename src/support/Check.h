@@ -1,0 +1,43 @@
+//===-- support/Check.h - Assertion helpers ---------------------*- C++ -*-===//
+//
+// Part of CWS, a reproduction of Toporkov, "Application-Level and Job-Flow
+// Scheduling" (PaCT 2009). Distributed without any warranty.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Assertion and unreachable-code helpers. CWS does not use exceptions;
+/// contract violations abort with a message in all build modes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CWS_SUPPORT_CHECK_H
+#define CWS_SUPPORT_CHECK_H
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace cws {
+
+/// Aborts the process after printing \p Msg with source location.
+[[noreturn]] inline void reportFatal(const char *Msg, const char *File,
+                                     int Line) {
+  std::fprintf(stderr, "cws fatal error: %s (%s:%d)\n", Msg, File, Line);
+  std::abort();
+}
+
+} // namespace cws
+
+/// Checks \p Cond in every build mode (unlike assert) and aborts with
+/// \p Msg on failure. Use for invariants whose violation would corrupt
+/// schedules silently.
+#define CWS_CHECK(Cond, Msg)                                                   \
+  do {                                                                         \
+    if (!(Cond))                                                               \
+      ::cws::reportFatal(Msg, __FILE__, __LINE__);                             \
+  } while (false)
+
+/// Marks a point that must never be reached.
+#define CWS_UNREACHABLE(Msg) ::cws::reportFatal(Msg, __FILE__, __LINE__)
+
+#endif // CWS_SUPPORT_CHECK_H

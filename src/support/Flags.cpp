@@ -1,0 +1,87 @@
+//===-- support/Flags.cpp - Tiny CLI flag parser --------------------------===//
+//
+// Part of CWS, a reproduction of Toporkov, "Application-Level and Job-Flow
+// Scheduling" (PaCT 2009). Distributed without any warranty.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Flags.h"
+#include "support/Check.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+using namespace cws;
+
+void Flags::addInt(const std::string &Name, int64_t *Storage,
+                   const std::string &Help) {
+  Entries.push_back({Name, Kind::Int, Storage, Help});
+}
+
+void Flags::addReal(const std::string &Name, double *Storage,
+                    const std::string &Help) {
+  Entries.push_back({Name, Kind::Real, Storage, Help});
+}
+
+void Flags::addString(const std::string &Name, std::string *Storage,
+                      const std::string &Help) {
+  Entries.push_back({Name, Kind::String, Storage, Help});
+}
+
+const Flags::Entry *Flags::find(const std::string &Name) const {
+  for (const auto &E : Entries)
+    if (E.Name == Name)
+      return &E;
+  return nullptr;
+}
+
+bool Flags::parse(int Argc, char **Argv) const {
+  for (int I = 1; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    if (Arg == "--help" || Arg == "-h") {
+      std::printf("flags:\n");
+      for (const auto &E : Entries)
+        std::printf("  --%-20s %s\n", E.Name.c_str(), E.Help.c_str());
+      return false;
+    }
+    if (Arg.rfind("--", 0) != 0) {
+      std::fprintf(stderr, "unexpected positional argument '%s'\n",
+                   Arg.c_str());
+      std::exit(2);
+    }
+    std::string Body = Arg.substr(2);
+    std::string Name = Body;
+    std::string Value;
+    bool HaveValue = false;
+    if (size_t Eq = Body.find('='); Eq != std::string::npos) {
+      Name = Body.substr(0, Eq);
+      Value = Body.substr(Eq + 1);
+      HaveValue = true;
+    }
+    const Entry *E = find(Name);
+    if (!E) {
+      std::fprintf(stderr, "unknown flag '--%s' (try --help)\n", Name.c_str());
+      std::exit(2);
+    }
+    if (!HaveValue) {
+      if (I + 1 >= Argc) {
+        std::fprintf(stderr, "flag '--%s' needs a value\n", Name.c_str());
+        std::exit(2);
+      }
+      Value = Argv[++I];
+    }
+    switch (E->FlagKind) {
+    case Kind::Int:
+      *static_cast<int64_t *>(E->Storage) = std::strtoll(Value.c_str(),
+                                                         nullptr, 10);
+      break;
+    case Kind::Real:
+      *static_cast<double *>(E->Storage) = std::strtod(Value.c_str(), nullptr);
+      break;
+    case Kind::String:
+      *static_cast<std::string *>(E->Storage) = Value;
+      break;
+    }
+  }
+  return true;
+}

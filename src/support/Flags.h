@@ -1,0 +1,58 @@
+//===-- support/Flags.h - Tiny CLI flag parser ------------------*- C++ -*-===//
+//
+// Part of CWS, a reproduction of Toporkov, "Application-Level and Job-Flow
+// Scheduling" (PaCT 2009). Distributed without any warranty.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A tiny command line flag parser for the bench and example binaries:
+/// `--name=value` or `--name value`. Unknown flags are fatal so typos in
+/// experiment scripts do not silently run the default configuration.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CWS_SUPPORT_FLAGS_H
+#define CWS_SUPPORT_FLAGS_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cws {
+
+/// Registry of typed flags bound to caller-owned storage.
+class Flags {
+public:
+  /// Registers an integer flag writing into \p Storage.
+  void addInt(const std::string &Name, int64_t *Storage,
+              const std::string &Help);
+
+  /// Registers a real-valued flag writing into \p Storage.
+  void addReal(const std::string &Name, double *Storage,
+               const std::string &Help);
+
+  /// Registers a string flag writing into \p Storage.
+  void addString(const std::string &Name, std::string *Storage,
+                 const std::string &Help);
+
+  /// Parses argv. On `--help`, prints usage and returns false (caller
+  /// should exit). Unknown flags or malformed values abort.
+  bool parse(int Argc, char **Argv) const;
+
+private:
+  enum class Kind { Int, Real, String };
+  struct Entry {
+    std::string Name;
+    Kind FlagKind;
+    void *Storage;
+    std::string Help;
+  };
+  std::vector<Entry> Entries;
+
+  const Entry *find(const std::string &Name) const;
+};
+
+} // namespace cws
+
+#endif // CWS_SUPPORT_FLAGS_H

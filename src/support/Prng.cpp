@@ -1,0 +1,78 @@
+//===-- support/Prng.cpp - Deterministic pseudo-random numbers -----------===//
+//
+// Part of CWS, a reproduction of Toporkov, "Application-Level and Job-Flow
+// Scheduling" (PaCT 2009). Distributed without any warranty.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Prng.h"
+#include "support/Check.h"
+
+#include <cmath>
+
+using namespace cws;
+
+static uint64_t splitmix64(uint64_t &X) {
+  X += 0x9e3779b97f4a7c15ULL;
+  uint64_t Z = X;
+  Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+  return Z ^ (Z >> 31);
+}
+
+static uint64_t rotl(uint64_t X, int K) {
+  return (X << K) | (X >> (64 - K));
+}
+
+Prng::Prng(uint64_t Seed) {
+  uint64_t S = Seed;
+  for (uint64_t &Word : State)
+    Word = splitmix64(S);
+}
+
+uint64_t Prng::next() {
+  uint64_t Result = rotl(State[1] * 5, 7) * 9;
+  uint64_t T = State[1] << 17;
+  State[2] ^= State[0];
+  State[3] ^= State[1];
+  State[1] ^= State[2];
+  State[0] ^= State[3];
+  State[2] ^= T;
+  State[3] = rotl(State[3], 45);
+  return Result;
+}
+
+int64_t Prng::uniformInt(int64_t Lo, int64_t Hi) {
+  CWS_CHECK(Lo <= Hi, "uniformInt requires Lo <= Hi");
+  uint64_t Span = static_cast<uint64_t>(Hi - Lo) + 1;
+  if (Span == 0) // Full 64-bit range.
+    return static_cast<int64_t>(next());
+  // Rejection sampling to avoid modulo bias.
+  uint64_t Limit = UINT64_MAX - UINT64_MAX % Span;
+  uint64_t Raw;
+  do
+    Raw = next();
+  while (Raw >= Limit);
+  return Lo + static_cast<int64_t>(Raw % Span);
+}
+
+double Prng::uniformReal(double Lo, double Hi) {
+  CWS_CHECK(Lo <= Hi, "uniformReal requires Lo <= Hi");
+  double Unit = static_cast<double>(next() >> 11) * 0x1.0p-53;
+  return Lo + Unit * (Hi - Lo);
+}
+
+bool Prng::bernoulli(double P) {
+  if (P <= 0.0)
+    return false;
+  if (P >= 1.0)
+    return true;
+  return uniformReal(0.0, 1.0) < P;
+}
+
+size_t Prng::index(size_t Size) {
+  CWS_CHECK(Size > 0, "index requires a non-empty range");
+  return static_cast<size_t>(uniformInt(0, static_cast<int64_t>(Size) - 1));
+}
+
+Prng Prng::fork() { return Prng(next() ^ 0xa02f0d57c35b6e21ULL); }

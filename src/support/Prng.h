@@ -1,0 +1,66 @@
+//===-- support/Prng.h - Deterministic pseudo-random numbers ----*- C++ -*-===//
+//
+// Part of CWS, a reproduction of Toporkov, "Application-Level and Job-Flow
+// Scheduling" (PaCT 2009). Distributed without any warranty.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small, deterministic PRNG (xoshiro256**) with the uniform
+/// distributions the paper's simulation studies rely on. All randomized
+/// experiments in CWS are reproducible from a single 64-bit seed.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CWS_SUPPORT_PRNG_H
+#define CWS_SUPPORT_PRNG_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace cws {
+
+/// Deterministic pseudo-random number generator.
+///
+/// Uses xoshiro256** seeded via splitmix64. Never reads external entropy:
+/// the same seed always reproduces the same experiment, which the test
+/// suite and the figure benches depend on.
+class Prng {
+public:
+  explicit Prng(uint64_t Seed = 0x5eed5eed5eed5eedULL);
+
+  /// Returns the next raw 64-bit value.
+  uint64_t next();
+
+  /// Returns a uniform integer in [Lo, Hi] (inclusive). Requires Lo <= Hi.
+  int64_t uniformInt(int64_t Lo, int64_t Hi);
+
+  /// Returns a uniform real in [Lo, Hi).
+  double uniformReal(double Lo, double Hi);
+
+  /// Returns true with probability \p P (clamped to [0, 1]).
+  bool bernoulli(double P);
+
+  /// Returns a uniform index in [0, Size). Requires Size > 0.
+  size_t index(size_t Size);
+
+  /// Fisher-Yates shuffles \p Values in place.
+  template <typename T> void shuffle(std::vector<T> &Values) {
+    if (Values.size() < 2)
+      return;
+    for (size_t I = Values.size() - 1; I > 0; --I)
+      std::swap(Values[I], Values[index(I + 1)]);
+  }
+
+  /// Derives an independent child generator; used to give each simulated
+  /// entity its own stream so adding entities does not perturb others.
+  Prng fork();
+
+private:
+  uint64_t State[4];
+};
+
+} // namespace cws
+
+#endif // CWS_SUPPORT_PRNG_H

@@ -1,0 +1,101 @@
+//===-- support/Stats.cpp - Streaming statistics --------------------------===//
+//
+// Part of CWS, a reproduction of Toporkov, "Application-Level and Job-Flow
+// Scheduling" (PaCT 2009). Distributed without any warranty.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Stats.h"
+#include "support/Check.h"
+
+#include <algorithm>
+#include <cmath>
+
+using namespace cws;
+
+void OnlineStats::add(double Value) {
+  if (Count == 0) {
+    Min = Max = Value;
+  } else {
+    Min = std::min(Min, Value);
+    Max = std::max(Max, Value);
+  }
+  ++Count;
+  double Delta = Value - Mean;
+  Mean += Delta / static_cast<double>(Count);
+  M2 += Delta * (Value - Mean);
+}
+
+void OnlineStats::merge(const OnlineStats &Other) {
+  if (Other.Count == 0)
+    return;
+  if (Count == 0) {
+    *this = Other;
+    return;
+  }
+  size_t NewCount = Count + Other.Count;
+  double Delta = Other.Mean - Mean;
+  double NewMean =
+      Mean + Delta * static_cast<double>(Other.Count) /
+                 static_cast<double>(NewCount);
+  M2 += Other.M2 + Delta * Delta * static_cast<double>(Count) *
+                       static_cast<double>(Other.Count) /
+                       static_cast<double>(NewCount);
+  Mean = NewMean;
+  Count = NewCount;
+  Min = std::min(Min, Other.Min);
+  Max = std::max(Max, Other.Max);
+}
+
+double OnlineStats::variance() const {
+  if (Count < 2)
+    return 0.0;
+  return M2 / static_cast<double>(Count - 1);
+}
+
+double OnlineStats::stddev() const { return std::sqrt(variance()); }
+
+Histogram::Histogram(double Lo, double Hi, size_t Bins)
+    : Lo(Lo), Hi(Hi), Counts(Bins, 0) {
+  CWS_CHECK(Bins > 0, "histogram needs at least one bin");
+  CWS_CHECK(Lo < Hi, "histogram range must be non-empty");
+}
+
+void Histogram::add(double Value) {
+  double Unit = (Value - Lo) / (Hi - Lo);
+  auto Bin = static_cast<int64_t>(Unit * static_cast<double>(Counts.size()));
+  Bin = std::clamp<int64_t>(Bin, 0, static_cast<int64_t>(Counts.size()) - 1);
+  ++Counts[static_cast<size_t>(Bin)];
+  ++Total;
+}
+
+size_t Histogram::binCount(size_t Bin) const {
+  CWS_CHECK(Bin < Counts.size(), "histogram bin out of range");
+  return Counts[Bin];
+}
+
+double Histogram::binLo(size_t Bin) const {
+  return Lo + (Hi - Lo) * static_cast<double>(Bin) /
+                  static_cast<double>(Counts.size());
+}
+
+double Histogram::binHi(size_t Bin) const { return binLo(Bin + 1); }
+
+double Histogram::fraction(size_t Bin) const {
+  if (Total == 0)
+    return 0.0;
+  return static_cast<double>(binCount(Bin)) / static_cast<double>(Total);
+}
+
+double cws::quantile(std::vector<double> Samples, double Q) {
+  if (Samples.empty())
+    return 0.0;
+  Q = std::clamp(Q, 0.0, 1.0);
+  std::sort(Samples.begin(), Samples.end());
+  double Pos = Q * static_cast<double>(Samples.size() - 1);
+  auto Idx = static_cast<size_t>(Pos);
+  double Frac = Pos - static_cast<double>(Idx);
+  if (Idx + 1 >= Samples.size())
+    return Samples.back();
+  return Samples[Idx] * (1.0 - Frac) + Samples[Idx + 1] * Frac;
+}

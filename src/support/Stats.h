@@ -1,0 +1,96 @@
+//===-- support/Stats.h - Streaming statistics ------------------*- C++ -*-===//
+//
+// Part of CWS, a reproduction of Toporkov, "Application-Level and Job-Flow
+// Scheduling" (PaCT 2009). Distributed without any warranty.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Streaming statistics used by the QoS factor collectors: online
+/// mean/variance, fixed-bin histograms and percentile extraction.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CWS_SUPPORT_STATS_H
+#define CWS_SUPPORT_STATS_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace cws {
+
+/// Online mean / variance / extrema accumulator (Welford).
+class OnlineStats {
+public:
+  void add(double Value);
+
+  /// Merges another accumulator into this one.
+  void merge(const OnlineStats &Other);
+
+  size_t count() const { return Count; }
+  double mean() const { return Count ? Mean : 0.0; }
+  double variance() const;
+  double stddev() const;
+  double min() const { return Count ? Min : 0.0; }
+  double max() const { return Count ? Max : 0.0; }
+  double sum() const { return Count ? Mean * static_cast<double>(Count) : 0.0; }
+
+private:
+  size_t Count = 0;
+  double Mean = 0.0;
+  double M2 = 0.0;
+  double Min = 0.0;
+  double Max = 0.0;
+};
+
+/// Fixed-width histogram over [Lo, Hi); values outside are clamped into
+/// the first/last bin so totals stay meaningful.
+class Histogram {
+public:
+  Histogram(double Lo, double Hi, size_t Bins);
+
+  void add(double Value);
+  size_t binCount(size_t Bin) const;
+  size_t total() const { return Total; }
+  size_t bins() const { return Counts.size(); }
+  double binLo(size_t Bin) const;
+  double binHi(size_t Bin) const;
+
+  /// Fraction of samples in \p Bin; 0 when empty.
+  double fraction(size_t Bin) const;
+
+private:
+  double Lo;
+  double Hi;
+  std::vector<size_t> Counts;
+  size_t Total = 0;
+};
+
+/// Returns the \p Q quantile (0..1) of \p Samples. Sorts a copy; intended
+/// for end-of-experiment reporting, not hot paths. Returns 0 when empty.
+double quantile(std::vector<double> Samples, double Q);
+
+/// Ratio accumulator for percentage reporting (e.g. "38% admissible").
+class RatioCounter {
+public:
+  void add(bool Hit) {
+    ++Total;
+    if (Hit)
+      ++Hits;
+  }
+  size_t hits() const { return Hits; }
+  size_t total() const { return Total; }
+  double percent() const {
+    return Total ? 100.0 * static_cast<double>(Hits) / static_cast<double>(Total)
+                 : 0.0;
+  }
+
+private:
+  size_t Hits = 0;
+  size_t Total = 0;
+};
+
+} // namespace cws
+
+#endif // CWS_SUPPORT_STATS_H

@@ -1,0 +1,52 @@
+//===-- support/Table.cpp - ASCII table printer ---------------------------===//
+//
+// Part of CWS, a reproduction of Toporkov, "Application-Level and Job-Flow
+// Scheduling" (PaCT 2009). Distributed without any warranty.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Table.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+
+using namespace cws;
+
+Table::Table(std::vector<std::string> Header) : Header(std::move(Header)) {}
+
+void Table::addRow(std::vector<std::string> Cells) {
+  Rows.push_back(std::move(Cells));
+}
+
+std::string Table::num(double Value, int Precision) {
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%.*f", Precision, Value);
+  return Buf;
+}
+
+void Table::print(std::ostream &OS) const {
+  std::vector<size_t> Widths(Header.size(), 0);
+  for (size_t I = 0; I < Header.size(); ++I)
+    Widths[I] = Header[I].size();
+  for (const auto &Row : Rows)
+    for (size_t I = 0; I < Row.size() && I < Widths.size(); ++I)
+      Widths[I] = std::max(Widths[I], Row[I].size());
+
+  auto PrintRow = [&](const std::vector<std::string> &Cells) {
+    OS << "|";
+    for (size_t I = 0; I < Widths.size(); ++I) {
+      std::string Cell = I < Cells.size() ? Cells[I] : "";
+      OS << " " << Cell << std::string(Widths[I] - Cell.size(), ' ') << " |";
+    }
+    OS << "\n";
+  };
+
+  PrintRow(Header);
+  OS << "|";
+  for (size_t Width : Widths)
+    OS << std::string(Width + 2, '-') << "|";
+  OS << "\n";
+  for (const auto &Row : Rows)
+    PrintRow(Row);
+}

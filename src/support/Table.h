@@ -1,0 +1,44 @@
+//===-- support/Table.h - ASCII table printer -------------------*- C++ -*-===//
+//
+// Part of CWS, a reproduction of Toporkov, "Application-Level and Job-Flow
+// Scheduling" (PaCT 2009). Distributed without any warranty.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A minimal ASCII table printer used by the figure benches to report
+/// paper-vs-measured series in a uniform format.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CWS_SUPPORT_TABLE_H
+#define CWS_SUPPORT_TABLE_H
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace cws {
+
+/// Accumulates rows of strings and renders them with aligned columns.
+class Table {
+public:
+  explicit Table(std::vector<std::string> Header);
+
+  /// Appends a row; it may have fewer cells than the header.
+  void addRow(std::vector<std::string> Cells);
+
+  /// Formats \p Value with \p Precision fraction digits.
+  static std::string num(double Value, int Precision = 2);
+
+  /// Renders the table (header, separator, rows) to \p OS.
+  void print(std::ostream &OS) const;
+
+private:
+  std::vector<std::string> Header;
+  std::vector<std::vector<std::string>> Rows;
+};
+
+} // namespace cws
+
+#endif // CWS_SUPPORT_TABLE_H

@@ -1,0 +1,81 @@
+//===-- tests/TestUtil.h - Shared test fixtures -----------------*- C++ -*-===//
+//
+// Part of CWS, a reproduction of Toporkov, "Application-Level and Job-Flow
+// Scheduling" (PaCT 2009). Distributed without any warranty.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef CWS_TESTS_TESTUTIL_H
+#define CWS_TESTS_TESTUTIL_H
+
+#include "core/Distribution.h"
+#include "job/Job.h"
+#include "resource/Grid.h"
+
+#include <gtest/gtest.h>
+
+namespace cws {
+
+/// A diamond job: A -> {B, C} -> D with unit transfers.
+inline Job makeDiamondJob(Tick Deadline = 100) {
+  Job J;
+  unsigned A = J.addTask("A", 2, 20);
+  unsigned B = J.addTask("B", 3, 30);
+  unsigned C = J.addTask("C", 1, 10);
+  unsigned D = J.addTask("D", 2, 20);
+  J.addEdge(A, B, 1);
+  J.addEdge(A, C, 1);
+  J.addEdge(B, D, 1);
+  J.addEdge(C, D, 1);
+  J.setDeadline(Deadline);
+  return J;
+}
+
+/// A plain chain A -> B -> C.
+inline Job makeChainJob(Tick Deadline = 100) {
+  Job J;
+  unsigned A = J.addTask("A", 2, 20);
+  unsigned B = J.addTask("B", 3, 30);
+  unsigned C = J.addTask("C", 2, 20);
+  J.addEdge(A, B, 1);
+  J.addEdge(B, C, 1);
+  J.setDeadline(Deadline);
+  return J;
+}
+
+/// Two fast + two slow nodes.
+inline Grid makeSmallGrid() {
+  Grid G;
+  G.addNode(1.0);
+  G.addNode(0.8);
+  G.addNode(0.4);
+  G.addNode(0.33);
+  return G;
+}
+
+/// Checks the structural invariants every complete distribution must
+/// satisfy: full coverage, precedence (dst starts no earlier than src
+/// ends) and non-overlapping same-node reservations.
+inline void expectValidDistribution(const Job &J, const Distribution &D) {
+  EXPECT_TRUE(D.covers(J));
+  for (const auto &E : J.edges()) {
+    const Placement *Src = D.find(E.Src);
+    const Placement *Dst = D.find(E.Dst);
+    ASSERT_NE(Src, nullptr);
+    ASSERT_NE(Dst, nullptr);
+    EXPECT_GE(Dst->Start, Src->End)
+        << "edge " << E.Src << "->" << E.Dst << " violated";
+  }
+  for (const auto &A : D.placements())
+    for (const auto &B : D.placements()) {
+      if (A.TaskId == B.TaskId || A.NodeId != B.NodeId)
+        continue;
+      EXPECT_TRUE(A.End <= B.Start || B.End <= A.Start)
+          << "tasks " << A.TaskId << " and " << B.TaskId
+          << " overlap on node " << A.NodeId;
+    }
+}
+
+} // namespace cws
+
+#endif // CWS_TESTS_TESTUTIL_H

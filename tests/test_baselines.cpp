@@ -1,0 +1,179 @@
+//===-- tests/test_baselines.cpp - Baseline scheduler tests ---------------===//
+//
+// Part of CWS, a reproduction of Toporkov, "Application-Level and Job-Flow
+// Scheduling" (PaCT 2009). Distributed without any warranty.
+//
+//===----------------------------------------------------------------------===//
+
+#include "baseline/Heft.h"
+#include "baseline/Heuristics.h"
+#include "job/Generator.h"
+#include "resource/Network.h"
+#include "TestUtil.h"
+
+#include <gtest/gtest.h>
+
+using namespace cws;
+
+namespace {
+
+/// Two tasks, two nodes; task 0 is fast on node 0, task 1 on node 1.
+const std::vector<std::vector<Tick>> SmallEtc{{2, 10}, {10, 2}};
+
+} // namespace
+
+TEST(Heuristics, MetPicksFastestNodeRegardlessOfLoad) {
+  MappingResult R = mapIndependentTasks(SmallEtc, {0, 0},
+                                        MappingHeuristic::MET);
+  EXPECT_EQ(R.NodeOf[0], 0u);
+  EXPECT_EQ(R.NodeOf[1], 1u);
+  EXPECT_EQ(R.Makespan, 2);
+}
+
+TEST(Heuristics, MetIgnoresLoadEvenWhenBad) {
+  // Both tasks are fastest on node 0: MET piles them up.
+  std::vector<std::vector<Tick>> Etc{{2, 3}, {2, 3}};
+  MappingResult R = mapIndependentTasks(Etc, {0, 0}, MappingHeuristic::MET);
+  EXPECT_EQ(R.NodeOf[0], 0u);
+  EXPECT_EQ(R.NodeOf[1], 0u);
+  EXPECT_EQ(R.Makespan, 4);
+}
+
+TEST(Heuristics, MctBalancesLoad) {
+  std::vector<std::vector<Tick>> Etc{{2, 3}, {2, 3}};
+  MappingResult R = mapIndependentTasks(Etc, {0, 0}, MappingHeuristic::MCT);
+  EXPECT_EQ(R.NodeOf[0], 0u);
+  EXPECT_EQ(R.NodeOf[1], 1u); // Completion 3 beats queued 4.
+  EXPECT_EQ(R.Makespan, 3);
+}
+
+TEST(Heuristics, OlbUsesEarliestReadyNode) {
+  MappingResult R = mapIndependentTasks(SmallEtc, {5, 0},
+                                        MappingHeuristic::OLB);
+  EXPECT_EQ(R.NodeOf[0], 1u); // Ready at 0 beats ready at 5.
+}
+
+TEST(Heuristics, ReadyTimesOffsetStarts) {
+  MappingResult R = mapIndependentTasks({{4, 4}}, {10, 20},
+                                        MappingHeuristic::MCT);
+  EXPECT_EQ(R.NodeOf[0], 0u);
+  EXPECT_EQ(R.Start[0], 10);
+  EXPECT_EQ(R.Finish[0], 14);
+}
+
+TEST(Heuristics, MinMinSchedulesShortTasksFirst) {
+  // Min-min should keep the makespan low on this classic pattern.
+  std::vector<std::vector<Tick>> Etc{{1, 2}, {1, 2}, {8, 12}};
+  MappingResult R = mapIndependentTasks(Etc, {0, 0},
+                                        MappingHeuristic::MinMin);
+  EXPECT_LE(R.Makespan, 10);
+}
+
+TEST(Heuristics, MaxMinSchedulesLongTasksFirst) {
+  std::vector<std::vector<Tick>> Etc{{1, 2}, {1, 2}, {8, 12}};
+  MappingResult R = mapIndependentTasks(Etc, {0, 0},
+                                        MappingHeuristic::MaxMin);
+  // The big task is assigned in round one, to its best node 0.
+  EXPECT_EQ(R.NodeOf[2], 0u);
+  EXPECT_EQ(R.Start[2], 0);
+}
+
+TEST(Heuristics, SufferagePrioritizesHighPenaltyTasks) {
+  // Task 0 suffers greatly if it loses node 0; task 1 barely cares.
+  std::vector<std::vector<Tick>> Etc{{2, 20}, {2, 3}};
+  MappingResult R = mapIndependentTasks(Etc, {0, 0},
+                                        MappingHeuristic::Sufferage);
+  EXPECT_EQ(R.NodeOf[0], 0u);
+  EXPECT_EQ(R.Start[0], 0);
+  EXPECT_EQ(R.NodeOf[1], 1u);
+}
+
+TEST(Heuristics, AllHeuristicsProduceValidSchedules) {
+  Prng Rng(31);
+  for (int Round = 0; Round < 10; ++Round) {
+    size_t Tasks = 1 + Rng.index(12);
+    size_t Nodes = 1 + Rng.index(6);
+    std::vector<std::vector<Tick>> Etc(Tasks, std::vector<Tick>(Nodes));
+    for (auto &Row : Etc)
+      for (auto &V : Row)
+        V = Rng.uniformInt(1, 20);
+    for (MappingHeuristic H : AllMappingHeuristics) {
+      MappingResult R = mapIndependentTasks(
+          Etc, std::vector<Tick>(Nodes, 0), H);
+      ASSERT_EQ(R.NodeOf.size(), Tasks);
+      // Per-node, executions must not overlap.
+      for (size_t A = 0; A < Tasks; ++A) {
+        EXPECT_EQ(R.Finish[A], R.Start[A] + Etc[A][R.NodeOf[A]]);
+        EXPECT_LE(R.Finish[A], R.Makespan);
+        for (size_t B = A + 1; B < Tasks; ++B) {
+          if (R.NodeOf[A] != R.NodeOf[B])
+            continue;
+          EXPECT_TRUE(R.Finish[A] <= R.Start[B] ||
+                      R.Finish[B] <= R.Start[A]);
+        }
+      }
+    }
+  }
+}
+
+TEST(Heuristics, Names) {
+  EXPECT_STREQ(mappingHeuristicName(MappingHeuristic::OLB), "olb");
+  EXPECT_STREQ(mappingHeuristicName(MappingHeuristic::MinMin), "min-min");
+  EXPECT_STREQ(mappingHeuristicName(MappingHeuristic::Sufferage),
+               "sufferage");
+}
+
+TEST(Heft, SchedulesFig2JobValidly) {
+  Job J = makeFig2Job();
+  Grid G = Grid::makeFig2();
+  Network Net;
+  HeftResult R = scheduleHeft(J, G, Net);
+  expectValidDistribution(J, R.Dist);
+  EXPECT_EQ(R.Makespan, R.Dist.makespan());
+  EXPECT_TRUE(R.MeetsDeadline);
+}
+
+TEST(Heft, MakespanIsNearCriticalPath) {
+  // HEFT minimizes finish time: on an empty Fig. 2 grid it should be
+  // close to the reference critical path (12 on the fastest nodes).
+  Job J = makeFig2Job();
+  Grid G = Grid::makeFig2();
+  Network Net;
+  HeftResult R = scheduleHeft(J, G, Net);
+  EXPECT_LE(R.Makespan, 14);
+}
+
+TEST(Heft, RespectsExistingReservations) {
+  Job J = makeChainJob(1000);
+  Grid G = makeSmallGrid();
+  for (auto &N : G.nodes())
+    if (N.id() != 2)
+      N.timeline().reserve(0, 500, 9);
+  Network Net;
+  HeftResult R = scheduleHeft(J, G, Net);
+  for (const auto &P : R.Dist.placements())
+    if (P.Start < 500) {
+      EXPECT_EQ(P.NodeId, 2u);
+    }
+}
+
+TEST(Heft, EmptyJob) {
+  Job J;
+  Grid G = makeSmallGrid();
+  Network Net;
+  HeftResult R = scheduleHeft(J, G, Net);
+  EXPECT_TRUE(R.MeetsDeadline);
+  EXPECT_EQ(R.Makespan, 0);
+}
+
+TEST(Heft, HandlesRandomJobs) {
+  JobGenerator Gen(WorkloadConfig{}, 17);
+  Prng Rng(18);
+  Network Net;
+  for (int I = 0; I < 15; ++I) {
+    Job J = Gen.next(0);
+    Grid G = Grid::makeRandom(GridConfig{}, Rng);
+    HeftResult R = scheduleHeft(J, G, Net);
+    expectValidDistribution(J, R.Dist);
+  }
+}

@@ -1,0 +1,103 @@
+//===-- tests/test_capacity.cpp - Capacity profile tests ------------------===//
+//
+// Part of CWS, a reproduction of Toporkov, "Application-Level and Job-Flow
+// Scheduling" (PaCT 2009). Distributed without any warranty.
+//
+//===----------------------------------------------------------------------===//
+
+#include "batch/Capacity.h"
+#include "support/Prng.h"
+
+#include <gtest/gtest.h>
+
+using namespace cws;
+
+TEST(CapacityProfile, EmptyIsFullyFree) {
+  CapacityProfile P(8);
+  EXPECT_EQ(P.busyAt(0), 0u);
+  EXPECT_TRUE(P.fits(0, 100, 8));
+  EXPECT_EQ(P.earliestSlot(0, 10, 8), 0);
+}
+
+TEST(CapacityProfile, ReserveRaisesBusyLevel) {
+  CapacityProfile P(8);
+  P.reserve(10, 20, 5);
+  EXPECT_EQ(P.busyAt(9), 0u);
+  EXPECT_EQ(P.busyAt(10), 5u);
+  EXPECT_EQ(P.busyAt(19), 5u);
+  EXPECT_EQ(P.busyAt(20), 0u);
+}
+
+TEST(CapacityProfile, FitsChecksWholeWindow) {
+  CapacityProfile P(8);
+  P.reserve(10, 20, 5);
+  EXPECT_TRUE(P.fits(0, 10, 8));
+  EXPECT_TRUE(P.fits(10, 20, 3));
+  EXPECT_FALSE(P.fits(10, 20, 4));
+  EXPECT_FALSE(P.fits(5, 15, 4));
+  EXPECT_TRUE(P.fits(20, 30, 8));
+}
+
+TEST(CapacityProfile, OverlappingReservationsStack) {
+  CapacityProfile P(8);
+  P.reserve(0, 10, 3);
+  P.reserve(5, 15, 3);
+  EXPECT_EQ(P.busyAt(7), 6u);
+  EXPECT_FALSE(P.fits(5, 10, 3));
+  EXPECT_TRUE(P.fits(5, 10, 2));
+}
+
+TEST(CapacityProfile, EarliestSlotWaitsForCapacity) {
+  CapacityProfile P(4);
+  P.reserve(0, 10, 3);
+  EXPECT_EQ(P.earliestSlot(0, 5, 1), 0);
+  EXPECT_EQ(P.earliestSlot(0, 5, 2), 10);
+  EXPECT_EQ(P.earliestSlot(3, 5, 2), 10);
+}
+
+TEST(CapacityProfile, EarliestSlotNeedsContiguousWindow) {
+  CapacityProfile P(4);
+  P.reserve(10, 20, 4);
+  // 4 nodes free until 10: a 10-tick job fits at 0, an 11-tick one
+  // must wait for the block to clear.
+  EXPECT_EQ(P.earliestSlot(0, 10, 1), 0);
+  EXPECT_EQ(P.earliestSlot(0, 11, 1), 20);
+}
+
+TEST(CapacityProfile, EarliestSlotBetweenBlocks) {
+  CapacityProfile P(4);
+  P.reserve(0, 10, 4);
+  P.reserve(15, 25, 4);
+  EXPECT_EQ(P.earliestSlot(0, 5, 2), 10);
+  EXPECT_EQ(P.earliestSlot(0, 6, 2), 25);
+}
+
+TEST(CapacityProfile, PartialOverlapLevels) {
+  CapacityProfile P(10);
+  P.reserve(0, 100, 2);
+  P.reserve(10, 20, 5);
+  P.reserve(15, 30, 3);
+  EXPECT_EQ(P.busyAt(17), 10u);
+  EXPECT_FALSE(P.fits(16, 18, 1));
+  EXPECT_EQ(P.earliestSlot(12, 3, 5), 20);
+}
+
+TEST(CapacityProfile, FuzzEarliestSlotIsConsistentWithFits) {
+  Prng Rng(77);
+  CapacityProfile P(6);
+  for (int I = 0; I < 200; ++I) {
+    Tick B = Rng.uniformInt(0, 300);
+    Tick D = Rng.uniformInt(1, 20);
+    auto Need = static_cast<unsigned>(Rng.uniformInt(1, 6));
+    if (Rng.bernoulli(0.5)) {
+      P.reserve(B, B + D, Need);
+      continue;
+    }
+    Tick Slot = P.earliestSlot(B, D, Need);
+    EXPECT_GE(Slot, B);
+    EXPECT_TRUE(P.fits(Slot, Slot + D, Need));
+    if (Slot > B) {
+      EXPECT_FALSE(P.fits(B, B + D, Need));
+    }
+  }
+}

@@ -1,0 +1,309 @@
+//===-- tests/test_cluster.cpp - Local batch cluster tests ----------------===//
+//
+// Part of CWS, a reproduction of Toporkov, "Application-Level and Job-Flow
+// Scheduling" (PaCT 2009). Distributed without any warranty.
+//
+//===----------------------------------------------------------------------===//
+
+#include "batch/Cluster.h"
+
+#include <gtest/gtest.h>
+
+using namespace cws;
+
+namespace {
+
+BatchJob makeJob(unsigned Id, Tick Arrival, unsigned Nodes, Tick Est,
+                 Tick Actual) {
+  return {Id, Arrival, Nodes, Est, Actual};
+}
+
+} // namespace
+
+TEST(QueuePolicy, FcfsOrdersByArrival) {
+  std::vector<BatchJob> Jobs{makeJob(0, 10, 1, 5, 5), makeJob(1, 5, 1, 5, 5)};
+  std::vector<size_t> Q{0, 1};
+  orderQueue(Q, Jobs, QueueOrder::FCFS);
+  EXPECT_EQ(Q, (std::vector<size_t>{1, 0}));
+}
+
+TEST(QueuePolicy, LwfOrdersByWork) {
+  std::vector<BatchJob> Jobs{makeJob(0, 0, 4, 10, 10),  // work 40
+                             makeJob(1, 5, 1, 5, 5),    // work 5
+                             makeJob(2, 1, 2, 10, 10)}; // work 20
+  std::vector<size_t> Q{0, 1, 2};
+  orderQueue(Q, Jobs, QueueOrder::LWF);
+  EXPECT_EQ(Q, (std::vector<size_t>{1, 2, 0}));
+}
+
+TEST(QueuePolicy, PriorityOrdersHighestFirst) {
+  std::vector<BatchJob> Jobs{{0, 0, 1, 5, 5, 1},
+                             {1, 1, 1, 5, 5, 3},
+                             {2, 2, 1, 5, 5, 3}};
+  std::vector<size_t> Q{0, 1, 2};
+  orderQueue(Q, Jobs, QueueOrder::Priority);
+  EXPECT_EQ(Q, (std::vector<size_t>{1, 2, 0})); // Ties broken FCFS.
+}
+
+TEST(Cluster, PriorityJobsWaitLess) {
+  BatchWorkloadConfig W;
+  W.JobCount = 400;
+  W.NodesHi = 8;
+  W.PriorityLevels = 3;
+  auto Jobs = makeBatchTrace(W, 77);
+  ClusterConfig Config;
+  Config.NodeCount = 8;
+  Config.Order = QueueOrder::Priority;
+  auto Out = runCluster(Config, Jobs);
+  double Wait[3] = {0, 0, 0};
+  size_t Count[3] = {0, 0, 0};
+  for (size_t I = 0; I < Jobs.size(); ++I) {
+    Wait[Jobs[I].Priority] += static_cast<double>(Out[I].wait());
+    ++Count[Jobs[I].Priority];
+  }
+  for (int P = 0; P < 3; ++P) {
+    ASSERT_GT(Count[P], 0u);
+    Wait[P] /= static_cast<double>(Count[P]);
+  }
+  // Paying more buys shorter waits.
+  EXPECT_LT(Wait[2], Wait[1]);
+  EXPECT_LT(Wait[1], Wait[0]);
+}
+
+TEST(Cluster, TracePrioritiesRespectLevels) {
+  BatchWorkloadConfig W;
+  W.JobCount = 200;
+  W.PriorityLevels = 4;
+  bool SawNonZero = false;
+  for (const auto &J : makeBatchTrace(W, 5)) {
+    EXPECT_GE(J.Priority, 0);
+    EXPECT_LT(J.Priority, 4);
+    SawNonZero |= J.Priority > 0;
+  }
+  EXPECT_TRUE(SawNonZero);
+}
+
+TEST(Cluster, SingleJobStartsImmediately) {
+  ClusterConfig Config;
+  Config.NodeCount = 4;
+  auto Out = runCluster(Config, {makeJob(0, 3, 2, 10, 8)});
+  ASSERT_EQ(Out.size(), 1u);
+  EXPECT_TRUE(Out[0].Started);
+  EXPECT_EQ(Out[0].Start, 3);
+  EXPECT_EQ(Out[0].Finish, 11);
+  EXPECT_EQ(Out[0].wait(), 0);
+  EXPECT_EQ(Out[0].ForecastStart, 3);
+}
+
+TEST(Cluster, SerializesWhenNodesExhausted) {
+  ClusterConfig Config;
+  Config.NodeCount = 2;
+  auto Out = runCluster(Config, {makeJob(0, 0, 2, 10, 10),
+                                 makeJob(1, 0, 2, 10, 10)});
+  EXPECT_EQ(Out[0].Start, 0);
+  EXPECT_EQ(Out[1].Start, 10);
+  EXPECT_EQ(Out[1].wait(), 10);
+}
+
+TEST(Cluster, EarlyCompletionFreesCapacity) {
+  ClusterConfig Config;
+  Config.NodeCount = 2;
+  // First job estimates 20 but actually runs 5: the second job starts
+  // at 5, not at 20.
+  auto Out = runCluster(Config, {makeJob(0, 0, 2, 20, 5),
+                                 makeJob(1, 0, 2, 10, 10)});
+  EXPECT_EQ(Out[1].Start, 5);
+  // The forecast was estimate-based, so it erred by 15.
+  EXPECT_EQ(Out[1].ForecastStart, 20);
+  EXPECT_EQ(Out[1].forecastError(), 15);
+}
+
+TEST(Cluster, FcfsHeadBlocksWithoutBackfill) {
+  ClusterConfig Config;
+  Config.NodeCount = 4;
+  Config.Backfill = BackfillMode::None;
+  // Job 0 takes all nodes; job 1 (big) blocks; job 2 (small) could run
+  // but must not jump ahead under strict FCFS.
+  auto Out = runCluster(Config, {makeJob(0, 0, 3, 10, 10),
+                                 makeJob(1, 1, 4, 10, 10),
+                                 makeJob(2, 2, 1, 2, 2)});
+  EXPECT_EQ(Out[0].Start, 0);
+  EXPECT_EQ(Out[1].Start, 10);
+  EXPECT_GE(Out[2].Start, 10);
+}
+
+TEST(Cluster, EasyBackfillLetsSmallJobThrough) {
+  ClusterConfig Config;
+  Config.NodeCount = 4;
+  Config.Backfill = BackfillMode::Easy;
+  auto Out = runCluster(Config, {makeJob(0, 0, 3, 10, 10),
+                                 makeJob(1, 1, 4, 10, 10),
+                                 makeJob(2, 2, 1, 2, 2)});
+  // Job 2 fits beside job 0 and finishes by 4 < 10, not delaying job 1.
+  EXPECT_EQ(Out[2].Start, 2);
+  EXPECT_EQ(Out[1].Start, 10);
+}
+
+TEST(Cluster, EasyBackfillNeverDelaysHead) {
+  ClusterConfig Config;
+  Config.NodeCount = 4;
+  Config.Backfill = BackfillMode::Easy;
+  // The backfill candidate would overrun into the head's slot: it must
+  // not start (it needs the head's nodes).
+  auto Out = runCluster(Config, {makeJob(0, 0, 3, 10, 10),
+                                 makeJob(1, 1, 4, 10, 10),
+                                 makeJob(2, 2, 2, 30, 30)});
+  EXPECT_EQ(Out[1].Start, 10);
+  EXPECT_GE(Out[2].Start, 10);
+}
+
+TEST(Cluster, ConservativeBackfillsIntoHoles) {
+  ClusterConfig Config;
+  Config.NodeCount = 4;
+  Config.Backfill = BackfillMode::Conservative;
+  auto Out = runCluster(Config, {makeJob(0, 0, 3, 10, 10),
+                                 makeJob(1, 1, 4, 10, 10),
+                                 makeJob(2, 2, 1, 2, 2)});
+  EXPECT_EQ(Out[2].Start, 2);
+  EXPECT_EQ(Out[1].Start, 10);
+}
+
+TEST(Cluster, AdvanceReservationBlocksCapacity) {
+  ClusterConfig Config;
+  Config.NodeCount = 4;
+  // All four nodes reserved during [0, 20): the job waits.
+  std::vector<AdvanceReservation> Resv{{0, 20, 4}};
+  auto Out = runCluster(Config, {makeJob(0, 0, 1, 5, 5)}, Resv);
+  EXPECT_EQ(Out[0].Start, 20);
+}
+
+TEST(Cluster, PartialReservationLeavesRoom) {
+  ClusterConfig Config;
+  Config.NodeCount = 4;
+  std::vector<AdvanceReservation> Resv{{0, 20, 2}};
+  auto Out = runCluster(Config, {makeJob(0, 0, 2, 5, 5),
+                                 makeJob(1, 0, 3, 5, 5)});
+  // Without reservations both could overlap; now check with them:
+  Out = runCluster(Config, {makeJob(0, 0, 2, 5, 5), makeJob(1, 0, 3, 5, 5)},
+                   Resv);
+  EXPECT_EQ(Out[0].Start, 0);  // 2 free nodes remain.
+  EXPECT_EQ(Out[1].Start, 20); // 3 nodes only after the reservation.
+}
+
+TEST(Cluster, ReservationsIncreaseWaitingTime) {
+  // The Section-5 claim: advance reservations nearly always increase
+  // queue waiting time.
+  BatchWorkloadConfig W;
+  W.JobCount = 200;
+  W.NodesHi = 4;
+  std::vector<BatchJob> Jobs = makeBatchTrace(W, 5);
+  ClusterConfig Config;
+  Config.NodeCount = 8;
+  auto Plain = summarizeCluster(Jobs, runCluster(Config, Jobs), 8);
+  std::vector<AdvanceReservation> Resv;
+  for (Tick T = 50; T < 2000; T += 200)
+    Resv.push_back({T, T + 60, 4});
+  auto Loaded = summarizeCluster(Jobs, runCluster(Config, Jobs, Resv), 8);
+  EXPECT_GT(Loaded.MeanWait, Plain.MeanWait);
+}
+
+TEST(Cluster, BackfillReducesWaitOnMixedLoad) {
+  BatchWorkloadConfig W;
+  W.JobCount = 300;
+  W.NodesHi = 8;
+  std::vector<BatchJob> Jobs = makeBatchTrace(W, 9);
+  ClusterConfig None;
+  None.NodeCount = 8;
+  ClusterConfig Easy = None;
+  Easy.Backfill = BackfillMode::Easy;
+  auto MNone = summarizeCluster(Jobs, runCluster(None, Jobs), 8);
+  auto MEasy = summarizeCluster(Jobs, runCluster(Easy, Jobs), 8);
+  EXPECT_LE(MEasy.MeanWait, MNone.MeanWait);
+}
+
+TEST(Cluster, MetricsAreConsistent) {
+  BatchWorkloadConfig W;
+  W.JobCount = 100;
+  W.NodesHi = 4;
+  std::vector<BatchJob> Jobs = makeBatchTrace(W, 3);
+  ClusterConfig Config;
+  Config.NodeCount = 8;
+  auto Out = runCluster(Config, Jobs);
+  auto M = summarizeCluster(Jobs, Out, 8);
+  EXPECT_GE(M.MeanWait, 0.0);
+  EXPECT_GE(M.MaxWait, M.MeanWait);
+  EXPECT_GE(M.MeanSlowdown, 1.0);
+  EXPECT_GT(M.Utilization, 0.0);
+  EXPECT_LE(M.Utilization, 1.0);
+  for (size_t I = 0; I < Jobs.size(); ++I) {
+    EXPECT_TRUE(Out[I].Started);
+    EXPECT_GE(Out[I].Start, Jobs[I].Arrival);
+    EXPECT_EQ(Out[I].Finish, Out[I].Start + Jobs[I].ActualTicks);
+  }
+}
+
+TEST(Cluster, TraceGeneratorHonoursConfig) {
+  BatchWorkloadConfig W;
+  W.JobCount = 500;
+  auto Jobs = makeBatchTrace(W, 11);
+  ASSERT_EQ(Jobs.size(), 500u);
+  Tick Prev = 0;
+  for (const auto &J : Jobs) {
+    EXPECT_GE(J.Arrival, Prev);
+    Prev = J.Arrival;
+    EXPECT_GE(J.Nodes, W.NodesLo);
+    EXPECT_LE(J.Nodes, W.NodesHi);
+    EXPECT_GE(J.EstTicks, W.EstLo);
+    EXPECT_LE(J.EstTicks, W.EstHi);
+    EXPECT_GE(J.ActualTicks, 1);
+    EXPECT_LE(J.ActualTicks, J.EstTicks);
+  }
+}
+
+TEST(Cluster, TraceIsDeterministic) {
+  BatchWorkloadConfig W;
+  W.JobCount = 50;
+  auto A = makeBatchTrace(W, 42);
+  auto B = makeBatchTrace(W, 42);
+  for (size_t I = 0; I < A.size(); ++I) {
+    EXPECT_EQ(A[I].Arrival, B[I].Arrival);
+    EXPECT_EQ(A[I].EstTicks, B[I].EstTicks);
+    EXPECT_EQ(A[I].ActualTicks, B[I].ActualTicks);
+  }
+}
+
+TEST(Cluster, BackfillModeNames) {
+  EXPECT_STREQ(backfillModeName(BackfillMode::None), "none");
+  EXPECT_STREQ(backfillModeName(BackfillMode::Easy), "easy");
+  EXPECT_STREQ(backfillModeName(BackfillMode::Conservative), "conservative");
+  EXPECT_STREQ(queueOrderName(QueueOrder::FCFS), "fcfs");
+  EXPECT_STREQ(queueOrderName(QueueOrder::LWF), "lwf");
+}
+
+/// All scheduler configurations must complete every job of random
+/// traces with basic sanity (starts after arrival, no lost jobs).
+class ClusterSweep
+    : public ::testing::TestWithParam<std::tuple<int, int, uint64_t>> {};
+
+TEST_P(ClusterSweep, CompletesAllJobs) {
+  auto [OrderIdx, BackfillIdx, Seed] = GetParam();
+  BatchWorkloadConfig W;
+  W.JobCount = 150;
+  W.NodesHi = 6;
+  auto Jobs = makeBatchTrace(W, Seed);
+  ClusterConfig Config;
+  Config.NodeCount = 8;
+  Config.Order = static_cast<QueueOrder>(OrderIdx);
+  Config.Backfill = static_cast<BackfillMode>(BackfillIdx);
+  auto Out = runCluster(Config, Jobs);
+  ASSERT_EQ(Out.size(), Jobs.size());
+  for (size_t I = 0; I < Jobs.size(); ++I) {
+    EXPECT_TRUE(Out[I].Started);
+    EXPECT_GE(Out[I].Start, Jobs[I].Arrival);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Policies, ClusterSweep,
+    ::testing::Combine(::testing::Values(0, 1), ::testing::Values(0, 1, 2),
+                       ::testing::Values(1u, 7u, 13u)));

@@ -1,0 +1,149 @@
+//===-- tests/test_coarsen.cpp - Granularity transformation tests ---------===//
+//
+// Part of CWS, a reproduction of Toporkov, "Application-Level and Job-Flow
+// Scheduling" (PaCT 2009). Distributed without any warranty.
+//
+//===----------------------------------------------------------------------===//
+
+#include "job/Coarsen.h"
+#include "job/Generator.h"
+#include "TestUtil.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+using namespace cws;
+
+namespace {
+
+Tick totalRef(const Job &J) { return J.totalRefTicks(); }
+
+double totalVolume(const Job &J) {
+  double Sum = 0.0;
+  for (const auto &T : J.tasks())
+    Sum += T.Volume;
+  return Sum;
+}
+
+} // namespace
+
+TEST(Coarsen, ChainContractsToOneTask) {
+  Job J = makeChainJob();
+  CoarsenConfig Config;
+  Config.MaxMergedRef = 0; // Unbounded.
+  CoarseJob C = coarsenJob(J, Config);
+  EXPECT_EQ(C.Coarse.taskCount(), 1u);
+  EXPECT_EQ(C.Coarse.edgeCount(), 0u);
+  EXPECT_EQ(C.Coarse.task(0).RefTicks, 7);
+  EXPECT_DOUBLE_EQ(C.Coarse.task(0).Volume, 70.0);
+  ASSERT_EQ(C.Members.size(), 1u);
+  EXPECT_EQ(C.Members[0].size(), 3u);
+}
+
+TEST(Coarsen, BoundStopsOversizedMerges) {
+  Job J = makeChainJob(); // Refs 2, 3, 2.
+  CoarsenConfig Config;
+  Config.MaxMergedRef = 5;
+  CoarseJob C = coarsenJob(J, Config);
+  // 2+3 = 5 merges; adding the last 2 would exceed 5.
+  EXPECT_EQ(C.Coarse.taskCount(), 2u);
+  EXPECT_EQ(totalRef(C.Coarse), 7);
+}
+
+TEST(Coarsen, DiamondMergesSiblingsThenChain) {
+  Job J = makeDiamondJob();
+  CoarsenConfig Config;
+  Config.MaxMergedRef = 0;
+  CoarseJob C = coarsenJob(J, Config);
+  // B and C are siblings (same preds/succs); after their merge the job
+  // is the chain A -> BC -> D which contracts fully.
+  EXPECT_EQ(C.Coarse.taskCount(), 1u);
+  EXPECT_EQ(totalRef(C.Coarse), totalRef(J));
+  EXPECT_DOUBLE_EQ(totalVolume(C.Coarse), totalVolume(J));
+}
+
+TEST(Coarsen, SiblingRoundsZeroKeepsParallelism) {
+  Job J = makeDiamondJob();
+  CoarsenConfig Config;
+  Config.SiblingRounds = 0;
+  Config.MaxMergedRef = 0;
+  CoarseJob C = coarsenJob(J, Config);
+  // No linear runs exist in a diamond, so nothing merges.
+  EXPECT_EQ(C.Coarse.taskCount(), 4u);
+}
+
+TEST(Coarsen, PreservesWorkAndVolume) {
+  JobGenerator Gen(WorkloadConfig{}, 404);
+  for (int I = 0; I < 30; ++I) {
+    Job J = Gen.next(0);
+    CoarseJob C = coarsenJob(J);
+    EXPECT_EQ(totalRef(C.Coarse), totalRef(J));
+    EXPECT_NEAR(totalVolume(C.Coarse), totalVolume(J), 1e-9);
+    EXPECT_LE(C.Coarse.taskCount(), J.taskCount());
+    EXPECT_TRUE(C.Coarse.isAcyclic());
+    EXPECT_EQ(C.Coarse.deadline(), J.deadline());
+    EXPECT_EQ(C.Coarse.release(), J.release());
+    EXPECT_EQ(C.Coarse.id(), J.id());
+  }
+}
+
+TEST(Coarsen, MembersPartitionOriginalTasks) {
+  JobGenerator Gen(WorkloadConfig{}, 405);
+  for (int I = 0; I < 20; ++I) {
+    Job J = Gen.next(0);
+    CoarseJob C = coarsenJob(J);
+    std::vector<bool> Seen(J.taskCount(), false);
+    for (const auto &Group : C.Members)
+      for (unsigned Member : Group) {
+        ASSERT_LT(Member, J.taskCount());
+        EXPECT_FALSE(Seen[Member]) << "task absorbed twice";
+        Seen[Member] = true;
+      }
+    for (bool S : Seen)
+      EXPECT_TRUE(S);
+  }
+}
+
+TEST(Coarsen, NeverLengthensBeyondSerialWork) {
+  // Critical path of the coarse job is bounded by the total work plus
+  // all transfers (full serialization).
+  JobGenerator Gen(WorkloadConfig{}, 406);
+  for (int I = 0; I < 20; ++I) {
+    Job J = Gen.next(0);
+    CoarseJob C = coarsenJob(J);
+    Tick TransferSum = 0;
+    for (const auto &E : J.edges())
+      TransferSum += E.BaseTransfer;
+    EXPECT_LE(C.Coarse.criticalPathRefTicks(),
+              J.totalRefTicks() + TransferSum);
+    EXPECT_GE(C.Coarse.criticalPathRefTicks(), J.criticalPathRefTicks() > 0
+                                                   ? J.task(0).RefTicks
+                                                   : 0);
+  }
+}
+
+TEST(Coarsen, Fig2JobCoarsens) {
+  Job J = makeFig2Job();
+  CoarsenConfig Config;
+  Config.MaxMergedRef = 0;
+  CoarseJob C = coarsenJob(J, Config);
+  // P2/P3 and P4/P5 are sibling pairs; with unbounded merges the whole
+  // job collapses into a single chain and then one task.
+  EXPECT_LT(C.Coarse.taskCount(), J.taskCount());
+  EXPECT_EQ(totalRef(C.Coarse), 11);
+}
+
+TEST(Coarsen, EmptyJob) {
+  Job J;
+  CoarseJob C = coarsenJob(J);
+  EXPECT_EQ(C.Coarse.taskCount(), 0u);
+}
+
+TEST(Coarsen, SingleTaskJob) {
+  Job J;
+  J.addTask("only", 3, 30);
+  CoarseJob C = coarsenJob(J);
+  EXPECT_EQ(C.Coarse.taskCount(), 1u);
+  EXPECT_EQ(C.Coarse.task(0).RefTicks, 3);
+}

@@ -1,0 +1,129 @@
+//===-- tests/test_distribution.cpp - Distribution and cost tests ---------===//
+//
+// Part of CWS, a reproduction of Toporkov, "Application-Level and Job-Flow
+// Scheduling" (PaCT 2009). Distributed without any warranty.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/CostModel.h"
+#include "core/Distribution.h"
+#include "job/Job.h"
+#include "resource/Grid.h"
+#include "TestUtil.h"
+
+#include <gtest/gtest.h>
+
+using namespace cws;
+
+TEST(CostModel, CfTermIsCeil) {
+  // "rounded to nearest not-smaller integer"
+  EXPECT_EQ(CostModel::cfTerm(20.0, 2), 10);
+  EXPECT_EQ(CostModel::cfTerm(10.0, 3), 4);
+  EXPECT_EQ(CostModel::cfTerm(10.0, 4), 3);
+  EXPECT_EQ(CostModel::cfTerm(9.0, 3), 3);
+  EXPECT_EQ(CostModel::cfTerm(0.0, 5), 0);
+}
+
+TEST(CostModel, NodeCostScalesWithPriceAndTicks) {
+  Grid G = Grid::makeFig2();
+  CostModel Cost(G);
+  EXPECT_DOUBLE_EQ(Cost.nodeCost(0, 2), G.node(0).pricePerTick() * 2.0);
+  EXPECT_DOUBLE_EQ(Cost.nodeCost(3, 0), 0.0);
+}
+
+TEST(CostModel, TransferCost) {
+  Grid G = Grid::makeFig2();
+  CostConfig Config;
+  Config.TransferCostPerTick = 4.0;
+  CostModel Cost(G, Config);
+  EXPECT_DOUBLE_EQ(Cost.transferCost(3), 12.0);
+  EXPECT_DOUBLE_EQ(Cost.transferCost(0), 0.0);
+}
+
+TEST(Distribution, AddAndFind) {
+  Distribution D;
+  D.add({0, 1, 0, 4, 10.0});
+  D.add({1, 2, 5, 9, 20.0});
+  ASSERT_NE(D.find(0), nullptr);
+  EXPECT_EQ(D.find(0)->NodeId, 1u);
+  EXPECT_EQ(D.find(2), nullptr);
+  EXPECT_EQ(D.size(), 2u);
+}
+
+TEST(Distribution, RemoveReturnsPlacement) {
+  Distribution D;
+  D.add({0, 1, 0, 4, 10.0});
+  auto P = D.remove(0);
+  ASSERT_TRUE(P.has_value());
+  EXPECT_EQ(P->NodeId, 1u);
+  EXPECT_TRUE(D.empty());
+  EXPECT_FALSE(D.remove(0).has_value());
+}
+
+TEST(Distribution, CoversNeedsEveryTask) {
+  Job J = makeChainJob();
+  Distribution D;
+  D.add({0, 0, 0, 2, 1.0});
+  D.add({1, 0, 3, 6, 1.0});
+  EXPECT_FALSE(D.covers(J));
+  D.add({2, 0, 7, 9, 1.0});
+  EXPECT_TRUE(D.covers(J));
+}
+
+TEST(Distribution, MakespanAndStart) {
+  Distribution D;
+  EXPECT_EQ(D.makespan(), 0);
+  EXPECT_EQ(D.startTime(), 0);
+  D.add({0, 0, 5, 9, 1.0});
+  D.add({1, 1, 2, 4, 1.0});
+  EXPECT_EQ(D.makespan(), 9);
+  EXPECT_EQ(D.startTime(), 2);
+}
+
+TEST(Distribution, EconomicCostSums) {
+  Distribution D;
+  D.add({0, 0, 0, 1, 10.5});
+  D.add({1, 0, 2, 3, 4.5});
+  EXPECT_DOUBLE_EQ(D.economicCost(), 15.0);
+}
+
+TEST(Distribution, CostFunctionUsesLoadTicks) {
+  Job J = makeChainJob(); // Volumes 20, 30, 20.
+  Distribution D;
+  D.add({0, 0, 0, 2, 0.0});  // ceil(20/2) = 10
+  D.add({1, 0, 3, 9, 0.0});  // ceil(30/6) = 5
+  D.add({2, 0, 10, 18, 0.0}); // ceil(20/8) = 3
+  EXPECT_EQ(D.costFunction(J), 18);
+}
+
+TEST(Distribution, FitsGridChecksEveryPlacement) {
+  Grid G = makeSmallGrid();
+  Distribution D;
+  D.add({0, 0, 0, 5, 0.0});
+  D.add({1, 1, 0, 5, 0.0});
+  EXPECT_TRUE(D.fitsGrid(G));
+  G.node(1).timeline().reserve(3, 4, 9);
+  EXPECT_FALSE(D.fitsGrid(G));
+  EXPECT_TRUE(D.fitsGrid(G, /*Ignore=*/9));
+}
+
+TEST(Distribution, CommitReservesUnderOwner) {
+  Grid G = makeSmallGrid();
+  Distribution D;
+  D.add({0, 0, 0, 5, 0.0});
+  D.add({1, 1, 2, 7, 0.0});
+  EXPECT_TRUE(D.commit(G, 42));
+  EXPECT_FALSE(G.node(0).timeline().isFree(0, 5));
+  EXPECT_EQ(G.node(1).timeline().firstOverlap(2, 7)->Owner, 42u);
+}
+
+TEST(Distribution, CommitRollsBackOnConflict) {
+  Grid G = makeSmallGrid();
+  G.node(1).timeline().reserve(2, 7, 7);
+  Distribution D;
+  D.add({0, 0, 0, 5, 0.0});
+  D.add({1, 1, 2, 7, 0.0});
+  EXPECT_FALSE(D.commit(G, 42));
+  // The first reservation must have been rolled back.
+  EXPECT_TRUE(G.node(0).timeline().isFree(0, 5));
+}

@@ -1,0 +1,74 @@
+//===-- tests/test_dot.cpp - DOT export tests -----------------------------===//
+//
+// Part of CWS, a reproduction of Toporkov, "Application-Level and Job-Flow
+// Scheduling" (PaCT 2009). Distributed without any warranty.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Dot.h"
+#include "core/Scheduler.h"
+#include "resource/Network.h"
+#include "TestUtil.h"
+
+#include <gtest/gtest.h>
+
+using namespace cws;
+
+TEST(Dot, PlainGraphListsTasksAndEdges) {
+  Job J = makeFig2Job();
+  std::string Dot = jobDot(J);
+  EXPECT_EQ(Dot.rfind("digraph job {", 0), 0u);
+  for (const auto &T : J.tasks())
+    EXPECT_NE(Dot.find(T.Name), std::string::npos);
+  // One arrow per data edge.
+  size_t Arrows = 0;
+  size_t Pos = 0;
+  while ((Pos = Dot.find("->", Pos)) != std::string::npos) {
+    ++Arrows;
+    Pos += 2;
+  }
+  EXPECT_EQ(Arrows, J.edgeCount());
+  EXPECT_NE(Dot.find("}\n"), std::string::npos);
+}
+
+TEST(Dot, AnnotatedGraphShowsPlacements) {
+  Job J = makeFig2Job();
+  Grid Env = Grid::makeFig2();
+  Network Net;
+  ScheduleResult R = scheduleJob(J, Env, Net, SchedulerConfig{}, 1);
+  ASSERT_TRUE(R.Feasible);
+  std::string Dot = jobDot(J, R.Dist);
+  for (const auto &P : R.Dist.placements()) {
+    char Expect[64];
+    std::snprintf(Expect, sizeof(Expect), "@%u [%lld,%lld)", P.NodeId,
+                  static_cast<long long>(P.Start),
+                  static_cast<long long>(P.End));
+    EXPECT_NE(Dot.find(Expect), std::string::npos) << Expect;
+  }
+  EXPECT_NE(Dot.find("fillcolor=\"#"), std::string::npos);
+}
+
+TEST(Dot, PartialDistributionLeavesUnplacedPlain) {
+  Job J = makeChainJob();
+  Distribution D;
+  D.add({0, 1, 0, 4, 0.0});
+  std::string Dot = jobDot(J, D);
+  EXPECT_NE(Dot.find("@1 [0,4)"), std::string::npos);
+  // Tasks 1 and 2 carry no placement annotation.
+  EXPECT_EQ(Dot.find("@1 [5"), std::string::npos);
+}
+
+TEST(Dot, EmptyJob) {
+  Job J;
+  std::string Dot = jobDot(J);
+  EXPECT_NE(Dot.find("digraph job"), std::string::npos);
+}
+
+TEST(Dot, EdgeLabelsCarryTransferTicks) {
+  Job J;
+  unsigned A = J.addTask("a", 1, 10);
+  unsigned B = J.addTask("b", 1, 10);
+  J.addEdge(A, B, 7);
+  std::string Dot = jobDot(J);
+  EXPECT_NE(Dot.find("label=\"7\""), std::string::npos);
+}

@@ -1,0 +1,70 @@
+//===-- tests/test_estimates.cpp - Estimation grid tests ------------------===//
+//
+// Part of CWS, a reproduction of Toporkov, "Application-Level and Job-Flow
+// Scheduling" (PaCT 2009). Distributed without any warranty.
+//
+//===----------------------------------------------------------------------===//
+
+#include "job/Estimates.h"
+#include "resource/Grid.h"
+
+#include <gtest/gtest.h>
+
+using namespace cws;
+
+TEST(EstimateGrid, ReproducesFig2Table) {
+  Job J = makeFig2Job();
+  EstimateGrid E(J, {1.0, 0.5, 1.0 / 3.0, 0.25});
+  const Tick Expected[6][4] = {
+      {2, 4, 6, 8}, {3, 6, 9, 12}, {1, 2, 3, 4},
+      {2, 4, 6, 8}, {1, 2, 3, 4},  {2, 4, 6, 8},
+  };
+  for (unsigned TaskId = 0; TaskId < 6; ++TaskId)
+    for (size_t Level = 0; Level < 4; ++Level)
+      EXPECT_EQ(E.ticks(TaskId, Level), Expected[TaskId][Level])
+          << "P" << TaskId + 1 << " level " << Level;
+}
+
+TEST(EstimateGrid, PerfAt) {
+  Job J = makeFig2Job();
+  EstimateGrid E(J, {1.0, 0.5});
+  EXPECT_DOUBLE_EQ(E.perfAt(0), 1.0);
+  EXPECT_DOUBLE_EQ(E.perfAt(1), 0.5);
+  EXPECT_EQ(E.levels(), 2u);
+}
+
+TEST(EstimateGrid, CoveredLevelsFull) {
+  Job J = makeFig2Job();
+  EstimateGrid E(J, {1.0, 0.5, 0.25});
+  EXPECT_EQ(E.coveredLevels(false), (std::vector<size_t>{0, 1, 2}));
+}
+
+TEST(EstimateGrid, CoveredLevelsBestWorst) {
+  Job J = makeFig2Job();
+  EstimateGrid E(J, {1.0, 0.5, 0.33, 0.25});
+  EXPECT_EQ(E.coveredLevels(true), (std::vector<size_t>{0, 3}));
+}
+
+TEST(EstimateGrid, BestWorstDegeneratesToFull) {
+  Job J = makeFig2Job();
+  EstimateGrid E(J, {1.0, 0.5});
+  EXPECT_EQ(E.coveredLevels(true), (std::vector<size_t>{0, 1}));
+}
+
+TEST(EstimateGrid, EnvironmentLevelsAreSortedAndDeduped) {
+  Grid G;
+  G.addNode(0.5);
+  G.addNode(1.0);
+  G.addNode(0.5);
+  G.addNode(0.33);
+  std::vector<double> Levels = EstimateGrid::environmentLevels(G);
+  ASSERT_EQ(Levels.size(), 3u);
+  EXPECT_DOUBLE_EQ(Levels[0], 1.0);
+  EXPECT_DOUBLE_EQ(Levels[1], 0.5);
+  EXPECT_DOUBLE_EQ(Levels[2], 0.33);
+}
+
+TEST(EstimateGrid, Fig2EnvironmentHasFourLevels) {
+  Grid G = Grid::makeFig2();
+  EXPECT_EQ(EstimateGrid::environmentLevels(G).size(), 4u);
+}

@@ -1,0 +1,209 @@
+//===-- tests/test_execution.cpp - Execution engine tests -----------------===//
+//
+// Part of CWS, a reproduction of Toporkov, "Application-Level and Job-Flow
+// Scheduling" (PaCT 2009). Distributed without any warranty.
+//
+//===----------------------------------------------------------------------===//
+
+#include "flow/Execution.h"
+#include "core/Scheduler.h"
+#include "job/Generator.h"
+#include "resource/Network.h"
+#include "TestUtil.h"
+
+#include <gtest/gtest.h>
+
+using namespace cws;
+
+namespace {
+
+/// Schedules the chain job and commits it; returns job + distribution.
+struct Committed {
+  Job J;
+  Grid Env;
+  Distribution D;
+};
+
+Committed makeCommitted(Tick Deadline = 200) {
+  Committed C{makeChainJob(Deadline), makeSmallGrid(), {}};
+  Network Net;
+  ScheduleResult R = scheduleJob(C.J, C.Env, Net, SchedulerConfig{}, 7);
+  EXPECT_TRUE(R.Feasible);
+  C.D = R.Dist;
+  EXPECT_TRUE(C.D.commit(C.Env, 7));
+  return C;
+}
+
+} // namespace
+
+TEST(Execution, ExactRuntimesReproduceThePlan) {
+  Committed C = makeCommitted();
+  Prng Rng(1);
+  ExecutionConfig Config;
+  Config.FactorLo = Config.FactorHi = 1.0;
+  ExecutionResult R = executeDistribution(C.J, C.D, C.Env, Rng, Config);
+  ASSERT_TRUE(R.Succeeded);
+  EXPECT_TRUE(R.MetDeadline);
+  EXPECT_EQ(R.Completion, C.D.makespan());
+  EXPECT_EQ(R.CompletionGain, 0);
+  EXPECT_EQ(R.Overruns, 0u);
+  EXPECT_EQ(R.EarlyFinishes, 0u);
+  for (const auto &T : R.Tasks) {
+    const Placement *P = C.D.find(T.TaskId);
+    EXPECT_EQ(T.Start, P->Start);
+    EXPECT_EQ(T.End, P->End);
+  }
+}
+
+TEST(Execution, EarlyFinishesNeverSlowTheJobDown) {
+  Committed C = makeCommitted();
+  Prng Rng(2);
+  ExecutionConfig Config;
+  Config.FactorLo = 0.4;
+  Config.FactorHi = 0.8;
+  ExecutionResult R = executeDistribution(C.J, C.D, C.Env, Rng, Config);
+  ASSERT_TRUE(R.Succeeded);
+  EXPECT_LE(R.Completion, C.D.makespan());
+  EXPECT_GE(R.CompletionGain, 0);
+  EXPECT_GT(R.EarlyFinishes, 0u);
+}
+
+TEST(Execution, ActualsRespectPrecedence) {
+  JobGenerator Gen(WorkloadConfig{}, 5);
+  Network Net;
+  Prng EnvRng(6);
+  for (int I = 0; I < 10; ++I) {
+    Job J = Gen.next(0);
+    J.setDeadline(J.deadline() * 3);
+    Grid Env = Grid::makeRandom(GridConfig{}, EnvRng);
+    ScheduleResult S = scheduleJob(J, Env, Net, SchedulerConfig{}, 7);
+    if (!S.Feasible)
+      continue;
+    ASSERT_TRUE(S.Dist.commit(Env, 7));
+    Prng Rng(100 + I);
+    ExecutionConfig Config;
+    Config.FactorLo = 0.5;
+    Config.FactorHi = 1.0;
+    ExecutionResult R = executeDistribution(J, S.Dist, Env, Rng, Config);
+    ASSERT_TRUE(R.Succeeded);
+    for (const auto &E : J.edges()) {
+      Tick Tr = Network{}.transferTicks(E.BaseTransfer,
+                                        R.Tasks[E.Src].NodeId,
+                                        R.Tasks[E.Dst].NodeId);
+      EXPECT_GE(R.Tasks[E.Dst].Start, R.Tasks[E.Src].End + Tr);
+    }
+  }
+}
+
+TEST(Execution, OverrunIntoFreeTimeIsGranted) {
+  // A single task on an otherwise empty node may exceed its wall time
+  // by up to MaxExtension.
+  Job J;
+  J.addTask("t", 10, 100);
+  J.setDeadline(100);
+  Grid Env = makeSmallGrid();
+  Distribution D;
+  D.add({0, 0, 0, 10, 0.0});
+  ASSERT_TRUE(D.commit(Env, 7));
+  Prng Rng(3);
+  ExecutionConfig Config;
+  Config.FactorLo = Config.FactorHi = 1.2; // 12 ticks on a 10-tick slot.
+  Config.MaxExtension = 4;
+  ExecutionResult R = executeDistribution(J, D, Env, Rng, Config);
+  ASSERT_TRUE(R.Succeeded);
+  EXPECT_EQ(R.Overruns, 1u);
+  EXPECT_EQ(R.Kills, 0u);
+  EXPECT_EQ(R.Tasks[0].End, 12);
+  EXPECT_TRUE(R.Tasks[0].Overran);
+}
+
+TEST(Execution, OverrunIntoAReservationKills) {
+  Job J;
+  J.addTask("t", 10, 100);
+  J.setDeadline(100);
+  Grid Env = makeSmallGrid();
+  Distribution D;
+  D.add({0, 0, 0, 10, 0.0});
+  ASSERT_TRUE(D.commit(Env, 7));
+  // Someone else holds the node right after the reservation.
+  ASSERT_TRUE(Env.node(0).timeline().reserve(10, 20, 9));
+  Prng Rng(3);
+  ExecutionConfig Config;
+  Config.FactorLo = Config.FactorHi = 1.2;
+  ExecutionResult R = executeDistribution(J, D, Env, Rng, Config);
+  EXPECT_FALSE(R.Succeeded);
+  EXPECT_EQ(R.Kills, 1u);
+  EXPECT_TRUE(R.Tasks[0].Killed);
+}
+
+TEST(Execution, OverrunBeyondMaxExtensionKills) {
+  Job J;
+  J.addTask("t", 10, 100);
+  J.setDeadline(100);
+  Grid Env = makeSmallGrid();
+  Distribution D;
+  D.add({0, 0, 0, 10, 0.0});
+  ASSERT_TRUE(D.commit(Env, 7));
+  Prng Rng(3);
+  ExecutionConfig Config;
+  Config.FactorLo = Config.FactorHi = 2.0; // Needs +10, far past +4.
+  Config.MaxExtension = 4;
+  ExecutionResult R = executeDistribution(J, D, Env, Rng, Config);
+  EXPECT_FALSE(R.Succeeded);
+  EXPECT_EQ(R.Kills, 1u);
+}
+
+TEST(Execution, EarlyStartUsesUnreservedLeadIn) {
+  // Two tasks on different nodes; the successor's node is idle before
+  // its reservation, so an early predecessor finish cascades.
+  Job J;
+  unsigned A = J.addTask("a", 10, 100);
+  unsigned B = J.addTask("b", 10, 100);
+  J.addEdge(A, B, 0);
+  J.setDeadline(100);
+  Grid Env = makeSmallGrid();
+  Distribution D;
+  D.add({A, 0, 0, 10, 0.0});
+  D.add({B, 1, 10, 23, 0.0});
+  ASSERT_TRUE(D.commit(Env, 7));
+  Prng Rng(4);
+  ExecutionConfig Config;
+  Config.FactorLo = Config.FactorHi = 0.5; // A finishes at 5.
+  ExecutionResult R = executeDistribution(J, D, Env, Rng, Config);
+  ASSERT_TRUE(R.Succeeded);
+  EXPECT_EQ(R.Tasks[A].End, 5);
+  EXPECT_EQ(R.Tasks[B].Start, 5); // Lead-in [5, 10) on node 1 is free.
+  EXPECT_GT(R.CompletionGain, 0);
+}
+
+TEST(Execution, EarlyStartBlockedByForeignReservation) {
+  Job J;
+  unsigned A = J.addTask("a", 10, 100);
+  unsigned B = J.addTask("b", 10, 100);
+  J.addEdge(A, B, 0);
+  J.setDeadline(100);
+  Grid Env = makeSmallGrid();
+  Distribution D;
+  D.add({A, 0, 0, 10, 0.0});
+  D.add({B, 1, 10, 23, 0.0});
+  ASSERT_TRUE(D.commit(Env, 7));
+  ASSERT_TRUE(Env.node(1).timeline().reserve(6, 9, 9));
+  Prng Rng(4);
+  ExecutionConfig Config;
+  Config.FactorLo = Config.FactorHi = 0.5;
+  ExecutionResult R = executeDistribution(J, D, Env, Rng, Config);
+  ASSERT_TRUE(R.Succeeded);
+  EXPECT_EQ(R.Tasks[B].Start, 10); // Lead-in occupied: start as planned.
+}
+
+TEST(Execution, DeterministicForSameSeed) {
+  Committed C = makeCommitted();
+  Prng A(9), B(9);
+  ExecutionResult Ra = executeDistribution(C.J, C.D, C.Env, A);
+  ExecutionResult Rb = executeDistribution(C.J, C.D, C.Env, B);
+  ASSERT_EQ(Ra.Tasks.size(), Rb.Tasks.size());
+  for (size_t I = 0; I < Ra.Tasks.size(); ++I) {
+    EXPECT_EQ(Ra.Tasks[I].Start, Rb.Tasks[I].Start);
+    EXPECT_EQ(Ra.Tasks[I].End, Rb.Tasks[I].End);
+  }
+}

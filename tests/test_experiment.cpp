@@ -1,0 +1,150 @@
+//===-- tests/test_experiment.cpp - Experiment harness tests --------------===//
+//
+// Part of CWS, a reproduction of Toporkov, "Application-Level and Job-Flow
+// Scheduling" (PaCT 2009). Distributed without any warranty.
+//
+//===----------------------------------------------------------------------===//
+
+#include "metrics/Experiment.h"
+
+#include <gtest/gtest.h>
+
+using namespace cws;
+
+TEST(PreloadGrid, ReachesTargetFractions) {
+  Prng Rng(5);
+  Grid Env = Grid::makeRandom(GridConfig{}, Rng);
+  size_t Placed = preloadGrid(Env, 100, 0.4, 0.6, 2, 8, Rng);
+  EXPECT_GT(Placed, 0u);
+  for (const auto &N : Env.nodes()) {
+    double U = N.timeline().utilization(0, 100);
+    EXPECT_GE(U, 0.3); // Target is at least 0.4 minus granularity slop.
+    EXPECT_LT(U, 0.95);
+  }
+}
+
+TEST(PreloadGrid, ZeroRangeLeavesGridEmpty) {
+  Prng Rng(6);
+  Grid Env = Grid::makeRandom(GridConfig{}, Rng);
+  preloadGrid(Env, 100, 0.0, 0.0, 2, 8, Rng);
+  for (const auto &N : Env.nodes())
+    EXPECT_TRUE(N.timeline().intervals().empty());
+}
+
+TEST(Fig3, TinyRunProducesRows) {
+  Fig3Config Config;
+  Config.JobCount = 40;
+  std::vector<Fig3Row> Rows = runFig3(Config);
+  ASSERT_EQ(Rows.size(), 3u);
+  EXPECT_EQ(Rows[0].Kind, StrategyKind::S1);
+  EXPECT_EQ(Rows[1].Kind, StrategyKind::S2);
+  EXPECT_EQ(Rows[2].Kind, StrategyKind::S3);
+  for (const auto &R : Rows) {
+    EXPECT_EQ(R.Jobs, 40u);
+    EXPECT_GE(R.admissiblePercent(), 0.0);
+    EXPECT_LE(R.admissiblePercent(), 100.0);
+    EXPECT_GT(R.MeanVariants, 0.0);
+    EXPECT_GE(R.MeanVariants, R.MeanFeasibleVariants);
+  }
+}
+
+TEST(Fig3, CollisionSplitsAreConsistent) {
+  Fig3Config Config;
+  Config.JobCount = 60;
+  std::vector<Fig3Row> Rows = runFig3(Config);
+  for (const auto &R : Rows) {
+    if (R.IntraCost.total() > 0) {
+      EXPECT_GE(R.IntraCost.fastPercent(), 0.0);
+      EXPECT_LE(R.IntraCost.fastPercent(), 100.0);
+      EXPECT_NEAR(R.IntraCost.fastPercent() + R.IntraCost.slowPercent(),
+                  100.0, 1e-9);
+    }
+  }
+}
+
+TEST(Fig3, IsDeterministic) {
+  Fig3Config Config;
+  Config.JobCount = 30;
+  auto A = runFig3(Config);
+  auto B = runFig3(Config);
+  for (size_t I = 0; I < A.size(); ++I) {
+    EXPECT_EQ(A[I].Admissible, B[I].Admissible);
+    EXPECT_EQ(A[I].IntraCost.Fast, B[I].IntraCost.Fast);
+    EXPECT_EQ(A[I].IntraCost.Slow, B[I].IntraCost.Slow);
+  }
+}
+
+TEST(Fig3, SeedChangesOutcome) {
+  Fig3Config A;
+  A.JobCount = 30;
+  Fig3Config B = A;
+  B.Seed = A.Seed + 1;
+  EXPECT_NE(runFig3(A)[0].Admissible, runFig3(B)[0].Admissible);
+}
+
+TEST(Fig4, TinyRunProducesRows) {
+  Fig4Config Config;
+  Config.Vo.JobCount = 20;
+  std::vector<Fig4Row> Rows = runFig4(Config);
+  ASSERT_EQ(Rows.size(), 4u);
+  for (const auto &R : Rows) {
+    EXPECT_EQ(R.Agg.Jobs, 20u);
+    EXPECT_GE(R.LoadFast, 0.0);
+    EXPECT_GE(R.LoadMedium, 0.0);
+    EXPECT_GE(R.LoadSlow, 0.0);
+  }
+}
+
+TEST(Fig4, DefaultVoConfigIsLooserThanFig3) {
+  VoConfig Vo = makeFig4VoConfig();
+  EXPECT_GT(Vo.Workload.DeadlineSlack, WorkloadConfig{}.DeadlineSlack);
+}
+
+TEST(Fig4, AggregatesAreConsistent) {
+  Fig4Config Config;
+  Config.Vo.JobCount = 20;
+  for (const auto &R : runFig4(Config)) {
+    EXPECT_LE(R.Agg.CommittedPercent, R.Agg.AdmissiblePercent + 1e-9);
+    if (R.Agg.Committed > 0) {
+      EXPECT_GT(R.Agg.MeanCost, 0.0);
+      EXPECT_GT(R.Agg.MeanCf, 0.0);
+      EXPECT_GT(R.Agg.MeanRunTicks, 0.0);
+      EXPECT_GE(R.Agg.MeanResponseTicks, R.Agg.MeanRunTicks);
+    }
+  }
+}
+
+TEST(SummarizeVo, EmptyRun) {
+  VoRunResult Run;
+  VoAggregates A = summarizeVo(Run);
+  EXPECT_EQ(A.Jobs, 0u);
+  EXPECT_EQ(A.Committed, 0u);
+  EXPECT_EQ(A.MeanCost, 0.0);
+}
+
+TEST(SummarizeVo, CountsCategories) {
+  VoRunResult Run;
+  VoJobStats Committed;
+  Committed.Admissible = true;
+  Committed.Committed = true;
+  Committed.Arrival = 0;
+  Committed.ActualStart = 10;
+  Committed.Completion = 30;
+  Committed.ForecastStart = 8;
+  Committed.Cost = 50.0;
+  Committed.Cf = 12;
+  Committed.Ttl = 25;
+  Committed.TtlClosed = true;
+  VoJobStats Inadmissible;
+  Inadmissible.TtlClosed = true;
+  Run.Jobs = {Committed, Inadmissible};
+  VoAggregates A = summarizeVo(Run);
+  EXPECT_EQ(A.Jobs, 2u);
+  EXPECT_EQ(A.Committed, 1u);
+  EXPECT_DOUBLE_EQ(A.AdmissiblePercent, 50.0);
+  EXPECT_DOUBLE_EQ(A.MeanCost, 50.0);
+  EXPECT_DOUBLE_EQ(A.MeanCf, 12.0);
+  EXPECT_DOUBLE_EQ(A.MeanRunTicks, 20.0);
+  EXPECT_DOUBLE_EQ(A.MeanStartDeviation, 2.0);
+  EXPECT_DOUBLE_EQ(A.MeanTtl, 25.0);
+}

@@ -1,0 +1,114 @@
+//===-- tests/test_export.cpp - CSV export tests --------------------------===//
+//
+// Part of CWS, a reproduction of Toporkov, "Application-Level and Job-Flow
+// Scheduling" (PaCT 2009). Distributed without any warranty.
+//
+//===----------------------------------------------------------------------===//
+
+#include "metrics/Export.h"
+#include "resource/Network.h"
+#include "TestUtil.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+using namespace cws;
+
+namespace {
+
+size_t countLines(const std::string &S) {
+  size_t Lines = 0;
+  for (char C : S)
+    if (C == '\n')
+      ++Lines;
+  return Lines;
+}
+
+} // namespace
+
+TEST(Export, DistributionCsvHasOneRowPerPlacement) {
+  Job J = makeChainJob();
+  Grid Env = makeSmallGrid();
+  Network Net;
+  ScheduleResult R = scheduleJob(J, Env, Net, SchedulerConfig{}, 1);
+  ASSERT_TRUE(R.Feasible);
+  std::string Csv = distributionCsv(J, R.Dist);
+  EXPECT_EQ(countLines(Csv), 1 + J.taskCount()); // Header + rows.
+  EXPECT_EQ(Csv.rfind("task,name,node,start,end,cost\n", 0), 0u);
+  for (const auto &T : J.tasks())
+    EXPECT_NE(Csv.find("," + T.Name + ","), std::string::npos);
+}
+
+TEST(Export, DistributionCsvFieldsParseBack) {
+  Job J = makeChainJob();
+  Grid Env = makeSmallGrid();
+  Network Net;
+  ScheduleResult R = scheduleJob(J, Env, Net, SchedulerConfig{}, 1);
+  std::string Csv = distributionCsv(J, R.Dist);
+  std::istringstream In(Csv);
+  std::string Line;
+  std::getline(In, Line); // Header.
+  size_t Rows = 0;
+  while (std::getline(In, Line)) {
+    unsigned TaskId, NodeId;
+    long long Start, End;
+    double Cost;
+    char Name[64];
+    ASSERT_EQ(std::sscanf(Line.c_str(), "%u,%63[^,],%u,%lld,%lld,%lf",
+                          &TaskId, Name, &NodeId, &Start, &End, &Cost),
+              6)
+        << Line;
+    const Placement *P = R.Dist.find(TaskId);
+    ASSERT_NE(P, nullptr);
+    EXPECT_EQ(P->NodeId, NodeId);
+    EXPECT_EQ(P->Start, Start);
+    EXPECT_EQ(P->End, End);
+    ++Rows;
+  }
+  EXPECT_EQ(Rows, J.taskCount());
+}
+
+TEST(Export, StrategyCsvCoversAllVariants) {
+  StrategyConfig Config;
+  Strategy S = Strategy::build(makeFig2Job(), Grid::makeFig2(), Network{},
+                               Config, 1);
+  std::string Csv = strategyCsv(S);
+  EXPECT_EQ(countLines(Csv), 1 + S.variants().size());
+  // Infeasible variants keep empty numeric fields but stay present.
+  size_t Feasible = 0;
+  std::istringstream In(Csv);
+  std::string Line;
+  std::getline(In, Line);
+  while (std::getline(In, Line))
+    if (Line.find(",1,") != std::string::npos)
+      ++Feasible;
+  EXPECT_EQ(Feasible, S.feasibleCount());
+}
+
+TEST(Export, VoStatsCsvRoundTripCounts) {
+  VoJobStats A;
+  A.JobId = 7;
+  A.Arrival = 3;
+  A.Deadline = 40;
+  A.Admissible = true;
+  A.Committed = true;
+  A.ActualStart = 5;
+  A.Completion = 30;
+  A.Cost = 12.5;
+  A.Cf = 9;
+  A.Ttl = 22;
+  A.TtlClosed = true;
+  VoJobStats B; // All defaults.
+  std::string Csv = voStatsCsv({A, B});
+  EXPECT_EQ(countLines(Csv), 3u);
+  EXPECT_NE(Csv.find("7,3,40,1,1,0,0,0,0,5,30,12.500,9,22,1,0"),
+            std::string::npos);
+}
+
+TEST(Export, EmptyInputsYieldHeaderOnly) {
+  Job J;
+  Distribution D;
+  EXPECT_EQ(countLines(distributionCsv(J, D)), 1u);
+  EXPECT_EQ(countLines(voStatsCsv({})), 1u);
+}

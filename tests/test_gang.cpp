@@ -1,0 +1,123 @@
+//===-- tests/test_gang.cpp - Gang scheduling tests -----------------------===//
+//
+// Part of CWS, a reproduction of Toporkov, "Application-Level and Job-Flow
+// Scheduling" (PaCT 2009). Distributed without any warranty.
+//
+//===----------------------------------------------------------------------===//
+
+#include "batch/Gang.h"
+#include "batch/Cluster.h"
+
+#include <gtest/gtest.h>
+
+using namespace cws;
+
+TEST(Gang, SingleJobRunsToCompletion) {
+  GangConfig Config;
+  Config.NodeCount = 4;
+  Config.Quantum = 4;
+  auto Out = runGang(Config, {{0, 0, 2, 10, 10}});
+  ASSERT_EQ(Out.size(), 1u);
+  EXPECT_TRUE(Out[0].Started);
+  EXPECT_EQ(Out[0].Start, 0);
+  EXPECT_EQ(Out[0].Finish, 10);
+}
+
+TEST(Gang, ConcurrentJobsShareNodes) {
+  GangConfig Config;
+  Config.NodeCount = 4;
+  Config.Quantum = 2;
+  auto Out = runGang(Config, {{0, 0, 2, 8, 8}, {1, 0, 2, 8, 8}});
+  // Both fit side by side: no time slicing needed.
+  EXPECT_EQ(Out[0].Start, 0);
+  EXPECT_EQ(Out[1].Start, 0);
+  EXPECT_EQ(Out[0].Finish, 8);
+  EXPECT_EQ(Out[1].Finish, 8);
+}
+
+TEST(Gang, TimeSlicesWhenOversubscribed) {
+  GangConfig Config;
+  Config.NodeCount = 4;
+  Config.Quantum = 2;
+  // Two jobs each need all nodes: they must alternate quanta.
+  auto Out = runGang(Config, {{0, 0, 4, 4, 4}, {1, 0, 4, 4, 4}});
+  EXPECT_TRUE(Out[0].Started);
+  EXPECT_TRUE(Out[1].Started);
+  // Each needs 2 quanta of service; interleaved they finish by ~8.
+  EXPECT_LE(std::max(Out[0].Finish, Out[1].Finish), 8);
+  // Both got service within the first two quanta (no starvation).
+  EXPECT_LE(Out[0].Start, 2);
+  EXPECT_LE(Out[1].Start, 2);
+}
+
+TEST(Gang, ShortJobGetsEarlyServiceUnderLongJob) {
+  GangConfig Config;
+  Config.NodeCount = 4;
+  Config.Quantum = 2;
+  // A long full-width job is in flight; a short job arriving later
+  // still receives service long before the long job completes —
+  // the gang-scheduling selling point over FCFS.
+  auto Out = runGang(Config, {{0, 0, 4, 40, 40}, {1, 2, 1, 2, 2}});
+  EXPECT_LT(Out[1].Finish, Out[0].Finish);
+  EXPECT_LE(Out[1].Start, 6);
+}
+
+TEST(Gang, ArrivalsAreRespected) {
+  GangConfig Config;
+  Config.NodeCount = 4;
+  auto Out = runGang(Config, {{0, 100, 1, 4, 4}});
+  EXPECT_GE(Out[0].Start, 100);
+}
+
+TEST(Gang, IdleGapBetweenArrivals) {
+  GangConfig Config;
+  Config.NodeCount = 2;
+  Config.Quantum = 2;
+  auto Out = runGang(Config, {{0, 0, 1, 2, 2}, {1, 50, 1, 2, 2}});
+  EXPECT_EQ(Out[0].Finish, 2);
+  EXPECT_GE(Out[1].Start, 50);
+  EXPECT_TRUE(Out[1].Started);
+}
+
+TEST(Gang, AllJobsCompleteOnRandomTrace) {
+  BatchWorkloadConfig W;
+  W.JobCount = 120;
+  W.NodesHi = 6;
+  auto Jobs = makeBatchTrace(W, 21);
+  GangConfig Config;
+  Config.NodeCount = 8;
+  auto Out = runGang(Config, Jobs);
+  ASSERT_EQ(Out.size(), Jobs.size());
+  for (size_t I = 0; I < Jobs.size(); ++I) {
+    EXPECT_TRUE(Out[I].Started);
+    EXPECT_GE(Out[I].Start, Jobs[I].Arrival);
+    EXPECT_GE(Out[I].Finish, Out[I].Start + Jobs[I].ActualTicks);
+  }
+}
+
+TEST(Gang, ImprovesShortJobResponseOverFcfs) {
+  // Mixed workload: long wide jobs plus short narrow ones. Gang
+  // scheduling should serve the short jobs sooner on average.
+  std::vector<BatchJob> Jobs;
+  unsigned Id = 0;
+  for (Tick T = 0; T < 200; T += 40)
+    Jobs.push_back({Id++, T, 8, 40, 40});
+  std::vector<size_t> ShortIdx;
+  for (Tick T = 5; T < 200; T += 20) {
+    ShortIdx.push_back(Jobs.size());
+    Jobs.push_back({Id++, T, 1, 4, 4});
+  }
+  GangConfig GC;
+  GC.NodeCount = 8;
+  GC.Quantum = 4;
+  auto GangOut = runGang(GC, Jobs);
+  ClusterConfig CC;
+  CC.NodeCount = 8;
+  auto FcfsOut = runCluster(CC, Jobs);
+  double GangWait = 0, FcfsWait = 0;
+  for (size_t I : ShortIdx) {
+    GangWait += static_cast<double>(GangOut[I].wait());
+    FcfsWait += static_cast<double>(FcfsOut[I].wait());
+  }
+  EXPECT_LT(GangWait, FcfsWait);
+}

@@ -1,0 +1,95 @@
+//===-- tests/test_gantt.cpp - Gantt rendering tests ----------------------===//
+//
+// Part of CWS, a reproduction of Toporkov, "Application-Level and Job-Flow
+// Scheduling" (PaCT 2009). Distributed without any warranty.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Gantt.h"
+#include "core/Scheduler.h"
+#include "job/Job.h"
+#include "resource/Network.h"
+#include "TestUtil.h"
+
+#include <gtest/gtest.h>
+
+using namespace cws;
+
+TEST(Gantt, RendersUsedNodesOnly) {
+  Grid Env = makeSmallGrid();
+  Distribution D;
+  D.add({0, 1, 0, 4, 0.0});
+  Job J;
+  J.addTask("only", 4, 40);
+  std::string Out = renderGantt(J, Env, D);
+  EXPECT_NE(Out.find("node  1"), std::string::npos);
+  EXPECT_EQ(Out.find("node  0"), std::string::npos);
+  EXPECT_EQ(Out.find("node  2"), std::string::npos);
+}
+
+TEST(Gantt, ShowIdleNodesOption) {
+  Grid Env = makeSmallGrid();
+  Distribution D;
+  D.add({0, 1, 0, 4, 0.0});
+  Job J;
+  J.addTask("only", 4, 40);
+  GanttOptions Options;
+  Options.ShowIdleNodes = true;
+  std::string Out = renderGantt(J, Env, D, Options);
+  EXPECT_NE(Out.find("node  0"), std::string::npos);
+  EXPECT_NE(Out.find("node  3"), std::string::npos);
+}
+
+TEST(Gantt, LegendListsEveryPlacement) {
+  Job J = makeChainJob();
+  Grid Env = makeSmallGrid();
+  Network Net;
+  ScheduleResult R = scheduleJob(J, Env, Net, SchedulerConfig{}, 1);
+  ASSERT_TRUE(R.Feasible);
+  std::string Out = renderGantt(J, Env, R.Dist);
+  EXPECT_NE(Out.find("A=A["), std::string::npos);
+  EXPECT_NE(Out.find("legend:"), std::string::npos);
+  for (const auto &T : J.tasks())
+    EXPECT_NE(Out.find("=" + T.Name + "["), std::string::npos);
+}
+
+TEST(Gantt, ForeignLoadIsHashed) {
+  Grid Env = makeSmallGrid();
+  Env.node(1).timeline().reserve(0, 3, 99);
+  Distribution D;
+  D.add({0, 1, 4, 8, 0.0});
+  Job J;
+  J.addTask("t", 4, 40);
+  std::string Out = renderGantt(J, Env, D);
+  EXPECT_NE(Out.find('#'), std::string::npos);
+  GanttOptions NoForeign;
+  NoForeign.ShowForeignLoad = false;
+  std::string Clean = renderGantt(J, Env, D, NoForeign);
+  EXPECT_EQ(Clean.find('#'), std::string::npos);
+}
+
+TEST(Gantt, WideScheduleStaysWithinWidth) {
+  Grid Env = makeSmallGrid();
+  Distribution D;
+  D.add({0, 0, 0, 10000, 0.0});
+  Job J;
+  J.addTask("big", 4, 40);
+  GanttOptions Options;
+  Options.Width = 32;
+  std::string Out = renderGantt(J, Env, D, Options);
+  // Every node row (lines containing '|') fits in width + label margin.
+  size_t Pos = 0;
+  while ((Pos = Out.find("node", Pos)) != std::string::npos) {
+    size_t Eol = Out.find('\n', Pos);
+    EXPECT_LE(Eol - Pos, 32u + 24u);
+    Pos = Eol;
+  }
+}
+
+TEST(Gantt, EmptyDistribution) {
+  Grid Env = makeSmallGrid();
+  Distribution D;
+  Job J;
+  std::string Out = renderGantt(J, Env, D);
+  EXPECT_NE(Out.find("legend:"), std::string::npos);
+}

@@ -1,0 +1,158 @@
+//===-- tests/test_grid.cpp - Node and Grid unit tests --------------------===//
+//
+// Part of CWS, a reproduction of Toporkov, "Application-Level and Job-Flow
+// Scheduling" (PaCT 2009). Distributed without any warranty.
+//
+//===----------------------------------------------------------------------===//
+
+#include "resource/Grid.h"
+
+#include <gtest/gtest.h>
+
+using namespace cws;
+
+TEST(PerfGroup, ClassifiesPaperBands) {
+  EXPECT_EQ(classifyPerf(1.0), PerfGroup::Fast);
+  EXPECT_EQ(classifyPerf(0.66), PerfGroup::Fast);
+  EXPECT_EQ(classifyPerf(0.5), PerfGroup::Medium);
+  EXPECT_EQ(classifyPerf(0.35), PerfGroup::Medium);
+  EXPECT_EQ(classifyPerf(0.33), PerfGroup::Slow);
+  EXPECT_EQ(classifyPerf(0.1), PerfGroup::Slow);
+}
+
+TEST(PerfGroup, Names) {
+  EXPECT_STREQ(perfGroupName(PerfGroup::Fast), "fast");
+  EXPECT_STREQ(perfGroupName(PerfGroup::Medium), "medium");
+  EXPECT_STREQ(perfGroupName(PerfGroup::Slow), "slow");
+}
+
+TEST(ProcessorNode, ExecTicksReproducesFig2Table) {
+  // The Fig. 2a estimation table: reference times {2, 3, 1, 2, 1, 2}
+  // scale exactly by node types with perf 1, 1/2, 1/3, 1/4.
+  Grid G = Grid::makeFig2();
+  const Tick Refs[] = {2, 3, 1, 2, 1, 2};
+  const Tick Expected[4][6] = {
+      {2, 3, 1, 2, 1, 2},
+      {4, 6, 2, 4, 2, 4},
+      {6, 9, 3, 6, 3, 6},
+      {8, 12, 4, 8, 4, 8},
+  };
+  for (unsigned NodeType = 0; NodeType < 4; ++NodeType)
+    for (unsigned TaskIdx = 0; TaskIdx < 6; ++TaskIdx)
+      EXPECT_EQ(G.node(NodeType).execTicks(Refs[TaskIdx]),
+                Expected[NodeType][TaskIdx])
+          << "node type " << NodeType + 1 << " task P" << TaskIdx + 1;
+}
+
+TEST(ProcessorNode, ExecTicksZeroWork) {
+  Grid G = Grid::makeFig2();
+  EXPECT_EQ(G.node(2).execTicks(0), 0);
+}
+
+TEST(ProcessorNode, ExecTicksRoundsUp) {
+  Grid G;
+  unsigned N = G.addNode(0.6);
+  // 3 / 0.6 = 5.0 exactly; 4 / 0.6 = 6.67 -> 7.
+  EXPECT_EQ(G.node(N).execTicks(3), 5);
+  EXPECT_EQ(G.node(N).execTicks(4), 7);
+}
+
+TEST(Grid, PriceGrowsWithPerformance) {
+  Grid G = Grid::makeFig2();
+  EXPECT_GT(G.node(0).pricePerTick(), G.node(1).pricePerTick());
+  EXPECT_GT(G.node(1).pricePerTick(), G.node(2).pricePerTick());
+  EXPECT_GT(G.node(2).pricePerTick(), G.node(3).pricePerTick());
+}
+
+TEST(Grid, FasterNodeCostsMoreForSameWork) {
+  // Total price of a fixed amount of work must grow with performance
+  // (the paper's premium for powerful resources).
+  Grid G = Grid::makeFig2();
+  Tick Ref = 12;
+  double FastCost = G.node(0).pricePerTick() *
+                    static_cast<double>(G.node(0).execTicks(Ref));
+  double SlowCost = G.node(3).pricePerTick() *
+                    static_cast<double>(G.node(3).execTicks(Ref));
+  EXPECT_GT(FastCost, SlowCost);
+}
+
+TEST(Grid, MakeRandomRespectsConfig) {
+  GridConfig Config;
+  Prng Rng(123);
+  for (int I = 0; I < 20; ++I) {
+    Grid G = Grid::makeRandom(Config, Rng);
+    EXPECT_GE(G.size(), Config.MinNodes);
+    EXPECT_LE(G.size(), Config.MaxNodes);
+    bool HasFast = false, HasSlow = false;
+    for (const auto &N : G.nodes()) {
+      EXPECT_GT(N.relPerf(), 0.0);
+      EXPECT_LE(N.relPerf(), Config.FastHi + 1e-9);
+      if (N.group() == PerfGroup::Fast)
+        HasFast = true;
+      if (N.group() == PerfGroup::Slow)
+        HasSlow = true;
+    }
+    EXPECT_TRUE(HasFast);
+    EXPECT_TRUE(HasSlow);
+  }
+}
+
+TEST(Grid, IdsByPerfIsSortedFastestFirst) {
+  GridConfig Config;
+  Prng Rng(5);
+  Grid G = Grid::makeRandom(Config, Rng);
+  std::vector<unsigned> Ids = G.idsByPerf();
+  ASSERT_EQ(Ids.size(), G.size());
+  for (size_t I = 1; I < Ids.size(); ++I)
+    EXPECT_GE(G.node(Ids[I - 1]).relPerf(), G.node(Ids[I]).relPerf());
+}
+
+TEST(Grid, GroupQueries) {
+  Grid G;
+  G.addNode(0.9);
+  G.addNode(0.5);
+  G.addNode(0.33);
+  G.addNode(0.33);
+  EXPECT_EQ(G.idsInGroup(PerfGroup::Fast).size(), 1u);
+  EXPECT_EQ(G.idsInGroup(PerfGroup::Medium).size(), 1u);
+  EXPECT_EQ(G.idsInGroup(PerfGroup::Slow).size(), 2u);
+}
+
+TEST(Grid, GroupUtilization) {
+  Grid G;
+  unsigned Fast = G.addNode(0.9);
+  G.addNode(0.9);
+  G.node(Fast).timeline().reserve(0, 50, 1);
+  EXPECT_DOUBLE_EQ(G.groupUtilization(PerfGroup::Fast, 0, 100), 0.25);
+  EXPECT_DOUBLE_EQ(G.groupUtilization(PerfGroup::Slow, 0, 100), 0.0);
+}
+
+TEST(Grid, ReleaseOwnerAcrossNodes) {
+  Grid G;
+  G.addNode(1.0);
+  G.addNode(0.5);
+  G.node(0).timeline().reserve(0, 10, 42);
+  G.node(1).timeline().reserve(5, 15, 42);
+  G.node(1).timeline().reserve(20, 25, 7);
+  G.releaseOwner(42);
+  EXPECT_TRUE(G.node(0).timeline().isFree(0, 10));
+  EXPECT_TRUE(G.node(1).timeline().isFree(5, 15));
+  EXPECT_FALSE(G.node(1).timeline().isFree(20, 25));
+}
+
+TEST(Grid, ClearTimelines) {
+  Grid G;
+  G.addNode(1.0);
+  G.node(0).timeline().reserve(0, 10, 1);
+  G.clearTimelines();
+  EXPECT_TRUE(G.node(0).timeline().isFree(0, 10));
+}
+
+TEST(Grid, CopyIsIndependent) {
+  Grid G;
+  G.addNode(1.0);
+  Grid Copy = G;
+  Copy.node(0).timeline().reserve(0, 10, 1);
+  EXPECT_TRUE(G.node(0).timeline().isFree(0, 10));
+  EXPECT_FALSE(Copy.node(0).timeline().isFree(0, 10));
+}

@@ -1,0 +1,179 @@
+//===-- tests/test_integration.cpp - Cross-module integration tests -------===//
+//
+// Part of CWS, a reproduction of Toporkov, "Application-Level and Job-Flow
+// Scheduling" (PaCT 2009). Distributed without any warranty.
+//
+//===----------------------------------------------------------------------===//
+
+#include "baseline/Heft.h"
+#include "core/CriticalWork.h"
+#include "core/Strategy.h"
+#include "flow/Metascheduler.h"
+#include "flow/VirtualOrganization.h"
+#include "job/Generator.h"
+#include "metrics/Experiment.h"
+#include "TestUtil.h"
+
+#include <gtest/gtest.h>
+
+using namespace cws;
+
+/// The full Fig. 2 story: job structure, critical works, a strategy
+/// whose supporting schedules include a strictly cheapest distribution,
+/// and the P4/P5-style collision.
+TEST(Integration, Fig2EndToEnd) {
+  Job J = makeFig2Job();
+  Grid Env = Grid::makeFig2();
+  Network Net;
+
+  // (1) Critical works as in Section 3.
+  auto Chains = allFullChains(J);
+  ASSERT_EQ(Chains.size(), 4u);
+  EXPECT_EQ(Chains.front().RefLength, 12);
+  EXPECT_EQ(Chains.back().RefLength, 9);
+
+  // (2) Strategy with alternatives.
+  StrategyConfig Config;
+  Strategy S = Strategy::build(J, Env, Net, Config, 42);
+  ASSERT_TRUE(S.admissible());
+  ASSERT_GE(S.feasibleCount(), 2u);
+
+  // (3) Every feasible variant is a valid co-allocation within the
+  // fixed completion time.
+  for (const auto &V : S.variants()) {
+    if (!V.feasible())
+      continue;
+    expectValidDistribution(J, V.Result.Dist);
+    EXPECT_LE(V.Result.Dist.makespan(), 20);
+  }
+
+  // (4) The Fig. 2b shape: the cheapest supporting schedule is strictly
+  // cheaper (by CF) than the fastest alternative.
+  const ScheduleVariant *Cheapest = S.bestByCost();
+  const ScheduleVariant *Fastest = S.bestByTime();
+  ASSERT_NE(Cheapest, nullptr);
+  ASSERT_NE(Fastest, nullptr);
+  EXPECT_LT(Cheapest->Result.Dist.economicCost(),
+            Fastest->Result.Dist.economicCost());
+  EXPECT_LT(Fastest->Result.Dist.makespan(),
+            Cheapest->Result.Dist.makespan());
+
+  // (5) Collisions between tasks of different critical works occur and
+  // are resolved.
+  EXPECT_FALSE(S.allCollisions().empty());
+}
+
+TEST(Integration, CommitThenRescheduleAroundCommittedJob) {
+  Grid Env = Grid::makeFig2();
+  Network Net;
+  Economy Econ;
+  unsigned User = Econ.addUser(1e9);
+  Metascheduler Meta(Env, Net, Econ, StrategyConfig{});
+
+  Job First = makeFig2Job();
+  First.setId(1);
+  Strategy S1 = Meta.buildStrategy(First, 0);
+  ASSERT_TRUE(Meta.commit(First, *S1.bestByCost(), User));
+
+  // A second identical job must schedule around the first one's
+  // reservations.
+  Job Second = makeFig2Job();
+  Second.setId(2);
+  Second.setDeadline(60);
+  Strategy S2 = Meta.buildStrategy(Second, 0);
+  ASSERT_TRUE(S2.admissible());
+  const ScheduleVariant *Pick = S2.bestFitting(Env);
+  ASSERT_NE(Pick, nullptr);
+  ASSERT_TRUE(Meta.commit(Second, *Pick, User));
+
+  // No reservation overlap between the two jobs on any node.
+  for (const auto &N : Env.nodes()) {
+    const auto &I = N.timeline().intervals();
+    for (size_t K = 1; K < I.size(); ++K)
+      EXPECT_LE(I[K - 1].End, I[K].Begin);
+  }
+}
+
+TEST(Integration, CriticalWorksBeatsHeftOnCost) {
+  // HEFT optimizes makespan only; the cost-biased critical works method
+  // must never pay more quota on the same empty environment.
+  JobGenerator Gen(WorkloadConfig{}, 55);
+  Prng Rng(56);
+  Network Net;
+  int CostWins = 0, Total = 0;
+  for (int I = 0; I < 20; ++I) {
+    Job J = Gen.next(0);
+    J.setDeadline(J.deadline() * 3); // Room for the cheap schedule.
+    Grid Env = Grid::makeRandom(GridConfig{}, Rng);
+    ScheduleResult Ours = scheduleJob(J, Env, Net, SchedulerConfig{}, 42);
+    HeftResult Theirs = scheduleHeft(J, Env, Net);
+    if (!Ours.Feasible)
+      continue;
+    ++Total;
+    if (Ours.Dist.economicCost() <= Theirs.Dist.economicCost() + 1e-9)
+      ++CostWins;
+  }
+  ASSERT_GT(Total, 10);
+  EXPECT_EQ(CostWins, Total);
+}
+
+TEST(Integration, HeftBeatsCostBiasOnMakespan) {
+  JobGenerator Gen(WorkloadConfig{}, 57);
+  Prng Rng(58);
+  Network Net;
+  int Faster = 0, Total = 0;
+  for (int I = 0; I < 20; ++I) {
+    Job J = Gen.next(0);
+    J.setDeadline(J.deadline() * 3);
+    Grid Env = Grid::makeRandom(GridConfig{}, Rng);
+    ScheduleResult Ours = scheduleJob(J, Env, Net, SchedulerConfig{}, 42);
+    HeftResult Theirs = scheduleHeft(J, Env, Net);
+    if (!Ours.Feasible)
+      continue;
+    ++Total;
+    if (Theirs.Makespan <= Ours.Dist.makespan())
+      ++Faster;
+  }
+  ASSERT_GT(Total, 10);
+  // HEFT should win or tie on speed in the vast majority of cases.
+  EXPECT_GE(Faster * 10, Total * 8);
+}
+
+TEST(Integration, StrategySwitchingUnderGrowingLoad) {
+  // As background reservations accumulate, bestFitting degrades
+  // gracefully from the cheapest variant to costlier ones, and the
+  // chosen cost never decreases.
+  Grid Env = Grid::makeFig2();
+  Network Net;
+  Job J = makeFig2Job();
+  Strategy S = Strategy::build(J, Env, Net, StrategyConfig{}, 42);
+  ASSERT_TRUE(S.admissible());
+  double LastCost = 0.0;
+  Prng Rng(99);
+  for (int Step = 0; Step < 50; ++Step) {
+    const ScheduleVariant *Pick = S.bestFitting(Env);
+    if (!Pick)
+      break;
+    double Cost = Pick->Result.Dist.economicCost();
+    EXPECT_GE(Cost, LastCost - 1e-9);
+    LastCost = Cost;
+    // Random background arrival.
+    unsigned Node = static_cast<unsigned>(Rng.index(Env.size()));
+    Tick Dur = Rng.uniformInt(1, 4);
+    Timeline &Line = Env.node(Node).timeline();
+    Tick Start = Line.earliestFit(Rng.uniformInt(0, 20), Dur);
+    Line.reserve(Start, Start + Dur, BackgroundOwner);
+  }
+}
+
+TEST(Integration, Fig3AndFig4SharePipelineSmoke) {
+  Fig3Config F3;
+  F3.JobCount = 20;
+  auto Rows3 = runFig3(F3);
+  EXPECT_EQ(Rows3.size(), 3u);
+  Fig4Config F4;
+  F4.Vo.JobCount = 10;
+  F4.Kinds = {StrategyKind::S2, StrategyKind::S3};
+  auto Rows4 = runFig4(F4);
+  EXPECT_EQ(Rows4.size(), 2u);
+}

@@ -1,0 +1,119 @@
+//===-- tests/test_job.cpp - Compound job unit tests ----------------------===//
+//
+// Part of CWS, a reproduction of Toporkov, "Application-Level and Job-Flow
+// Scheduling" (PaCT 2009). Distributed without any warranty.
+//
+//===----------------------------------------------------------------------===//
+
+#include "job/Job.h"
+#include "TestUtil.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+using namespace cws;
+
+TEST(Job, AddTaskAssignsDenseIds) {
+  Job J;
+  EXPECT_EQ(J.addTask("a", 1, 10), 0u);
+  EXPECT_EQ(J.addTask("b", 2, 20), 1u);
+  EXPECT_EQ(J.taskCount(), 2u);
+  EXPECT_EQ(J.task(1).Name, "b");
+  EXPECT_EQ(J.task(1).RefTicks, 2);
+  EXPECT_DOUBLE_EQ(J.task(1).Volume, 20.0);
+}
+
+TEST(Job, EdgesBuildAdjacency) {
+  Job J = makeDiamondJob();
+  EXPECT_EQ(J.edgeCount(), 4u);
+  EXPECT_EQ(J.outEdges(0).size(), 2u);
+  EXPECT_EQ(J.inEdges(3).size(), 2u);
+  EXPECT_EQ(J.inEdges(0).size(), 0u);
+  EXPECT_EQ(J.outEdges(3).size(), 0u);
+}
+
+TEST(Job, SourcesAndSinks) {
+  Job J = makeDiamondJob();
+  EXPECT_EQ(J.sources(), (std::vector<unsigned>{0}));
+  EXPECT_EQ(J.sinks(), (std::vector<unsigned>{3}));
+}
+
+TEST(Job, TopoOrderRespectsEdges) {
+  Job J = makeDiamondJob();
+  std::vector<unsigned> Order = J.topoOrder();
+  ASSERT_EQ(Order.size(), 4u);
+  auto PosOf = [&](unsigned T) {
+    return std::find(Order.begin(), Order.end(), T) - Order.begin();
+  };
+  for (const auto &E : J.edges())
+    EXPECT_LT(PosOf(E.Src), PosOf(E.Dst));
+}
+
+TEST(Job, CycleIsDetected) {
+  Job J;
+  unsigned A = J.addTask("a", 1, 10);
+  unsigned B = J.addTask("b", 1, 10);
+  J.addEdge(A, B, 1);
+  J.addEdge(B, A, 1);
+  EXPECT_FALSE(J.isAcyclic());
+  EXPECT_TRUE(J.topoOrder().empty());
+}
+
+TEST(Job, EmptyJobIsAcyclic) {
+  Job J;
+  EXPECT_TRUE(J.isAcyclic());
+  EXPECT_EQ(J.criticalPathRefTicks(), 0);
+}
+
+TEST(Job, CriticalPathCountsTransfers) {
+  Job J = makeChainJob();
+  // 2 + 1 + 3 + 1 + 2 = 9.
+  EXPECT_EQ(J.criticalPathRefTicks(), 9);
+}
+
+TEST(Job, CriticalPathPicksLongestBranch) {
+  Job J = makeDiamondJob();
+  // A(2) +1+ B(3) +1+ D(2) = 9 via B; via C it is 7.
+  EXPECT_EQ(J.criticalPathRefTicks(), 9);
+}
+
+TEST(Job, TotalRefTicks) {
+  Job J = makeDiamondJob();
+  EXPECT_EQ(J.totalRefTicks(), 8);
+}
+
+TEST(Job, ReleaseAndDeadline) {
+  Job J;
+  J.addTask("a", 1, 1);
+  J.setRelease(5);
+  J.setDeadline(50);
+  EXPECT_EQ(J.release(), 5);
+  EXPECT_EQ(J.deadline(), 50);
+}
+
+TEST(Fig2Job, MatchesPaperStructure) {
+  Job J = makeFig2Job();
+  EXPECT_EQ(J.taskCount(), 6u);
+  EXPECT_EQ(J.edgeCount(), 8u); // D1 .. D8
+  EXPECT_EQ(J.deadline(), 20);
+  EXPECT_EQ(J.sources(), (std::vector<unsigned>{0}));  // P1
+  EXPECT_EQ(J.sinks(), (std::vector<unsigned>{5}));    // P6
+  EXPECT_TRUE(J.isAcyclic());
+}
+
+TEST(Fig2Job, VolumesAndRefTimesMatchTable) {
+  Job J = makeFig2Job();
+  const Tick Refs[] = {2, 3, 1, 2, 1, 2};
+  const double Vols[] = {20, 30, 10, 20, 10, 20};
+  for (unsigned I = 0; I < 6; ++I) {
+    EXPECT_EQ(J.task(I).RefTicks, Refs[I]) << "P" << I + 1;
+    EXPECT_DOUBLE_EQ(J.task(I).Volume, Vols[I]) << "P" << I + 1;
+  }
+}
+
+TEST(Fig2Job, CriticalPathIsTwelve) {
+  // The longest critical work of Section 3 is 12 units including data
+  // transfer times.
+  EXPECT_EQ(makeFig2Job().criticalPathRefTicks(), 12);
+}

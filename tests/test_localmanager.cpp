@@ -1,0 +1,121 @@
+//===-- tests/test_localmanager.cpp - Local manager tests -----------------===//
+//
+// Part of CWS, a reproduction of Toporkov, "Application-Level and Job-Flow
+// Scheduling" (PaCT 2009). Distributed without any warranty.
+//
+//===----------------------------------------------------------------------===//
+
+#include "flow/BackgroundLoad.h"
+#include "flow/LocalManager.h"
+#include "TestUtil.h"
+
+#include <gtest/gtest.h>
+
+using namespace cws;
+
+namespace {
+
+struct LocalFixture {
+  Grid Env = makeSmallGrid(); // perfs 1.0, 0.8, 0.4, 0.33
+  Domain D{"all", {0, 1, 2, 3}};
+};
+
+} // namespace
+
+TEST(LocalManager, PolicyNames) {
+  EXPECT_STREQ(localQueuePolicyName(LocalQueuePolicy::Immediate),
+               "immediate");
+  EXPECT_STREQ(localQueuePolicyName(LocalQueuePolicy::StrictFcfs),
+               "strict-fcfs");
+}
+
+TEST(LocalManager, AdvanceReservationWithinDomain) {
+  LocalFixture F;
+  LocalManager M(F.Env, F.D, LocalQueuePolicy::Immediate);
+  EXPECT_TRUE(M.reserveAdvance(1, 10, 20, 42));
+  EXPECT_FALSE(F.Env.node(1).timeline().isFree(10, 20));
+  // Conflicting reservation fails.
+  EXPECT_FALSE(M.reserveAdvance(1, 15, 25, 43));
+}
+
+TEST(LocalManager, AdvanceReservationOutsideDomainIsRefused) {
+  LocalFixture F;
+  Domain Partial{"fast", {0, 1}};
+  LocalManager M(F.Env, Partial, LocalQueuePolicy::Immediate);
+  EXPECT_FALSE(M.reserveAdvance(3, 0, 5, 42));
+  EXPECT_TRUE(F.Env.node(3).timeline().isFree(0, 5));
+}
+
+TEST(LocalManager, LocalJobPicksEarliestNode) {
+  LocalFixture F;
+  // Nodes 0..2 busy early; node 3 free.
+  for (unsigned NodeId : {0u, 1u, 2u})
+    F.Env.node(NodeId).timeline().reserve(0, 50, 9);
+  LocalManager M(F.Env, F.D, LocalQueuePolicy::Immediate);
+  auto P = M.submitLocal(0, 10, BackgroundOwner);
+  ASSERT_TRUE(P.has_value());
+  EXPECT_EQ(P->NodeId, 3u);
+  EXPECT_EQ(P->Start, 0);
+}
+
+TEST(LocalManager, ImmediateFillsEarlierGaps) {
+  LocalFixture F;
+  Domain One{"one", {0}};
+  F.Env.node(0).timeline().reserve(10, 100, 9);
+  LocalManager M(F.Env, One, LocalQueuePolicy::Immediate);
+  // First job jumps way ahead (gap at 100+), second fits at 0.
+  auto Big = M.submitLocal(0, 50, BackgroundOwner);
+  ASSERT_TRUE(Big.has_value());
+  EXPECT_EQ(Big->Start, 100);
+  auto Small = M.submitLocal(0, 10, BackgroundOwner);
+  ASSERT_TRUE(Small.has_value());
+  EXPECT_EQ(Small->Start, 0);
+}
+
+TEST(LocalManager, StrictFcfsNeverJumpsTheQueue) {
+  LocalFixture F;
+  Domain One{"one", {0}};
+  F.Env.node(0).timeline().reserve(10, 100, 9);
+  LocalManager M(F.Env, One, LocalQueuePolicy::StrictFcfs);
+  auto Big = M.submitLocal(0, 50, BackgroundOwner);
+  ASSERT_TRUE(Big.has_value());
+  EXPECT_EQ(Big->Start, 100);
+  // The gap at [0, 10) is left unused by strict FCFS.
+  auto Small = M.submitLocal(0, 10, BackgroundOwner);
+  ASSERT_TRUE(Small.has_value());
+  EXPECT_GE(Small->Start, 100);
+  EXPECT_TRUE(F.Env.node(0).timeline().isFree(0, 10));
+}
+
+TEST(LocalManager, LookaheadRejectsFarBookings) {
+  LocalFixture F;
+  Domain One{"one", {0}};
+  F.Env.node(0).timeline().reserve(0, 500, 9);
+  LocalManager M(F.Env, One, LocalQueuePolicy::Immediate,
+                 /*MaxLookahead=*/100);
+  EXPECT_FALSE(M.submitLocal(0, 10, BackgroundOwner).has_value());
+  EXPECT_EQ(M.rejected(), 1u);
+  EXPECT_EQ(M.placed(), 0u);
+}
+
+TEST(LocalManager, StatsTrackWaits) {
+  LocalFixture F;
+  Domain One{"one", {0}};
+  F.Env.node(0).timeline().reserve(0, 20, 9);
+  LocalManager M(F.Env, One, LocalQueuePolicy::Immediate);
+  M.submitLocal(0, 5, BackgroundOwner);  // waits 20
+  M.submitLocal(25, 5, BackgroundOwner); // waits 0
+  EXPECT_EQ(M.placed(), 2u);
+  EXPECT_DOUBLE_EQ(M.meanLocalWait(), 10.0);
+}
+
+TEST(LocalManager, ReservationsAndLocalJobsCoexist) {
+  LocalFixture F;
+  LocalManager M(F.Env, F.D, LocalQueuePolicy::Immediate);
+  ASSERT_TRUE(M.reserveAdvance(0, 0, 1000, 42));
+  ASSERT_TRUE(M.reserveAdvance(1, 0, 1000, 42));
+  ASSERT_TRUE(M.reserveAdvance(2, 0, 1000, 42));
+  auto P = M.submitLocal(5, 10, BackgroundOwner);
+  ASSERT_TRUE(P.has_value());
+  EXPECT_EQ(P->NodeId, 3u); // Only node left.
+}

@@ -1,0 +1,147 @@
+//===-- tests/test_prng.cpp - Prng unit tests -----------------------------===//
+//
+// Part of CWS, a reproduction of Toporkov, "Application-Level and Job-Flow
+// Scheduling" (PaCT 2009). Distributed without any warranty.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Prng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+using namespace cws;
+
+TEST(Prng, SameSeedSameSequence) {
+  Prng A(42), B(42);
+  for (int I = 0; I < 100; ++I)
+    EXPECT_EQ(A.next(), B.next());
+}
+
+TEST(Prng, DifferentSeedsDiverge) {
+  Prng A(1), B(2);
+  int Equal = 0;
+  for (int I = 0; I < 64; ++I)
+    if (A.next() == B.next())
+      ++Equal;
+  EXPECT_LT(Equal, 4);
+}
+
+TEST(Prng, UniformIntStaysInRange) {
+  Prng Rng(7);
+  for (int I = 0; I < 2000; ++I) {
+    int64_t V = Rng.uniformInt(-5, 17);
+    EXPECT_GE(V, -5);
+    EXPECT_LE(V, 17);
+  }
+}
+
+TEST(Prng, UniformIntDegenerateRange) {
+  Prng Rng(7);
+  for (int I = 0; I < 16; ++I)
+    EXPECT_EQ(Rng.uniformInt(9, 9), 9);
+}
+
+TEST(Prng, UniformIntCoversAllValues) {
+  Prng Rng(11);
+  std::set<int64_t> Seen;
+  for (int I = 0; I < 1000; ++I)
+    Seen.insert(Rng.uniformInt(0, 7));
+  EXPECT_EQ(Seen.size(), 8u);
+}
+
+TEST(Prng, UniformRealStaysInRange) {
+  Prng Rng(3);
+  for (int I = 0; I < 2000; ++I) {
+    double V = Rng.uniformReal(0.25, 0.75);
+    EXPECT_GE(V, 0.25);
+    EXPECT_LT(V, 0.75);
+  }
+}
+
+TEST(Prng, UniformRealMeanIsCentered) {
+  Prng Rng(5);
+  double Sum = 0.0;
+  constexpr int N = 20000;
+  for (int I = 0; I < N; ++I)
+    Sum += Rng.uniformReal(0.0, 1.0);
+  EXPECT_NEAR(Sum / N, 0.5, 0.02);
+}
+
+TEST(Prng, BernoulliExtremes) {
+  Prng Rng(9);
+  for (int I = 0; I < 32; ++I) {
+    EXPECT_FALSE(Rng.bernoulli(0.0));
+    EXPECT_TRUE(Rng.bernoulli(1.0));
+  }
+}
+
+TEST(Prng, BernoulliRate) {
+  Prng Rng(13);
+  int Hits = 0;
+  constexpr int N = 20000;
+  for (int I = 0; I < N; ++I)
+    if (Rng.bernoulli(0.3))
+      ++Hits;
+  EXPECT_NEAR(static_cast<double>(Hits) / N, 0.3, 0.02);
+}
+
+TEST(Prng, IndexInBounds) {
+  Prng Rng(17);
+  for (int I = 0; I < 500; ++I)
+    EXPECT_LT(Rng.index(13), 13u);
+}
+
+TEST(Prng, ShuffleIsPermutation) {
+  Prng Rng(19);
+  std::vector<int> V{1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> Orig = V;
+  Rng.shuffle(V);
+  std::sort(V.begin(), V.end());
+  EXPECT_EQ(V, Orig);
+}
+
+TEST(Prng, ShuffleChangesOrderEventually) {
+  Prng Rng(23);
+  std::vector<int> V{1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> Orig = V;
+  bool Changed = false;
+  for (int I = 0; I < 8 && !Changed; ++I) {
+    Rng.shuffle(V);
+    Changed = V != Orig;
+  }
+  EXPECT_TRUE(Changed);
+}
+
+TEST(Prng, ForkedStreamsDiffer) {
+  Prng Root(31);
+  Prng A = Root.fork();
+  Prng B = Root.fork();
+  int Equal = 0;
+  for (int I = 0; I < 64; ++I)
+    if (A.next() == B.next())
+      ++Equal;
+  EXPECT_LT(Equal, 4);
+}
+
+/// Range property over many seeds.
+class PrngSeedSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(PrngSeedSweep, UniformIntRespectsBoundsAndIsDeterministic) {
+  Prng A(GetParam()), B(GetParam());
+  for (int I = 0; I < 300; ++I) {
+    int64_t Lo = -100 + static_cast<int64_t>(I % 7) * 3;
+    int64_t Hi = Lo + (I % 23);
+    int64_t V = A.uniformInt(Lo, Hi);
+    EXPECT_GE(V, Lo);
+    EXPECT_LE(V, Hi);
+    EXPECT_EQ(V, B.uniformInt(Lo, Hi));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PrngSeedSweep,
+                         ::testing::Values(0u, 1u, 2u, 42u, 1337u, 99991u,
+                                           0xffffffffffffffffULL));

@@ -1,0 +1,122 @@
+//===-- tests/test_repair_config.cpp - Scheduler config knob tests --------===//
+//
+// Part of CWS, a reproduction of Toporkov, "Application-Level and Job-Flow
+// Scheduling" (PaCT 2009). Distributed without any warranty.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tests of the scheduler's configuration surface: the repair budget,
+/// restricted strategy node sets, and their interactions.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/Strategy.h"
+#include "job/Generator.h"
+#include "metrics/Experiment.h"
+#include "resource/Network.h"
+#include "TestUtil.h"
+
+#include <gtest/gtest.h>
+
+using namespace cws;
+
+TEST(RepairBudget, ZeroDisablesRepair) {
+  // The time-biased Fig. 2 run needs repair (its first chain packs the
+  // fast node, strangling the second); with budget 0 it must fail.
+  Job J = makeFig2Job();
+  Grid Env = Grid::makeFig2();
+  Network Net;
+  SchedulerConfig Config;
+  Config.Alloc.Bias = OptimizationBias::Time;
+  Config.RepairBudget = 0;
+  EXPECT_FALSE(scheduleJob(J, Env, Net, Config, 42).Feasible);
+  Config.RepairBudget = 8;
+  EXPECT_TRUE(scheduleJob(J, Env, Net, Config, 42).Feasible);
+}
+
+TEST(RepairBudget, MonotoneFeasibility) {
+  // A larger repair budget never makes fewer jobs schedulable.
+  JobGenerator Gen(WorkloadConfig{}, 91);
+  Prng EnvRng(92);
+  Prng LoadRng(93);
+  Network Net;
+  size_t Feasible[3] = {0, 0, 0};
+  const int Budgets[3] = {0, 2, 8};
+  for (int I = 0; I < 40; ++I) {
+    Job J = Gen.next(0);
+    Grid Env = Grid::makeRandom(GridConfig{}, EnvRng);
+    preloadGrid(Env, J.deadline(), 0.3, 0.6, 2, 8, LoadRng);
+    for (int B = 0; B < 3; ++B) {
+      SchedulerConfig Config;
+      Config.RepairBudget = Budgets[B];
+      if (scheduleJob(J, Env, Net, Config, 42).Feasible)
+        ++Feasible[B];
+    }
+  }
+  EXPECT_LE(Feasible[0], Feasible[1]);
+  EXPECT_LE(Feasible[1], Feasible[2]);
+  EXPECT_GT(Feasible[2], 0u);
+}
+
+TEST(RepairBudget, RepairedSchedulesRemainValid) {
+  JobGenerator Gen(WorkloadConfig{}, 94);
+  Prng EnvRng(95);
+  Network Net;
+  for (int I = 0; I < 20; ++I) {
+    Job J = Gen.next(0);
+    Grid Env = Grid::makeRandom(GridConfig{}, EnvRng);
+    SchedulerConfig Config;
+    Config.Alloc.Bias = OptimizationBias::Time;
+    ScheduleResult R = scheduleJob(J, Env, Net, Config, 42);
+    if (R.Feasible)
+      expectValidDistribution(J, R.Dist);
+  }
+}
+
+TEST(AllowedNodes, RestrictsEveryVariant) {
+  Grid Env = makeSmallGrid();
+  Network Net;
+  Job J = makeChainJob(400);
+  StrategyConfig Config;
+  Config.AllowedNodes = {1, 2};
+  Strategy S = Strategy::build(J, Env, Net, Config, 42);
+  ASSERT_TRUE(S.admissible());
+  for (const auto &V : S.variants())
+    for (const auto &P : V.Result.Dist.placements())
+      EXPECT_TRUE(P.NodeId == 1 || P.NodeId == 2);
+}
+
+TEST(AllowedNodes, LevelsComeFromTheRestrictedSet) {
+  Grid Env = makeSmallGrid(); // perfs 1.0, 0.8, 0.4, 0.33
+  Network Net;
+  Job J = makeChainJob(400);
+  StrategyConfig Config;
+  Config.AllowedNodes = {2, 3};
+  Strategy S = Strategy::build(J, Env, Net, Config, 42);
+  ASSERT_EQ(S.levels().size(), 2u);
+  EXPECT_DOUBLE_EQ(S.levels()[0], 0.4);
+  EXPECT_DOUBLE_EQ(S.levels()[1], 0.33);
+}
+
+TEST(AllowedNodes, EmptyMeansEverything) {
+  Grid Env = makeSmallGrid();
+  Network Net;
+  Job J = makeChainJob(400);
+  StrategyConfig Config;
+  Strategy S = Strategy::build(J, Env, Net, Config, 42);
+  EXPECT_EQ(S.levels().size(), 4u);
+}
+
+TEST(AllowedNodes, SingleNodeDomainStillSchedules) {
+  Grid Env = makeSmallGrid();
+  Network Net;
+  Job J = makeChainJob(400);
+  StrategyConfig Config;
+  Config.AllowedNodes = {0};
+  Strategy S = Strategy::build(J, Env, Net, Config, 42);
+  ASSERT_TRUE(S.admissible());
+  for (const auto &V : S.variants())
+    for (const auto &P : V.Result.Dist.placements())
+      EXPECT_EQ(P.NodeId, 0u);
+}

@@ -1,0 +1,182 @@
+//===-- tests/test_scheduler.cpp - Critical works method tests ------------===//
+//
+// Part of CWS, a reproduction of Toporkov, "Application-Level and Job-Flow
+// Scheduling" (PaCT 2009). Distributed without any warranty.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Scheduler.h"
+#include "job/Generator.h"
+#include "job/Job.h"
+#include "TestUtil.h"
+
+#include <gtest/gtest.h>
+
+using namespace cws;
+
+TEST(Scheduler, Fig2JobIsFeasible) {
+  Job J = makeFig2Job();
+  Grid G = Grid::makeFig2();
+  Network Net;
+  SchedulerConfig Config;
+  ScheduleResult R = scheduleJob(J, G, Net, Config, 42);
+  ASSERT_TRUE(R.Feasible);
+  expectValidDistribution(J, R.Dist);
+  EXPECT_LE(R.Dist.makespan(), 20);
+}
+
+TEST(Scheduler, Fig2FirstPhaseIsLongestCriticalWork) {
+  Job J = makeFig2Job();
+  Grid G = Grid::makeFig2();
+  Network Net;
+  ScheduleResult R = scheduleJob(J, G, Net, SchedulerConfig{}, 42);
+  ASSERT_GE(R.Phases.size(), 2u);
+  EXPECT_EQ(R.Phases[0].RefLength, 12);
+}
+
+TEST(Scheduler, EnvironmentIsNotMutated) {
+  Job J = makeFig2Job();
+  Grid G = Grid::makeFig2();
+  Network Net;
+  scheduleJob(J, G, Net, SchedulerConfig{}, 42);
+  for (const auto &N : G.nodes())
+    EXPECT_TRUE(N.timeline().intervals().empty());
+}
+
+TEST(Scheduler, EmptyJobIsTriviallyFeasible) {
+  Job J;
+  Grid G = makeSmallGrid();
+  Network Net;
+  ScheduleResult R = scheduleJob(J, G, Net, SchedulerConfig{}, 1);
+  EXPECT_TRUE(R.Feasible);
+  EXPECT_TRUE(R.Dist.empty());
+}
+
+TEST(Scheduler, ImpossibleDeadlineIsInfeasible) {
+  Job J = makeFig2Job();
+  J.setDeadline(5); // Critical work alone is 12 on the fastest node.
+  Grid G = Grid::makeFig2();
+  Network Net;
+  ScheduleResult R = scheduleJob(J, G, Net, SchedulerConfig{}, 42);
+  EXPECT_FALSE(R.Feasible);
+}
+
+TEST(Scheduler, NowDelaysRelease) {
+  Job J = makeChainJob(1000);
+  Grid G = makeSmallGrid();
+  Network Net;
+  ScheduleResult R = scheduleJob(J, G, Net, SchedulerConfig{}, 42, 50);
+  ASSERT_TRUE(R.Feasible);
+  EXPECT_GE(R.Dist.startTime(), 50);
+}
+
+TEST(Scheduler, CandidateRestrictionIsHonoured) {
+  Job J = makeChainJob(1000);
+  Grid G = makeSmallGrid();
+  Network Net;
+  SchedulerConfig Config;
+  Config.Alloc.CandidateNodes = {2, 3};
+  ScheduleResult R = scheduleJob(J, G, Net, Config, 42);
+  ASSERT_TRUE(R.Feasible);
+  for (const auto &P : R.Dist.placements())
+    EXPECT_TRUE(P.NodeId == 2 || P.NodeId == 3);
+}
+
+TEST(Scheduler, PreloadedGridIsAvoided) {
+  Job J = makeChainJob(1000);
+  Grid G = makeSmallGrid();
+  // Saturate node 3 (the cheapest) completely.
+  G.node(3).timeline().reserve(0, 100000, 7);
+  Network Net;
+  ScheduleResult R = scheduleJob(J, G, Net, SchedulerConfig{}, 42);
+  ASSERT_TRUE(R.Feasible);
+  for (const auto &P : R.Dist.placements())
+    EXPECT_NE(P.NodeId, 3u);
+}
+
+TEST(Scheduler, RepairResolvesInterChainConflicts) {
+  // A job whose second critical work cannot fit between the first one's
+  // tight placements: the repair mechanism must release and re-place
+  // blockers instead of failing. A time-biased run on the Fig. 2 job
+  // exercises exactly that path (the first chain packs the fast node).
+  Job J = makeFig2Job();
+  Grid G = Grid::makeFig2();
+  Network Net;
+  SchedulerConfig Config;
+  Config.Alloc.Bias = OptimizationBias::Time;
+  ScheduleResult R = scheduleJob(J, G, Net, Config, 42);
+  ASSERT_TRUE(R.Feasible);
+  expectValidDistribution(J, R.Dist);
+  // The repair path records Moved collisions for the released tasks.
+  bool SawMoved = false;
+  for (const auto &C : R.Collisions)
+    if (C.Resolution == CollisionResolution::Moved)
+      SawMoved = true;
+  EXPECT_TRUE(SawMoved);
+}
+
+TEST(Scheduler, TimeBiasIsNoSlowerThanCostBias) {
+  Job J = makeFig2Job();
+  Grid G = Grid::makeFig2();
+  Network Net;
+  SchedulerConfig CostConfigured;
+  SchedulerConfig TimeConfigured;
+  TimeConfigured.Alloc.Bias = OptimizationBias::Time;
+  ScheduleResult ByCost = scheduleJob(J, G, Net, CostConfigured, 42);
+  ScheduleResult ByTime = scheduleJob(J, G, Net, TimeConfigured, 42);
+  ASSERT_TRUE(ByCost.Feasible);
+  ASSERT_TRUE(ByTime.Feasible);
+  EXPECT_LE(ByTime.Dist.makespan(), ByCost.Dist.makespan());
+  EXPECT_LE(ByCost.Dist.economicCost(), ByTime.Dist.economicCost() + 1e-9);
+}
+
+TEST(Scheduler, DataPoliciesChangeSchedules) {
+  Job J = makeFig2Job();
+  Grid G = Grid::makeFig2();
+  Network Net;
+  SchedulerConfig Remote;
+  Remote.DataKind = DataPolicyKind::RemoteAccess;
+  SchedulerConfig Replicated;
+  Replicated.DataKind = DataPolicyKind::ActiveReplication;
+  ScheduleResult A = scheduleJob(J, G, Net, Remote, 42);
+  ScheduleResult B = scheduleJob(J, G, Net, Replicated, 42);
+  ASSERT_TRUE(A.Feasible);
+  ASSERT_TRUE(B.Feasible);
+  // Replication cannot make transfers slower, so the replicated run is
+  // never later overall.
+  EXPECT_LE(B.Dist.makespan(), A.Dist.makespan() + 1);
+}
+
+TEST(Scheduler, DeterministicForSameInputs) {
+  JobGenerator Gen(WorkloadConfig{}, 7);
+  Job J = Gen.next(0);
+  Prng Rng(3);
+  Grid G = Grid::makeRandom(GridConfig{}, Rng);
+  Network Net;
+  ScheduleResult A = scheduleJob(J, G, Net, SchedulerConfig{}, 42);
+  ScheduleResult B = scheduleJob(J, G, Net, SchedulerConfig{}, 42);
+  ASSERT_EQ(A.Feasible, B.Feasible);
+  ASSERT_EQ(A.Dist.size(), B.Dist.size());
+  for (const auto &P : A.Dist.placements()) {
+    const Placement *Q = B.Dist.find(P.TaskId);
+    ASSERT_NE(Q, nullptr);
+    EXPECT_EQ(P.NodeId, Q->NodeId);
+    EXPECT_EQ(P.Start, Q->Start);
+    EXPECT_EQ(P.End, Q->End);
+  }
+}
+
+TEST(Scheduler, MakespanWithinDeadlineWhenFeasible) {
+  JobGenerator Gen(WorkloadConfig{}, 11);
+  Prng Rng(4);
+  Network Net;
+  for (int I = 0; I < 20; ++I) {
+    Job J = Gen.next(0);
+    Grid G = Grid::makeRandom(GridConfig{}, Rng);
+    ScheduleResult R = scheduleJob(J, G, Net, SchedulerConfig{}, 42);
+    if (!R.Feasible)
+      continue;
+    expectValidDistribution(J, R.Dist);
+    EXPECT_LE(R.Dist.makespan(), J.deadline());
+  }
+}

@@ -1,0 +1,144 @@
+//===-- tests/test_shift.cpp - Distribution shifting tests ----------------===//
+//
+// Part of CWS, a reproduction of Toporkov, "Application-Level and Job-Flow
+// Scheduling" (PaCT 2009). Distributed without any warranty.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Shift.h"
+#include "core/Scheduler.h"
+#include "job/Generator.h"
+#include "resource/Network.h"
+#include "TestUtil.h"
+
+#include <gtest/gtest.h>
+
+using namespace cws;
+
+TEST(Shift, ShiftMovesEveryPlacement) {
+  Distribution D;
+  D.add({0, 1, 0, 4, 5.0});
+  D.add({1, 2, 6, 9, 7.0});
+  Distribution S = shiftDistribution(D, 10);
+  EXPECT_EQ(S.find(0)->Start, 10);
+  EXPECT_EQ(S.find(0)->End, 14);
+  EXPECT_EQ(S.find(1)->Start, 16);
+  EXPECT_EQ(S.find(1)->End, 19);
+  // Costs and node assignments are untouched.
+  EXPECT_EQ(S.find(1)->NodeId, 2u);
+  EXPECT_DOUBLE_EQ(S.economicCost(), D.economicCost());
+}
+
+TEST(Shift, NegativeShiftWorksWithinBounds) {
+  Distribution D;
+  D.add({0, 1, 5, 9, 0.0});
+  Distribution S = shiftDistribution(D, -5);
+  EXPECT_EQ(S.find(0)->Start, 0);
+}
+
+TEST(Shift, ZeroWhenAlreadyFree) {
+  Grid G = makeSmallGrid();
+  Distribution D;
+  D.add({0, 0, 0, 5, 0.0});
+  auto Delta = minimalFeasibleShift(D, G, 100);
+  ASSERT_TRUE(Delta.has_value());
+  EXPECT_EQ(*Delta, 0);
+}
+
+TEST(Shift, JumpsPastOneBlock) {
+  Grid G = makeSmallGrid();
+  G.node(0).timeline().reserve(2, 8, 9);
+  Distribution D;
+  D.add({0, 0, 0, 5, 0.0});
+  auto Delta = minimalFeasibleShift(D, G, 100);
+  ASSERT_TRUE(Delta.has_value());
+  EXPECT_EQ(*Delta, 8);
+}
+
+TEST(Shift, ChainsOverSeveralBlocks) {
+  Grid G = makeSmallGrid();
+  G.node(0).timeline().reserve(2, 8, 9);
+  G.node(0).timeline().reserve(10, 14, 9);
+  Distribution D;
+  D.add({0, 0, 0, 5, 0.0}); // After the first jump lands on [8,13): hits
+                            // the second block, jumps again to 14.
+  auto Delta = minimalFeasibleShift(D, G, 100);
+  ASSERT_TRUE(Delta.has_value());
+  EXPECT_EQ(*Delta, 14);
+}
+
+TEST(Shift, MultiPlacementTakesTheMaxConstraint) {
+  Grid G = makeSmallGrid();
+  G.node(0).timeline().reserve(0, 6, 9);
+  G.node(1).timeline().reserve(0, 12, 9);
+  Distribution D;
+  D.add({0, 0, 0, 3, 0.0});
+  D.add({1, 1, 4, 7, 0.0});
+  auto Delta = minimalFeasibleShift(D, G, 100);
+  ASSERT_TRUE(Delta.has_value());
+  // Task 1 needs Start + Delta >= 12, i.e. Delta >= 8; task 0 then
+  // starts at 8 >= 6: fine.
+  EXPECT_EQ(*Delta, 8);
+  Distribution S = shiftDistribution(D, *Delta);
+  EXPECT_TRUE(S.fitsGrid(G));
+}
+
+TEST(Shift, DeadlineBoundsTheSearch) {
+  Grid G = makeSmallGrid();
+  G.node(0).timeline().reserve(0, 50, 9);
+  Distribution D;
+  D.add({0, 0, 0, 10, 0.0});
+  EXPECT_FALSE(minimalFeasibleShift(D, G, 55).has_value());
+  auto Delta = minimalFeasibleShift(D, G, 60);
+  ASSERT_TRUE(Delta.has_value());
+  EXPECT_EQ(*Delta, 50);
+}
+
+TEST(Shift, IgnoresOwnReservations) {
+  Grid G = makeSmallGrid();
+  Distribution D;
+  D.add({0, 0, 0, 5, 0.0});
+  ASSERT_TRUE(D.commit(G, 42));
+  auto Delta = minimalFeasibleShift(D, G, 100, /*Ignore=*/42);
+  ASSERT_TRUE(Delta.has_value());
+  EXPECT_EQ(*Delta, 0);
+}
+
+TEST(Shift, EmptyDistributionShiftsTrivially) {
+  Grid G = makeSmallGrid();
+  Distribution D;
+  auto Delta = minimalFeasibleShift(D, G, 10);
+  ASSERT_TRUE(Delta.has_value());
+  EXPECT_EQ(*Delta, 0);
+}
+
+TEST(Shift, ShiftedScheduleStaysValid) {
+  // Property: shifting a real schedule preserves precedence and
+  // non-overlap, and the minimal shift really fits the loaded grid.
+  JobGenerator Gen(WorkloadConfig{}, 71);
+  Prng Rng(72);
+  Network Net;
+  for (int I = 0; I < 15; ++I) {
+    Job J = Gen.next(0);
+    J.setDeadline(J.deadline() * 4);
+    Grid Env = Grid::makeRandom(GridConfig{}, Rng);
+    ScheduleResult R = scheduleJob(J, Env, Net, SchedulerConfig{}, 42);
+    if (!R.Feasible)
+      continue;
+    // Load the grid afterwards, then shift around the new load.
+    for (int K = 0; K < 10; ++K) {
+      unsigned Node = static_cast<unsigned>(Rng.index(Env.size()));
+      Tick Dur = Rng.uniformInt(2, 9);
+      Timeline &Line = Env.node(Node).timeline();
+      Tick Start = Line.earliestFit(Rng.uniformInt(0, 30), Dur);
+      Line.reserve(Start, Start + Dur, 9);
+    }
+    auto Delta = minimalFeasibleShift(R.Dist, Env, J.deadline());
+    if (!Delta)
+      continue;
+    Distribution S = shiftDistribution(R.Dist, *Delta);
+    expectValidDistribution(J, S);
+    EXPECT_TRUE(S.fitsGrid(Env));
+    EXPECT_LE(S.makespan(), J.deadline());
+  }
+}

@@ -1,0 +1,146 @@
+//===-- tests/test_sim.cpp - Event queue and simulator tests --------------===//
+//
+// Part of CWS, a reproduction of Toporkov, "Application-Level and Job-Flow
+// Scheduling" (PaCT 2009). Distributed without any warranty.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/EventQueue.h"
+#include "sim/Simulator.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+using namespace cws;
+
+TEST(EventQueue, FiresInTimeOrder) {
+  EventQueue Q;
+  std::vector<int> Order;
+  Q.schedule(30, [&](Tick) { Order.push_back(3); });
+  Q.schedule(10, [&](Tick) { Order.push_back(1); });
+  Q.schedule(20, [&](Tick) { Order.push_back(2); });
+  while (!Q.empty())
+    Q.runNext();
+  EXPECT_EQ(Order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, SameTickFiresInSubmissionOrder) {
+  EventQueue Q;
+  std::vector<int> Order;
+  for (int I = 0; I < 5; ++I)
+    Q.schedule(7, [&Order, I](Tick) { Order.push_back(I); });
+  while (!Q.empty())
+    Q.runNext();
+  EXPECT_EQ(Order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, CancelPreventsExecution) {
+  EventQueue Q;
+  bool Fired = false;
+  EventId Id = Q.schedule(5, [&](Tick) { Fired = true; });
+  EXPECT_TRUE(Q.cancel(Id));
+  EXPECT_FALSE(Q.cancel(Id));
+  EXPECT_TRUE(Q.empty());
+  EXPECT_FALSE(Fired);
+}
+
+TEST(EventQueue, NextTimeSkipsCancelled) {
+  EventQueue Q;
+  EventId A = Q.schedule(5, [](Tick) {});
+  Q.schedule(9, [](Tick) {});
+  EXPECT_EQ(Q.nextTime(), 5);
+  Q.cancel(A);
+  EXPECT_EQ(Q.nextTime(), 9);
+}
+
+TEST(EventQueue, NextTimeOnEmpty) {
+  EventQueue Q;
+  EXPECT_EQ(Q.nextTime(), TickMax);
+}
+
+TEST(EventQueue, RunNextReportsTime) {
+  EventQueue Q;
+  Q.schedule(17, [](Tick At) { EXPECT_EQ(At, 17); });
+  EXPECT_EQ(Q.runNext(), 17);
+}
+
+TEST(EventQueue, EventsCanScheduleEvents) {
+  EventQueue Q;
+  int Count = 0;
+  Q.schedule(1, [&](Tick) {
+    ++Count;
+    Q.schedule(2, [&](Tick) { ++Count; });
+  });
+  while (!Q.empty())
+    Q.runNext();
+  EXPECT_EQ(Count, 2);
+}
+
+TEST(Simulator, ClockAdvancesWithEvents) {
+  Simulator Sim;
+  Tick Seen = -1;
+  Sim.at(12, [&](Tick Now) { Seen = Now; });
+  Sim.run();
+  EXPECT_EQ(Seen, 12);
+  EXPECT_EQ(Sim.now(), 12);
+}
+
+TEST(Simulator, AfterIsRelative) {
+  Simulator Sim;
+  std::vector<Tick> Times;
+  Sim.at(10, [&](Tick) {
+    Sim.after(5, [&](Tick Now) { Times.push_back(Now); });
+  });
+  Sim.run();
+  EXPECT_EQ(Times, (std::vector<Tick>{15}));
+}
+
+TEST(Simulator, PastEventsClampToNow) {
+  Simulator Sim;
+  Sim.at(10, [&](Tick) {
+    Sim.at(3, [&](Tick Now) { EXPECT_EQ(Now, 10); });
+  });
+  EXPECT_EQ(Sim.run(), 2u);
+}
+
+TEST(Simulator, RunUntilStopsAtHorizon) {
+  Simulator Sim;
+  int Fired = 0;
+  Sim.at(5, [&](Tick) { ++Fired; });
+  Sim.at(50, [&](Tick) { ++Fired; });
+  EXPECT_EQ(Sim.run(20), 1u);
+  EXPECT_EQ(Fired, 1);
+  EXPECT_EQ(Sim.run(), 1u);
+  EXPECT_EQ(Fired, 2);
+}
+
+TEST(Simulator, CancelledEventDoesNotRun) {
+  Simulator Sim;
+  bool Fired = false;
+  EventId Id = Sim.at(4, [&](Tick) { Fired = true; });
+  EXPECT_TRUE(Sim.cancel(Id));
+  Sim.run();
+  EXPECT_FALSE(Fired);
+}
+
+TEST(Simulator, StepExecutesOneEvent) {
+  Simulator Sim;
+  int Count = 0;
+  Sim.at(1, [&](Tick) { ++Count; });
+  Sim.at(2, [&](Tick) { ++Count; });
+  EXPECT_TRUE(Sim.step());
+  EXPECT_EQ(Count, 1);
+  EXPECT_TRUE(Sim.step());
+  EXPECT_EQ(Count, 2);
+  EXPECT_FALSE(Sim.step());
+}
+
+TEST(Simulator, PendingCount) {
+  Simulator Sim;
+  Sim.at(1, [](Tick) {});
+  Sim.at(2, [](Tick) {});
+  EXPECT_EQ(Sim.pending(), 2u);
+  Sim.run();
+  EXPECT_EQ(Sim.pending(), 0u);
+}

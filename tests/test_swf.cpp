@@ -1,0 +1,118 @@
+//===-- tests/test_swf.cpp - SWF trace import/export tests ----------------===//
+//
+// Part of CWS, a reproduction of Toporkov, "Application-Level and Job-Flow
+// Scheduling" (PaCT 2009). Distributed without any warranty.
+//
+//===----------------------------------------------------------------------===//
+
+#include "batch/Cluster.h"
+#include "batch/Swf.h"
+
+#include <gtest/gtest.h>
+
+using namespace cws;
+
+namespace {
+
+// Fields: id submit wait run alloc cpu mem reqProcs reqTime ...
+const char SampleSwf[] =
+    "; Parallel Workloads Archive style header\n"
+    "; UnixStartTime: 0\n"
+    "1 0 -1 100 4 -1 -1 4 120 -1 -1 -1 -1 -1 -1 -1 -1 -1\n"
+    "2 50 -1 30 2 -1 -1 2 60 -1 -1 -1 -1 -1 -1 -1 -1 -1\n"
+    "3 80 -1 200 8 -1 -1 -1 -1 -1 -1 -1 -1 -1 -1 -1 -1 -1\n";
+
+} // namespace
+
+TEST(Swf, ReadsBasicFields) {
+  SwfImportResult R = readSwf(SampleSwf);
+  ASSERT_EQ(R.Jobs.size(), 3u);
+  EXPECT_EQ(R.SkippedLines, 0u);
+  EXPECT_EQ(R.Jobs[0].Id, 1u);
+  EXPECT_EQ(R.Jobs[0].Arrival, 0);
+  EXPECT_EQ(R.Jobs[0].Nodes, 4u);
+  EXPECT_EQ(R.Jobs[0].EstTicks, 120);
+  EXPECT_EQ(R.Jobs[0].ActualTicks, 100);
+}
+
+TEST(Swf, FallsBackToAllocatedAndRuntime) {
+  // Job 3 has no requested procs/time: allocated (8) and runtime (200)
+  // are used; actual is clamped to the estimate.
+  SwfImportResult R = readSwf(SampleSwf);
+  EXPECT_EQ(R.Jobs[2].Nodes, 8u);
+  EXPECT_EQ(R.Jobs[2].EstTicks, 200);
+  EXPECT_EQ(R.Jobs[2].ActualTicks, 200);
+}
+
+TEST(Swf, SkipsCommentsAndMalformedLines) {
+  SwfImportResult R = readSwf("; comment\nnot a number line\n"
+                              "1 0 -1 banana 4\n"
+                              "2 0 -1 10 2 -1 -1 2 20\n");
+  EXPECT_EQ(R.Jobs.size(), 1u);
+  EXPECT_EQ(R.SkippedLines, 2u);
+}
+
+TEST(Swf, SkipsDegenerateJobs) {
+  SwfImportResult R = readSwf("1 0 -1 0 4 -1 -1 4 10\n"  // zero runtime
+                              "2 0 -1 10 0 -1 -1 0 10\n" // zero procs
+                              "3 -5 -1 10 1 -1 -1 1 10\n"); // negative submit
+  EXPECT_TRUE(R.Jobs.empty());
+  EXPECT_EQ(R.SkippedLines, 3u);
+}
+
+TEST(Swf, NodeCapClamps) {
+  SwfImportConfig Config;
+  Config.NodeCap = 4;
+  SwfImportResult R = readSwf(SampleSwf, Config);
+  EXPECT_EQ(R.Jobs[2].Nodes, 4u);
+}
+
+TEST(Swf, TimeScaleDividesTimes) {
+  SwfImportConfig Config;
+  Config.TimeScale = 10;
+  SwfImportResult R = readSwf(SampleSwf, Config);
+  EXPECT_EQ(R.Jobs[0].EstTicks, 12);
+  EXPECT_EQ(R.Jobs[0].ActualTicks, 10);
+  EXPECT_EQ(R.Jobs[1].Arrival, 5);
+}
+
+TEST(Swf, MaxJobsStopsEarly) {
+  SwfImportConfig Config;
+  Config.MaxJobs = 2;
+  EXPECT_EQ(readSwf(SampleSwf, Config).Jobs.size(), 2u);
+}
+
+TEST(Swf, SortsByArrival) {
+  SwfImportResult R = readSwf("2 50 -1 10 1 -1 -1 1 20\n"
+                              "1 10 -1 10 1 -1 -1 1 20\n");
+  ASSERT_EQ(R.Jobs.size(), 2u);
+  EXPECT_EQ(R.Jobs[0].Id, 1u);
+  EXPECT_EQ(R.Jobs[1].Id, 2u);
+}
+
+TEST(Swf, RoundTripsThroughWriter) {
+  BatchWorkloadConfig W;
+  W.JobCount = 40;
+  std::vector<BatchJob> Original = makeBatchTrace(W, 5);
+  SwfImportResult R = readSwf(writeSwf(Original));
+  ASSERT_EQ(R.Jobs.size(), Original.size());
+  EXPECT_EQ(R.SkippedLines, 0u);
+  for (size_t I = 0; I < Original.size(); ++I) {
+    EXPECT_EQ(R.Jobs[I].Id, Original[I].Id);
+    EXPECT_EQ(R.Jobs[I].Arrival, Original[I].Arrival);
+    EXPECT_EQ(R.Jobs[I].Nodes, Original[I].Nodes);
+    EXPECT_EQ(R.Jobs[I].EstTicks, Original[I].EstTicks);
+    EXPECT_EQ(R.Jobs[I].ActualTicks, Original[I].ActualTicks);
+  }
+}
+
+TEST(Swf, ImportedTraceRunsThroughTheCluster) {
+  SwfImportConfig Config;
+  Config.NodeCap = 8;
+  SwfImportResult R = readSwf(SampleSwf, Config);
+  ClusterConfig CC;
+  CC.NodeCount = 8;
+  auto Out = runCluster(CC, R.Jobs);
+  for (const auto &O : Out)
+    EXPECT_TRUE(O.Started);
+}

@@ -1,0 +1,90 @@
+//===-- tools/cws-sim.cpp - Command line VO simulator ---------------------===//
+//
+// Part of CWS, a reproduction of Toporkov, "Application-Level and Job-Flow
+// Scheduling" (PaCT 2009). Distributed without any warranty.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// cws-sim: run the two-level virtual-organization simulation from the
+/// command line and report QoS aggregates or a per-job CSV. Usage:
+///
+///   cws-sim [--strategy S1|S2|S3|MS1] [--jobs N] [--seed S]
+///           [--slack X] [--csv 1]
+///
+//===----------------------------------------------------------------------===//
+
+#include "metrics/Export.h"
+#include "metrics/QoS.h"
+#include "support/Flags.h"
+#include "support/Table.h"
+
+#include <iostream>
+
+using namespace cws;
+
+int main(int Argc, char **Argv) {
+  std::string StrategyName = "S1";
+  int64_t Jobs = 200;
+  int64_t Seed = 42;
+  double Slack = 2.0;
+  int64_t Csv = 0;
+  int64_t Exec = 0;
+  Flags F;
+  F.addString("strategy", &StrategyName, "S1 | S2 | S3 | MS1");
+  F.addInt("jobs", &Jobs, "compound jobs in the flow");
+  F.addInt("seed", &Seed, "run seed");
+  F.addReal("slack", &Slack, "deadline slack factor");
+  F.addInt("csv", &Csv, "print the per-job CSV instead of a summary");
+  F.addInt("exec", &Exec,
+           "execute committed schedules under runtime deviations (0/1)");
+  if (!F.parse(Argc, Argv))
+    return 0;
+
+  StrategyKind Kind = StrategyKind::S1;
+  for (StrategyKind K : {StrategyKind::S1, StrategyKind::S2,
+                         StrategyKind::S3, StrategyKind::MS1})
+    if (StrategyName == strategyName(K))
+      Kind = K;
+
+  VoConfig Config;
+  Config.JobCount = static_cast<size_t>(Jobs);
+  Config.Workload.DeadlineSlack = Slack;
+  Config.ExecuteWithDeviations = Exec != 0;
+  VoRunResult Run =
+      runVirtualOrganization(Config, Kind, static_cast<uint64_t>(Seed));
+
+  if (Csv) {
+    std::cout << voStatsCsv(Run.Jobs);
+    return 0;
+  }
+
+  VoAggregates A = summarizeVo(Run);
+  std::cout << "strategy " << strategyName(Kind) << ", " << Jobs
+            << " jobs, seed " << Seed << "\n\n";
+  Table T({"metric", "value"});
+  T.addRow({"admissible %", Table::num(A.AdmissiblePercent, 1)});
+  T.addRow({"committed %", Table::num(A.CommittedPercent, 1)});
+  T.addRow({"rejected %", Table::num(A.RejectedPercent, 1)});
+  T.addRow({"switched %", Table::num(A.SwitchedPercent, 1)});
+  T.addRow({"reallocated %", Table::num(A.ReallocatedPercent, 1)});
+  T.addRow({"mean quota cost", Table::num(A.MeanCost, 1)});
+  T.addRow({"mean CF", Table::num(A.MeanCf, 1)});
+  T.addRow({"mean run ticks", Table::num(A.MeanRunTicks, 1)});
+  T.addRow({"mean response ticks", Table::num(A.MeanResponseTicks, 1)});
+  T.addRow({"mean strategy TTL", Table::num(A.MeanTtl, 1)});
+  T.addRow({"mean start deviation", Table::num(A.MeanStartDeviation, 2)});
+  T.addRow({"deviation / run ratio",
+            Table::num(A.MeanStartDeviationRatio, 3)});
+  if (Exec)
+    T.addRow({"execution killed %",
+              Table::num(A.ExecutionKilledPercent, 1)});
+  T.addRow({"background jobs", std::to_string(Run.BackgroundJobs)});
+  T.addRow({"horizon (ticks)", std::to_string(Run.Horizon)});
+  for (PerfGroup G :
+       {PerfGroup::Fast, PerfGroup::Medium, PerfGroup::Slow})
+    T.addRow({std::string("job load, ") + perfGroupName(G) + " %",
+              Table::num(Run.JobLoadPercent[static_cast<size_t>(G)], 1)});
+  T.print(std::cout);
+  return 0;
+}
