@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_coarsen.dir/ablation_coarsen.cpp.o"
+  "CMakeFiles/ablation_coarsen.dir/ablation_coarsen.cpp.o.d"
+  "ablation_coarsen"
+  "ablation_coarsen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_coarsen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

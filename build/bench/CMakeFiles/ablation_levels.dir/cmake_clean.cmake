@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_levels.dir/ablation_levels.cpp.o"
+  "CMakeFiles/ablation_levels.dir/ablation_levels.cpp.o.d"
+  "ablation_levels"
+  "ablation_levels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_levels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deadline_sweep.dir/deadline_sweep.cpp.o"
+  "CMakeFiles/deadline_sweep.dir/deadline_sweep.cpp.o.d"
+  "deadline_sweep"
+  "deadline_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deadline_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

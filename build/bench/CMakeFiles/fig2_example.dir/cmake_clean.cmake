@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_example.dir/fig2_example.cpp.o"
+  "CMakeFiles/fig2_example.dir/fig2_example.cpp.o.d"
+  "fig2_example"
+  "fig2_example.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_example.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3a_admissible.dir/fig3a_admissible.cpp.o"
+  "CMakeFiles/fig3a_admissible.dir/fig3a_admissible.cpp.o.d"
+  "fig3a_admissible"
+  "fig3a_admissible.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3a_admissible.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3b_collisions.dir/fig3b_collisions.cpp.o"
+  "CMakeFiles/fig3b_collisions.dir/fig3b_collisions.cpp.o.d"
+  "fig3b_collisions"
+  "fig3b_collisions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3b_collisions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4a_load.dir/fig4a_load.cpp.o"
+  "CMakeFiles/fig4a_load.dir/fig4a_load.cpp.o.d"
+  "fig4a_load"
+  "fig4a_load.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4a_load.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

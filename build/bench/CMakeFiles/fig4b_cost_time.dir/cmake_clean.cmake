@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4b_cost_time.dir/fig4b_cost_time.cpp.o"
+  "CMakeFiles/fig4b_cost_time.dir/fig4b_cost_time.cpp.o.d"
+  "fig4b_cost_time"
+  "fig4b_cost_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4b_cost_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4c_ttl_deviation.dir/fig4c_ttl_deviation.cpp.o"
+  "CMakeFiles/fig4c_ttl_deviation.dir/fig4c_ttl_deviation.cpp.o.d"
+  "fig4c_ttl_deviation"
+  "fig4c_ttl_deviation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4c_ttl_deviation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig4c_ttl_deviation.
+# This may be replaced when dependencies are built.

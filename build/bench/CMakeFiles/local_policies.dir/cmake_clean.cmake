@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/local_policies.dir/local_policies.cpp.o"
+  "CMakeFiles/local_policies.dir/local_policies.cpp.o.d"
+  "local_policies"
+  "local_policies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/local_policies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/local_vs_global.dir/local_vs_global.cpp.o"
+  "CMakeFiles/local_vs_global.dir/local_vs_global.cpp.o.d"
+  "local_vs_global"
+  "local_vs_global.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/local_vs_global.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

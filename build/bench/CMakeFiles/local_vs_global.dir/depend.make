@@ -1,0 +1,2 @@
+# Empty dependencies file for local_vs_global.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multiflow.dir/multiflow.cpp.o"
+  "CMakeFiles/multiflow.dir/multiflow.cpp.o.d"
+  "multiflow"
+  "multiflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multiflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

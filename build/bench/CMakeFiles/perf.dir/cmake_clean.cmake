@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perf.dir/perf.cpp.o"
+  "CMakeFiles/perf.dir/perf.cpp.o.d"
+  "perf"
+  "perf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/replication_impact.dir/replication_impact.cpp.o"
+  "CMakeFiles/replication_impact.dir/replication_impact.cpp.o.d"
+  "replication_impact"
+  "replication_impact.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/replication_impact.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

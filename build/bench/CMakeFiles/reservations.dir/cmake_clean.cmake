@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reservations.dir/reservations.cpp.o"
+  "CMakeFiles/reservations.dir/reservations.cpp.o.d"
+  "reservations"
+  "reservations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reservations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/runtime_deviation.dir/runtime_deviation.cpp.o"
+  "CMakeFiles/runtime_deviation.dir/runtime_deviation.cpp.o.d"
+  "runtime_deviation"
+  "runtime_deviation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/runtime_deviation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

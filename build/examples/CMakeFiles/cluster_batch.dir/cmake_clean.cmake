@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cluster_batch.dir/cluster_batch.cpp.o"
+  "CMakeFiles/cluster_batch.dir/cluster_batch.cpp.o.d"
+  "cluster_batch"
+  "cluster_batch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cluster_batch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/describe_and_run.dir/describe_and_run.cpp.o"
+  "CMakeFiles/describe_and_run.dir/describe_and_run.cpp.o.d"
+  "describe_and_run"
+  "describe_and_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/describe_and_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/economy_demo.dir/economy_demo.cpp.o"
+  "CMakeFiles/economy_demo.dir/economy_demo.cpp.o.d"
+  "economy_demo"
+  "economy_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/economy_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/strategy_explorer.dir/strategy_explorer.cpp.o"
+  "CMakeFiles/strategy_explorer.dir/strategy_explorer.cpp.o.d"
+  "strategy_explorer"
+  "strategy_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/strategy_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vo_simulation.dir/vo_simulation.cpp.o"
+  "CMakeFiles/vo_simulation.dir/vo_simulation.cpp.o.d"
+  "vo_simulation"
+  "vo_simulation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vo_simulation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,66 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baseline/Heft.cpp" "src/CMakeFiles/cws.dir/baseline/Heft.cpp.o" "gcc" "src/CMakeFiles/cws.dir/baseline/Heft.cpp.o.d"
+  "/root/repo/src/baseline/Heuristics.cpp" "src/CMakeFiles/cws.dir/baseline/Heuristics.cpp.o" "gcc" "src/CMakeFiles/cws.dir/baseline/Heuristics.cpp.o.d"
+  "/root/repo/src/batch/BatchJob.cpp" "src/CMakeFiles/cws.dir/batch/BatchJob.cpp.o" "gcc" "src/CMakeFiles/cws.dir/batch/BatchJob.cpp.o.d"
+  "/root/repo/src/batch/Capacity.cpp" "src/CMakeFiles/cws.dir/batch/Capacity.cpp.o" "gcc" "src/CMakeFiles/cws.dir/batch/Capacity.cpp.o.d"
+  "/root/repo/src/batch/Cluster.cpp" "src/CMakeFiles/cws.dir/batch/Cluster.cpp.o" "gcc" "src/CMakeFiles/cws.dir/batch/Cluster.cpp.o.d"
+  "/root/repo/src/batch/Gang.cpp" "src/CMakeFiles/cws.dir/batch/Gang.cpp.o" "gcc" "src/CMakeFiles/cws.dir/batch/Gang.cpp.o.d"
+  "/root/repo/src/batch/QueuePolicy.cpp" "src/CMakeFiles/cws.dir/batch/QueuePolicy.cpp.o" "gcc" "src/CMakeFiles/cws.dir/batch/QueuePolicy.cpp.o.d"
+  "/root/repo/src/batch/Swf.cpp" "src/CMakeFiles/cws.dir/batch/Swf.cpp.o" "gcc" "src/CMakeFiles/cws.dir/batch/Swf.cpp.o.d"
+  "/root/repo/src/core/ChainAllocator.cpp" "src/CMakeFiles/cws.dir/core/ChainAllocator.cpp.o" "gcc" "src/CMakeFiles/cws.dir/core/ChainAllocator.cpp.o.d"
+  "/root/repo/src/core/Collision.cpp" "src/CMakeFiles/cws.dir/core/Collision.cpp.o" "gcc" "src/CMakeFiles/cws.dir/core/Collision.cpp.o.d"
+  "/root/repo/src/core/CostModel.cpp" "src/CMakeFiles/cws.dir/core/CostModel.cpp.o" "gcc" "src/CMakeFiles/cws.dir/core/CostModel.cpp.o.d"
+  "/root/repo/src/core/CriticalWork.cpp" "src/CMakeFiles/cws.dir/core/CriticalWork.cpp.o" "gcc" "src/CMakeFiles/cws.dir/core/CriticalWork.cpp.o.d"
+  "/root/repo/src/core/Distribution.cpp" "src/CMakeFiles/cws.dir/core/Distribution.cpp.o" "gcc" "src/CMakeFiles/cws.dir/core/Distribution.cpp.o.d"
+  "/root/repo/src/core/Dot.cpp" "src/CMakeFiles/cws.dir/core/Dot.cpp.o" "gcc" "src/CMakeFiles/cws.dir/core/Dot.cpp.o.d"
+  "/root/repo/src/core/Gantt.cpp" "src/CMakeFiles/cws.dir/core/Gantt.cpp.o" "gcc" "src/CMakeFiles/cws.dir/core/Gantt.cpp.o.d"
+  "/root/repo/src/core/Scheduler.cpp" "src/CMakeFiles/cws.dir/core/Scheduler.cpp.o" "gcc" "src/CMakeFiles/cws.dir/core/Scheduler.cpp.o.d"
+  "/root/repo/src/core/Shift.cpp" "src/CMakeFiles/cws.dir/core/Shift.cpp.o" "gcc" "src/CMakeFiles/cws.dir/core/Shift.cpp.o.d"
+  "/root/repo/src/core/Strategy.cpp" "src/CMakeFiles/cws.dir/core/Strategy.cpp.o" "gcc" "src/CMakeFiles/cws.dir/core/Strategy.cpp.o.d"
+  "/root/repo/src/flow/BackgroundLoad.cpp" "src/CMakeFiles/cws.dir/flow/BackgroundLoad.cpp.o" "gcc" "src/CMakeFiles/cws.dir/flow/BackgroundLoad.cpp.o.d"
+  "/root/repo/src/flow/Dispatch.cpp" "src/CMakeFiles/cws.dir/flow/Dispatch.cpp.o" "gcc" "src/CMakeFiles/cws.dir/flow/Dispatch.cpp.o.d"
+  "/root/repo/src/flow/Domain.cpp" "src/CMakeFiles/cws.dir/flow/Domain.cpp.o" "gcc" "src/CMakeFiles/cws.dir/flow/Domain.cpp.o.d"
+  "/root/repo/src/flow/Economy.cpp" "src/CMakeFiles/cws.dir/flow/Economy.cpp.o" "gcc" "src/CMakeFiles/cws.dir/flow/Economy.cpp.o.d"
+  "/root/repo/src/flow/Execution.cpp" "src/CMakeFiles/cws.dir/flow/Execution.cpp.o" "gcc" "src/CMakeFiles/cws.dir/flow/Execution.cpp.o.d"
+  "/root/repo/src/flow/Forecast.cpp" "src/CMakeFiles/cws.dir/flow/Forecast.cpp.o" "gcc" "src/CMakeFiles/cws.dir/flow/Forecast.cpp.o.d"
+  "/root/repo/src/flow/JobManager.cpp" "src/CMakeFiles/cws.dir/flow/JobManager.cpp.o" "gcc" "src/CMakeFiles/cws.dir/flow/JobManager.cpp.o.d"
+  "/root/repo/src/flow/LocalManager.cpp" "src/CMakeFiles/cws.dir/flow/LocalManager.cpp.o" "gcc" "src/CMakeFiles/cws.dir/flow/LocalManager.cpp.o.d"
+  "/root/repo/src/flow/Metascheduler.cpp" "src/CMakeFiles/cws.dir/flow/Metascheduler.cpp.o" "gcc" "src/CMakeFiles/cws.dir/flow/Metascheduler.cpp.o.d"
+  "/root/repo/src/flow/VirtualOrganization.cpp" "src/CMakeFiles/cws.dir/flow/VirtualOrganization.cpp.o" "gcc" "src/CMakeFiles/cws.dir/flow/VirtualOrganization.cpp.o.d"
+  "/root/repo/src/job/Coarsen.cpp" "src/CMakeFiles/cws.dir/job/Coarsen.cpp.o" "gcc" "src/CMakeFiles/cws.dir/job/Coarsen.cpp.o.d"
+  "/root/repo/src/job/Estimates.cpp" "src/CMakeFiles/cws.dir/job/Estimates.cpp.o" "gcc" "src/CMakeFiles/cws.dir/job/Estimates.cpp.o.d"
+  "/root/repo/src/job/Generator.cpp" "src/CMakeFiles/cws.dir/job/Generator.cpp.o" "gcc" "src/CMakeFiles/cws.dir/job/Generator.cpp.o.d"
+  "/root/repo/src/job/Job.cpp" "src/CMakeFiles/cws.dir/job/Job.cpp.o" "gcc" "src/CMakeFiles/cws.dir/job/Job.cpp.o.d"
+  "/root/repo/src/lang/Lexer.cpp" "src/CMakeFiles/cws.dir/lang/Lexer.cpp.o" "gcc" "src/CMakeFiles/cws.dir/lang/Lexer.cpp.o.d"
+  "/root/repo/src/lang/Parser.cpp" "src/CMakeFiles/cws.dir/lang/Parser.cpp.o" "gcc" "src/CMakeFiles/cws.dir/lang/Parser.cpp.o.d"
+  "/root/repo/src/metrics/Experiment.cpp" "src/CMakeFiles/cws.dir/metrics/Experiment.cpp.o" "gcc" "src/CMakeFiles/cws.dir/metrics/Experiment.cpp.o.d"
+  "/root/repo/src/metrics/Export.cpp" "src/CMakeFiles/cws.dir/metrics/Export.cpp.o" "gcc" "src/CMakeFiles/cws.dir/metrics/Export.cpp.o.d"
+  "/root/repo/src/metrics/QoS.cpp" "src/CMakeFiles/cws.dir/metrics/QoS.cpp.o" "gcc" "src/CMakeFiles/cws.dir/metrics/QoS.cpp.o.d"
+  "/root/repo/src/resource/DataPolicy.cpp" "src/CMakeFiles/cws.dir/resource/DataPolicy.cpp.o" "gcc" "src/CMakeFiles/cws.dir/resource/DataPolicy.cpp.o.d"
+  "/root/repo/src/resource/Grid.cpp" "src/CMakeFiles/cws.dir/resource/Grid.cpp.o" "gcc" "src/CMakeFiles/cws.dir/resource/Grid.cpp.o.d"
+  "/root/repo/src/resource/Network.cpp" "src/CMakeFiles/cws.dir/resource/Network.cpp.o" "gcc" "src/CMakeFiles/cws.dir/resource/Network.cpp.o.d"
+  "/root/repo/src/resource/Node.cpp" "src/CMakeFiles/cws.dir/resource/Node.cpp.o" "gcc" "src/CMakeFiles/cws.dir/resource/Node.cpp.o.d"
+  "/root/repo/src/resource/Timeline.cpp" "src/CMakeFiles/cws.dir/resource/Timeline.cpp.o" "gcc" "src/CMakeFiles/cws.dir/resource/Timeline.cpp.o.d"
+  "/root/repo/src/sim/EventQueue.cpp" "src/CMakeFiles/cws.dir/sim/EventQueue.cpp.o" "gcc" "src/CMakeFiles/cws.dir/sim/EventQueue.cpp.o.d"
+  "/root/repo/src/sim/Simulator.cpp" "src/CMakeFiles/cws.dir/sim/Simulator.cpp.o" "gcc" "src/CMakeFiles/cws.dir/sim/Simulator.cpp.o.d"
+  "/root/repo/src/support/Flags.cpp" "src/CMakeFiles/cws.dir/support/Flags.cpp.o" "gcc" "src/CMakeFiles/cws.dir/support/Flags.cpp.o.d"
+  "/root/repo/src/support/Prng.cpp" "src/CMakeFiles/cws.dir/support/Prng.cpp.o" "gcc" "src/CMakeFiles/cws.dir/support/Prng.cpp.o.d"
+  "/root/repo/src/support/Stats.cpp" "src/CMakeFiles/cws.dir/support/Stats.cpp.o" "gcc" "src/CMakeFiles/cws.dir/support/Stats.cpp.o.d"
+  "/root/repo/src/support/Table.cpp" "src/CMakeFiles/cws.dir/support/Table.cpp.o" "gcc" "src/CMakeFiles/cws.dir/support/Table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_chain_allocator.dir/test_chain_allocator.cpp.o"
+  "CMakeFiles/test_chain_allocator.dir/test_chain_allocator.cpp.o.d"
+  "test_chain_allocator"
+  "test_chain_allocator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_chain_allocator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

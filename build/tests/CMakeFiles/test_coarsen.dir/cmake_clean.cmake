@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_coarsen.dir/test_coarsen.cpp.o"
+  "CMakeFiles/test_coarsen.dir/test_coarsen.cpp.o.d"
+  "test_coarsen"
+  "test_coarsen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_coarsen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

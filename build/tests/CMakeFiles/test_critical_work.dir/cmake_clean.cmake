@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_critical_work.dir/test_critical_work.cpp.o"
+  "CMakeFiles/test_critical_work.dir/test_critical_work.cpp.o.d"
+  "test_critical_work"
+  "test_critical_work.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_critical_work.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

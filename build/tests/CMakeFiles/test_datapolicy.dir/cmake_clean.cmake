@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_datapolicy.dir/test_datapolicy.cpp.o"
+  "CMakeFiles/test_datapolicy.dir/test_datapolicy.cpp.o.d"
+  "test_datapolicy"
+  "test_datapolicy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_datapolicy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dispatch.dir/test_dispatch.cpp.o"
+  "CMakeFiles/test_dispatch.dir/test_dispatch.cpp.o.d"
+  "test_dispatch"
+  "test_dispatch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dispatch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

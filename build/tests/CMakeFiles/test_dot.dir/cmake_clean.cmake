@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dot.dir/test_dot.cpp.o"
+  "CMakeFiles/test_dot.dir/test_dot.cpp.o.d"
+  "test_dot"
+  "test_dot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

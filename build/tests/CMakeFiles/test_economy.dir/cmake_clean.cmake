@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_economy.dir/test_economy.cpp.o"
+  "CMakeFiles/test_economy.dir/test_economy.cpp.o.d"
+  "test_economy"
+  "test_economy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_economy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

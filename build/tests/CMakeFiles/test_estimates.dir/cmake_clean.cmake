@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_estimates.dir/test_estimates.cpp.o"
+  "CMakeFiles/test_estimates.dir/test_estimates.cpp.o.d"
+  "test_estimates"
+  "test_estimates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_estimates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

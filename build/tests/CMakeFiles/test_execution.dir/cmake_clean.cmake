@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_execution.dir/test_execution.cpp.o"
+  "CMakeFiles/test_execution.dir/test_execution.cpp.o.d"
+  "test_execution"
+  "test_execution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_execution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gang.dir/test_gang.cpp.o"
+  "CMakeFiles/test_gang.dir/test_gang.cpp.o.d"
+  "test_gang"
+  "test_gang.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gang.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

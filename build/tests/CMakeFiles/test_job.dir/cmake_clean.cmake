@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_job.dir/test_job.cpp.o"
+  "CMakeFiles/test_job.dir/test_job.cpp.o.d"
+  "test_job"
+  "test_job.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_job.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lang.dir/test_lang.cpp.o"
+  "CMakeFiles/test_lang.dir/test_lang.cpp.o.d"
+  "test_lang"
+  "test_lang.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lang.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

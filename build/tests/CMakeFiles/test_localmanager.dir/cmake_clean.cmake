@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_localmanager.dir/test_localmanager.cpp.o"
+  "CMakeFiles/test_localmanager.dir/test_localmanager.cpp.o.d"
+  "test_localmanager"
+  "test_localmanager.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_localmanager.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

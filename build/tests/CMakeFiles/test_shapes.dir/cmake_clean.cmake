@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_shapes.dir/test_shapes.cpp.o"
+  "CMakeFiles/test_shapes.dir/test_shapes.cpp.o.d"
+  "test_shapes"
+  "test_shapes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_shapes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_shift.dir/test_shift.cpp.o"
+  "CMakeFiles/test_shift.dir/test_shift.cpp.o.d"
+  "test_shift"
+  "test_shift.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_shift.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

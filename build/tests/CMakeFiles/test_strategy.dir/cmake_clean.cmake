@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_strategy.dir/test_strategy.cpp.o"
+  "CMakeFiles/test_strategy.dir/test_strategy.cpp.o.d"
+  "test_strategy"
+  "test_strategy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_strategy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_swf.dir/test_swf.cpp.o"
+  "CMakeFiles/test_swf.dir/test_swf.cpp.o.d"
+  "test_swf"
+  "test_swf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_swf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

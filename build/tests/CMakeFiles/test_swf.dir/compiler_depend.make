@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for test_swf.
+# This may be replaced when dependencies are built.

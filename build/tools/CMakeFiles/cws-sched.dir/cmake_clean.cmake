@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cws-sched.dir/cws-sched.cpp.o"
+  "CMakeFiles/cws-sched.dir/cws-sched.cpp.o.d"
+  "cws-sched"
+  "cws-sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cws-sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

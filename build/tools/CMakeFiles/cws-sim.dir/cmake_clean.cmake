@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cws-sim.dir/cws-sim.cpp.o"
+  "CMakeFiles/cws-sim.dir/cws-sim.cpp.o.d"
+  "cws-sim"
+  "cws-sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cws-sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
