@@ -7,6 +7,7 @@
 
 #include "core/ChainAllocator.h"
 #include "job/Job.h"
+#include "obs/Metrics.h"
 #include "resource/Grid.h"
 #include "support/Check.h"
 
@@ -14,6 +15,25 @@
 #include <limits>
 
 using namespace cws;
+
+namespace {
+/// DP-internal load indicators; the spans around allocate() live in the
+/// scheduler, these count the work inside one chain placement.
+struct AllocatorMetrics {
+  obs::Counter &Labels = obs::Registry::global().counter(
+      "cws_chain_labels_total", "Pareto labels inserted by the chain DP");
+  obs::Counter &Evictions = obs::Registry::global().counter(
+      "cws_chain_front_evictions_total",
+      "labels evicted when a Pareto front exceeded its size cap");
+  obs::Counter &Reruns = obs::Registry::global().counter(
+      "cws_chain_dp_reruns_total",
+      "DP re-runs forced by non-adjacent intra-chain precedence");
+  static AllocatorMetrics &get() {
+    static AllocatorMetrics M;
+    return M;
+  }
+};
+} // namespace
 
 const char *cws::optimizationBiasName(OptimizationBias Bias) {
   switch (Bias) {
@@ -96,10 +116,13 @@ void ChainAllocator::insertLabel(std::vector<Label> &Front, Label L) const {
                                 return A.Finish < B.Finish;
                               });
   Front.insert(Pos, L);
+  AllocatorMetrics::get().Labels.add();
   // Keep the extremes (earliest finish, cheapest cost); evict from the
   // middle when over the cap.
-  if (Front.size() > Params.MaxFrontSize)
+  if (Front.size() > Params.MaxFrontSize) {
     Front.erase(Front.begin() + static_cast<ptrdiff_t>(Front.size() / 2));
+    AllocatorMetrics::get().Evictions.add();
+  }
 }
 
 namespace {
@@ -269,8 +292,10 @@ bool ChainAllocator::allocate(const CriticalWork &Work, Distribution &Dist,
         }
       }
     }
-    if (Violated)
+    if (Violated) {
+      AllocatorMetrics::get().Reruns.add();
       continue;
+    }
 
     // --- Finalize: detect collisions, reserve, charge, record replicas.
     for (size_t Pos = 0; Pos < K; ++Pos) {

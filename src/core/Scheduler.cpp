@@ -7,17 +7,43 @@
 
 #include "core/Scheduler.h"
 #include "job/Job.h"
+#include "obs/Metrics.h"
+#include "obs/Trace.h"
 #include "support/Check.h"
 
 #include <algorithm>
 
 using namespace cws;
 
+namespace {
+struct SchedulerMetrics {
+  obs::Counter &Phases = obs::Registry::global().counter(
+      "cws_scheduler_phases_total",
+      "critical works extracted across all scheduleJob calls");
+  obs::Counter &Collisions = obs::Registry::global().counter(
+      "cws_scheduler_collisions_total",
+      "resource collisions recorded during chain allocation");
+  obs::Counter &Repairs = obs::Registry::global().counter(
+      "cws_scheduler_repairs_total",
+      "collision repairs (blocker release-and-reschedule rounds)");
+  obs::Counter &Infeasible = obs::Registry::global().counter(
+      "cws_scheduler_infeasible_total",
+      "scheduleJob calls that found no distribution within the deadline");
+  static SchedulerMetrics &get() {
+    static SchedulerMetrics M;
+    return M;
+  }
+};
+} // namespace
+
 ScheduleResult cws::scheduleJob(const Job &J, const Grid &Env,
                                 const Network &Net,
                                 const SchedulerConfig &Config, OwnerId Owner,
                                 Tick Now) {
   CWS_CHECK(Owner != 0, "scheduling needs a non-zero owner id");
+  SchedulerMetrics &M = SchedulerMetrics::get();
+  obs::Span SchedSpan("core", "scheduleJob", "tasks",
+                      static_cast<int64_t>(J.taskCount()));
   ScheduleResult Result;
   if (J.taskCount() == 0) {
     Result.Feasible = true;
@@ -46,11 +72,25 @@ ScheduleResult cws::scheduleJob(const Job &J, const Grid &Env,
   int Repairs = 0;
   const int MaxRepairs = Config.RepairBudget;
   while (Remaining > 0) {
-    CriticalWork Work = findCriticalWork(J, Assigned);
+    CriticalWork Work;
+    {
+      obs::Span ExtractSpan("core", "extractCriticalWork");
+      Work = findCriticalWork(J, Assigned);
+      ExtractSpan.arg("chain_len",
+                      static_cast<int64_t>(Work.TaskIds.size()));
+    }
     CWS_CHECK(!Work.TaskIds.empty(), "tasks remain but no critical work");
     Result.Phases.push_back(Work);
-    if (Allocator.allocate(Work, Result.Dist, Release, J.deadline(), Owner,
-                           Result.Collisions)) {
+    M.Phases.add();
+    bool Placed;
+    {
+      obs::Span AllocSpan("core", "allocateChain", "chain_len",
+                          static_cast<int64_t>(Work.TaskIds.size()));
+      Placed = Allocator.allocate(Work, Result.Dist, Release, J.deadline(),
+                                  Owner, Result.Collisions);
+      AllocSpan.arg("placed", Placed);
+    }
+    if (Placed) {
       for (unsigned TaskId : Work.TaskIds) {
         Assigned[TaskId] = true;
         --Remaining;
@@ -70,9 +110,17 @@ ScheduleResult cws::scheduleJob(const Job &J, const Grid &Env,
                 Blockers.end())
           Blockers.push_back(Succ);
       }
-    if (Blockers.empty() || Repairs >= MaxRepairs)
-      return Result; // Genuinely infeasible within the deadline.
+    if (Blockers.empty() || Repairs >= MaxRepairs) {
+      // Genuinely infeasible within the deadline.
+      M.Infeasible.add();
+      M.Collisions.add(Result.Collisions.size());
+      M.Repairs.add(static_cast<uint64_t>(Repairs));
+      SchedSpan.arg("feasible", 0);
+      return Result;
+    }
     ++Repairs;
+    obs::Tracer::global().instant("core", "repairCollision", "blockers",
+                                  static_cast<int64_t>(Blockers.size()));
     for (unsigned Blocked : Blockers) {
       std::optional<Placement> P = Result.Dist.remove(Blocked);
       CWS_CHECK(P, "blocker vanished from the distribution");
@@ -87,5 +135,10 @@ ScheduleResult cws::scheduleJob(const Job &J, const Grid &Env,
   }
   Result.Feasible =
       Result.Dist.covers(J) && Result.Dist.makespan() <= J.deadline();
+  if (!Result.Feasible)
+    M.Infeasible.add();
+  M.Collisions.add(Result.Collisions.size());
+  M.Repairs.add(static_cast<uint64_t>(Repairs));
+  SchedSpan.arg("feasible", Result.Feasible);
   return Result;
 }

@@ -9,11 +9,14 @@
 #include "job/Coarsen.h"
 #include "job/Estimates.h"
 #include "job/Job.h"
+#include "obs/Metrics.h"
+#include "obs/Trace.h"
 #include "support/Check.h"
 
 #include <cmath>
 
 #include <algorithm>
+#include <chrono>
 #include <limits>
 
 using namespace cws;
@@ -81,6 +84,16 @@ static bool sameDistribution(const Distribution &A, const Distribution &B) {
 Strategy Strategy::build(const Job &J, const Grid &Env, const Network &Net,
                          const StrategyConfig &Config, OwnerId Owner,
                          Tick Now) {
+  static obs::Counter &Builds = obs::Registry::global().counter(
+      "cws_strategy_builds_total", "strategies generated");
+  static obs::Histogram &BuildMicros = obs::Registry::global().histogram(
+      "cws_strategy_build_micros",
+      {50, 100, 250, 500, 1000, 2500, 5000, 10000, 25000, 50000, 100000,
+       250000, 1000000},
+      "wall-clock latency of one Strategy::build (microseconds)");
+  obs::Span BuildSpan("core", "strategy.build", "job",
+                      static_cast<int64_t>(J.id()));
+  auto T0 = std::chrono::steady_clock::now();
   Strategy S;
   S.Kind = Config.Kind;
   S.JobId = J.id();
@@ -159,6 +172,12 @@ Strategy Strategy::build(const Job &J, const Grid &Env, const Network &Net,
         S.Variants.push_back(std::move(Variant));
     }
   }
+  Builds.add();
+  BuildMicros.observe(static_cast<double>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - T0)
+          .count()));
+  BuildSpan.arg("variants", static_cast<int64_t>(S.Variants.size()));
   return S;
 }
 

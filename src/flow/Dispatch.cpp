@@ -6,6 +6,8 @@
 //===----------------------------------------------------------------------===//
 
 #include "flow/Dispatch.h"
+#include "obs/Metrics.h"
+#include "obs/Trace.h"
 #include "support/Check.h"
 
 #include <limits>
@@ -51,6 +53,11 @@ void DomainDispatcher::observeLoad(Tick Now, Tick Window) {
 
 DispatchDecision DomainDispatcher::dispatch(const Job &J, OwnerId Owner,
                                             Tick Now) {
+  static obs::Counter &Dispatches = obs::Registry::global().counter(
+      "cws_dispatch_total", "jobs routed to a domain by the dispatcher");
+  Dispatches.add();
+  obs::Span DispatchSpan("flow", "dispatch", "job",
+                         static_cast<int64_t>(J.id()));
   DispatchDecision Decision;
   switch (Policy) {
   case DispatchPolicy::RoundRobin:
@@ -104,6 +111,8 @@ DispatchDecision DomainDispatcher::dispatch(const Job &J, OwnerId Owner,
     }
     if (Winner) {
       Decision.S = std::move(*Winner);
+      DispatchSpan.arg("domain",
+                       static_cast<int64_t>(Decision.DomainIdx));
       return Decision;
     }
     // No admissible bid anywhere: return the first domain's strategy
@@ -114,5 +123,6 @@ DispatchDecision DomainDispatcher::dispatch(const Job &J, OwnerId Owner,
   }
 
   Decision.S = buildOn(J, Domains[Decision.DomainIdx], Owner, Now);
+  DispatchSpan.arg("domain", static_cast<int64_t>(Decision.DomainIdx));
   return Decision;
 }

@@ -7,11 +7,52 @@
 
 #include "flow/JobManager.h"
 #include "core/Shift.h"
+#include "obs/Metrics.h"
+#include "obs/Trace.h"
 #include "support/Check.h"
 
 using namespace cws;
 
+namespace {
+/// Lifecycle counters of the job flow: submit -> strategy build ->
+/// commit -> (invalidation -> shift / reallocate) -> complete.
+struct FlowMetrics {
+  obs::Counter &Submitted = obs::Registry::global().counter(
+      "cws_jobs_submitted_total", "jobs that entered the flow");
+  obs::Counter &Admissible = obs::Registry::global().counter(
+      "cws_jobs_admissible_total",
+      "jobs whose arrival strategy had a feasible variant");
+  obs::Counter &Committed = obs::Registry::global().counter(
+      "cws_jobs_committed_total", "jobs with a committed schedule");
+  obs::Counter &Rejected = obs::Registry::global().counter(
+      "cws_jobs_rejected_total",
+      "jobs rejected at negotiation (stale, unaffordable or raced)");
+  obs::Counter &Invalidated = obs::Registry::global().counter(
+      "cws_jobs_invalidated_total",
+      "strategies that lost every fitting variant to background load");
+  obs::Counter &ShiftRecovered = obs::Registry::global().counter(
+      "cws_jobs_shift_recovered_total",
+      "stale schedules recovered by shifting them whole");
+  obs::Counter &Reallocated = obs::Registry::global().counter(
+      "cws_jobs_reallocated_total",
+      "jobs committed only after a full reallocation");
+  obs::Counter &Switched = obs::Registry::global().counter(
+      "cws_jobs_switched_total",
+      "jobs committed on a different variant than forecast at arrival");
+  obs::Counter &Completed = obs::Registry::global().counter(
+      "cws_jobs_completed_total", "jobs that ran to completion");
+  static FlowMetrics &get() {
+    static FlowMetrics M;
+    return M;
+  }
+};
+} // namespace
+
 bool JobManager::onArrival(const Job &J, Tick Now) {
+  FlowMetrics &M = FlowMetrics::get();
+  M.Submitted.add();
+  obs::Span ArrivalSpan("flow", "job.arrival", "job",
+                        static_cast<int64_t>(J.id()));
   Strategy S = Meta.buildStrategy(J, Now);
 
   VoJobStats St;
@@ -27,18 +68,23 @@ bool JobManager::onArrival(const Job &J, Tick Now) {
     ForecastVariant = static_cast<size_t>(Best - S.variants().data());
   }
   Stats.push_back(St);
+  ArrivalSpan.arg("admissible", St.Admissible);
 
   if (!St.Admissible) {
     // Nothing will ever run; the strategy was dead on arrival.
     Stats.back().TtlClosed = true;
     return false;
   }
+  M.Admissible.add();
   ActiveJob A{J, std::move(S), Stats.size() - 1, ForecastVariant};
   Active.emplace(J.id(), std::move(A));
   return true;
 }
 
 std::optional<Tick> JobManager::onNegotiation(unsigned JobId, Tick Now) {
+  FlowMetrics &M = FlowMetrics::get();
+  obs::Span NegotiationSpan("flow", "job.negotiate", "job",
+                            static_cast<int64_t>(JobId));
   auto It = Active.find(JobId);
   CWS_CHECK(It != Active.end(), "negotiation for an unknown job");
   ActiveJob &A = It->second;
@@ -49,9 +95,12 @@ std::optional<Tick> JobManager::onNegotiation(unsigned JobId, Tick Now) {
   if (!Pick) {
     // The whole arrival-time strategy went stale during negotiation:
     // close its TTL.
+    obs::Tracer::global().instant("flow", "job.invalidate", "job",
+                                  static_cast<int64_t>(JobId));
     if (!St.TtlClosed) {
       St.Ttl = Now - St.Arrival;
       St.TtlClosed = true;
+      M.Invalidated.add();
     }
     // Cheapest recovery first: shift a stale supporting schedule as a
     // whole — structure and co-allocation survive, only the start
@@ -86,6 +135,10 @@ std::optional<Tick> JobManager::onNegotiation(unsigned JobId, Tick Now) {
         St.Cost = Shifted.economicCost();
         St.Cf = Shifted.costFunction(A.S.scheduledJob());
         A.Committed = true;
+        M.Committed.add();
+        M.ShiftRecovered.add();
+        M.Switched.add();
+        NegotiationSpan.arg("outcome", 1);
         runExecution(A, Shifted);
         return St.Completion;
       }
@@ -95,6 +148,8 @@ std::optional<Tick> JobManager::onNegotiation(unsigned JobId, Tick Now) {
     if (!Fresh.admissible()) {
       St.Rejected = true;
       A.Done = true;
+      M.Rejected.add();
+      NegotiationSpan.arg("outcome", 0);
       maybeRetire(JobId);
       return std::nullopt;
     }
@@ -117,10 +172,20 @@ std::optional<Tick> JobManager::onNegotiation(unsigned JobId, Tick Now) {
       St.TtlClosed = true;
     }
     A.Done = true;
+    M.Rejected.add();
+    NegotiationSpan.arg("outcome", 0);
     maybeRetire(JobId);
     return std::nullopt;
   }
 
+  M.Committed.add();
+  if (St.Reallocated)
+    M.Reallocated.add();
+  if (St.Switched)
+    M.Switched.add();
+  obs::Tracer::global().instant("flow", "job.commit", "variant",
+                                static_cast<int64_t>(PickIdx));
+  NegotiationSpan.arg("variant", static_cast<int64_t>(PickIdx));
   St.Committed = true;
   St.ActualStart = Pick->Result.Dist.startTime();
   St.Completion = Pick->Result.Dist.makespan();
@@ -153,6 +218,9 @@ void JobManager::onEnvironmentChange(Tick Now) {
     if (!A.S.bestFitting(Meta.grid(), Metascheduler::ownerOf(JobId))) {
       St.Ttl = Now - St.Arrival;
       St.TtlClosed = true;
+      FlowMetrics::get().Invalidated.add();
+      obs::Tracer::global().instant("flow", "job.invalidate", "job",
+                                    static_cast<int64_t>(JobId));
       if (A.Done)
         Retire.push_back(JobId);
     }
@@ -162,6 +230,9 @@ void JobManager::onEnvironmentChange(Tick Now) {
 }
 
 void JobManager::onCompletion(unsigned JobId, Tick Now) {
+  FlowMetrics::get().Completed.add();
+  obs::Tracer::global().instant("flow", "job.complete", "job",
+                                static_cast<int64_t>(JobId));
   auto It = Active.find(JobId);
   CWS_CHECK(It != Active.end(), "completion for an unknown job");
   ActiveJob &A = It->second;

@@ -7,9 +7,31 @@
 
 #include "flow/Metascheduler.h"
 #include "job/Job.h"
+#include "obs/Metrics.h"
+#include "obs/Trace.h"
 #include "support/Check.h"
 
 using namespace cws;
+
+namespace {
+struct MetaMetrics {
+  obs::Counter &Commits = obs::Registry::global().counter(
+      "cws_meta_commits_total", "supporting schedules committed");
+  obs::Counter &QuotaDenied = obs::Registry::global().counter(
+      "cws_meta_commit_quota_denied_total",
+      "commits refused because the user could not afford the schedule");
+  obs::Counter &SlotConflicts = obs::Registry::global().counter(
+      "cws_meta_commit_conflicts_total",
+      "commits refused because a reserved slot was no longer free");
+  obs::Counter &Reallocations = obs::Registry::global().counter(
+      "cws_meta_reallocations_total",
+      "stale strategies dropped and rebuilt from the current load");
+  static MetaMetrics &get() {
+    static MetaMetrics M;
+    return M;
+  }
+};
+} // namespace
 
 bool Metascheduler::commit(const Job &J, const ScheduleVariant &Variant,
                            unsigned UserId) {
@@ -19,17 +41,31 @@ bool Metascheduler::commit(const Job &J, const ScheduleVariant &Variant,
 
 bool Metascheduler::commitDistribution(const Job &J, const Distribution &D,
                                        unsigned UserId) {
+  MetaMetrics &M = MetaMetrics::get();
+  obs::Span CommitSpan("flow", "meta.commit", "job",
+                       static_cast<int64_t>(J.id()));
   double Cost = D.economicCost();
-  if (!Econ.canAfford(UserId, Cost))
+  if (!Econ.canAfford(UserId, Cost)) {
+    M.QuotaDenied.add();
+    CommitSpan.arg("ok", 0);
     return false;
-  if (!D.commit(Env, ownerOf(J.id())))
+  }
+  if (!D.commit(Env, ownerOf(J.id()))) {
+    M.SlotConflicts.add();
+    CommitSpan.arg("ok", 0);
     return false;
+  }
   bool Charged = Econ.charge(UserId, Cost);
   CWS_CHECK(Charged, "charge failed after affordability check");
+  M.Commits.add();
+  CommitSpan.arg("ok", 1);
   return true;
 }
 
 Strategy Metascheduler::reallocate(const Job &J, Tick Now) {
+  MetaMetrics::get().Reallocations.add();
+  obs::Span ReallocSpan("flow", "meta.reallocate", "job",
+                        static_cast<int64_t>(J.id()));
   Env.releaseOwner(ownerOf(J.id()));
   return buildStrategy(J, Now);
 }

@@ -73,3 +73,29 @@ std::string cws::voStatsCsv(const std::vector<VoJobStats> &Stats) {
   }
   return Out;
 }
+
+std::string cws::metricsCsv(const obs::Registry &R) {
+  std::string Out = "metric,type,series,le,value\n";
+  char Buf[64];
+  for (const obs::Registry::Sample &S : R.samples()) {
+    std::snprintf(Buf, sizeof(Buf), ",%.17g\n", S.Value);
+    Out += S.Name + "," + S.Type + "," + S.Series + "," + S.Le + Buf;
+  }
+  return Out;
+}
+
+bool cws::writeTextFile(const std::string &Path, const std::string &Text) {
+  std::FILE *F = std::fopen(Path.c_str(), "w");
+  if (!F)
+    return false;
+  size_t Written = std::fwrite(Text.data(), 1, Text.size(), F);
+  bool Ok = Written == Text.size();
+  Ok = std::fclose(F) == 0 && Ok;
+  return Ok;
+}
+
+bool cws::writeMetricsSnapshot(const std::string &Path,
+                               const obs::Registry &R) {
+  bool Csv = Path.size() >= 4 && Path.compare(Path.size() - 4, 4, ".csv") == 0;
+  return writeTextFile(Path, Csv ? metricsCsv(R) : R.prometheusText());
+}

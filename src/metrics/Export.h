@@ -18,6 +18,7 @@
 #include "core/Distribution.h"
 #include "core/Strategy.h"
 #include "flow/JobManager.h"
+#include "obs/Metrics.h"
 
 #include <string>
 #include <vector>
@@ -33,6 +34,19 @@ std::string strategyCsv(const Strategy &S);
 
 /// Per-job VO records as CSV (one row per job).
 std::string voStatsCsv(const std::vector<VoJobStats> &Stats);
+
+/// Registry snapshot as CSV: metric,type,series,le,value. Histograms
+/// expand into one cumulative `bucket` row per bound plus `sum` and
+/// `count` rows, mirroring the Prometheus exposition.
+std::string metricsCsv(const obs::Registry &R = obs::Registry::global());
+
+/// Writes \p Text to \p Path; returns false on I/O failure.
+bool writeTextFile(const std::string &Path, const std::string &Text);
+
+/// Writes a metrics snapshot of \p R to \p Path: CSV when the path ends
+/// in ".csv", Prometheus text exposition otherwise.
+bool writeMetricsSnapshot(const std::string &Path,
+                          const obs::Registry &R = obs::Registry::global());
 
 } // namespace cws
 

@@ -1,0 +1,243 @@
+//===-- obs/Metrics.cpp - Counters, gauges, histograms --------------------===//
+//
+// Part of CWS, a reproduction of Toporkov, "Application-Level and Job-Flow
+// Scheduling" (PaCT 2009). Distributed without any warranty.
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/Metrics.h"
+#include "support/Check.h"
+
+#include <cstdio>
+#include <cstring>
+
+using namespace cws;
+using namespace cws::obs;
+
+//===----------------------------------------------------------------------===//
+// Histogram
+//===----------------------------------------------------------------------===//
+
+Histogram::Histogram(std::vector<double> UpperBounds)
+    : Bounds(std::move(UpperBounds)) {
+  CWS_CHECK(!Bounds.empty(), "histogram needs at least one bucket bound");
+  for (size_t I = 1; I < Bounds.size(); ++I)
+    CWS_CHECK(Bounds[I - 1] < Bounds[I],
+              "histogram bounds must be strictly increasing");
+  Buckets = std::make_unique<std::atomic<uint64_t>[]>(Bounds.size() + 1);
+  for (size_t I = 0; I <= Bounds.size(); ++I)
+    Buckets[I].store(0, std::memory_order_relaxed);
+}
+
+void Histogram::observe(double X) {
+  size_t I = 0;
+  while (I < Bounds.size() && X > Bounds[I])
+    ++I;
+  Buckets[I].fetch_add(1, std::memory_order_relaxed);
+  N.fetch_add(1, std::memory_order_relaxed);
+  uint64_t Old = SumBits.load(std::memory_order_relaxed);
+  double New;
+  do {
+    double OldSum;
+    std::memcpy(&OldSum, &Old, sizeof(OldSum));
+    New = OldSum + X;
+    uint64_t NewBits;
+    std::memcpy(&NewBits, &New, sizeof(NewBits));
+    if (SumBits.compare_exchange_weak(Old, NewBits,
+                                      std::memory_order_relaxed))
+      break;
+  } while (true);
+}
+
+double Histogram::sum() const {
+  uint64_t Bits = SumBits.load(std::memory_order_relaxed);
+  double S;
+  std::memcpy(&S, &Bits, sizeof(S));
+  return S;
+}
+
+uint64_t Histogram::cumulativeCount(size_t I) const {
+  uint64_t Total = 0;
+  for (size_t B = 0; B <= I && B <= Bounds.size(); ++B)
+    Total += bucketCount(B);
+  return Total;
+}
+
+void Histogram::reset() {
+  for (size_t I = 0; I <= Bounds.size(); ++I)
+    Buckets[I].store(0, std::memory_order_relaxed);
+  N.store(0, std::memory_order_relaxed);
+  SumBits.store(0, std::memory_order_relaxed);
+}
+
+//===----------------------------------------------------------------------===//
+// Registry
+//===----------------------------------------------------------------------===//
+
+Registry &Registry::global() {
+  static Registry R;
+  return R;
+}
+
+Registry::Entry *Registry::find(const std::string &Name) {
+  for (auto &E : Entries)
+    if (E->Name == Name)
+      return E.get();
+  return nullptr;
+}
+
+const Registry::Entry *Registry::find(const std::string &Name) const {
+  for (const auto &E : Entries)
+    if (E->Name == Name)
+      return E.get();
+  return nullptr;
+}
+
+Counter &Registry::counter(const std::string &Name, const std::string &Help) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  if (Entry *E = find(Name)) {
+    CWS_CHECK(E->EntryKind == Kind::Counter,
+              "metric re-registered under a different kind");
+    return *E->C;
+  }
+  auto E = std::make_unique<Entry>();
+  E->Name = Name;
+  E->Help = Help;
+  E->EntryKind = Kind::Counter;
+  E->C = std::make_unique<Counter>();
+  Entries.push_back(std::move(E));
+  return *Entries.back()->C;
+}
+
+Gauge &Registry::gauge(const std::string &Name, const std::string &Help) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  if (Entry *E = find(Name)) {
+    CWS_CHECK(E->EntryKind == Kind::Gauge,
+              "metric re-registered under a different kind");
+    return *E->G;
+  }
+  auto E = std::make_unique<Entry>();
+  E->Name = Name;
+  E->Help = Help;
+  E->EntryKind = Kind::Gauge;
+  E->G = std::make_unique<Gauge>();
+  Entries.push_back(std::move(E));
+  return *Entries.back()->G;
+}
+
+Histogram &Registry::histogram(const std::string &Name,
+                               std::vector<double> UpperBounds,
+                               const std::string &Help) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  if (Entry *E = find(Name)) {
+    CWS_CHECK(E->EntryKind == Kind::Histogram,
+              "metric re-registered under a different kind");
+    return *E->H;
+  }
+  auto E = std::make_unique<Entry>();
+  E->Name = Name;
+  E->Help = Help;
+  E->EntryKind = Kind::Histogram;
+  E->H = std::make_unique<Histogram>(std::move(UpperBounds));
+  Entries.push_back(std::move(E));
+  return *Entries.back()->H;
+}
+
+/// Renders \p X the way Prometheus clients do: integral values without
+/// a fractional part, others with enough digits to round-trip.
+static std::string renderNumber(double X) {
+  char Buf[64];
+  if (X == static_cast<double>(static_cast<long long>(X)))
+    std::snprintf(Buf, sizeof(Buf), "%lld", static_cast<long long>(X));
+  else
+    std::snprintf(Buf, sizeof(Buf), "%.17g", X);
+  return Buf;
+}
+
+std::string Registry::prometheusText() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  std::string Out;
+  for (const auto &E : Entries) {
+    if (!E->Help.empty())
+      Out += "# HELP " + E->Name + " " + E->Help + "\n";
+    switch (E->EntryKind) {
+    case Kind::Counter:
+      Out += "# TYPE " + E->Name + " counter\n";
+      Out += E->Name + " " + std::to_string(E->C->value()) + "\n";
+      break;
+    case Kind::Gauge:
+      Out += "# TYPE " + E->Name + " gauge\n";
+      Out += E->Name + " " + std::to_string(E->G->value()) + "\n";
+      break;
+    case Kind::Histogram: {
+      const Histogram &H = *E->H;
+      Out += "# TYPE " + E->Name + " histogram\n";
+      uint64_t Cumulative = 0;
+      for (size_t I = 0; I < H.bounds().size(); ++I) {
+        Cumulative += H.bucketCount(I);
+        Out += E->Name + "_bucket{le=\"" + renderNumber(H.bounds()[I]) +
+               "\"} " + std::to_string(Cumulative) + "\n";
+      }
+      Cumulative += H.bucketCount(H.bounds().size());
+      Out += E->Name + "_bucket{le=\"+Inf\"} " +
+             std::to_string(Cumulative) + "\n";
+      Out += E->Name + "_sum " + renderNumber(H.sum()) + "\n";
+      Out += E->Name + "_count " + std::to_string(H.count()) + "\n";
+      break;
+    }
+    }
+  }
+  return Out;
+}
+
+std::vector<Registry::Sample> Registry::samples() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  std::vector<Sample> Out;
+  for (const auto &E : Entries) {
+    switch (E->EntryKind) {
+    case Kind::Counter:
+      Out.push_back({E->Name, "counter", "", "",
+                     static_cast<double>(E->C->value())});
+      break;
+    case Kind::Gauge:
+      Out.push_back({E->Name, "gauge", "", "",
+                     static_cast<double>(E->G->value())});
+      break;
+    case Kind::Histogram: {
+      const Histogram &H = *E->H;
+      uint64_t Cumulative = 0;
+      for (size_t I = 0; I < H.bounds().size(); ++I) {
+        Cumulative += H.bucketCount(I);
+        Out.push_back({E->Name, "histogram", "bucket",
+                       renderNumber(H.bounds()[I]),
+                       static_cast<double>(Cumulative)});
+      }
+      Cumulative += H.bucketCount(H.bounds().size());
+      Out.push_back({E->Name, "histogram", "bucket", "+Inf",
+                     static_cast<double>(Cumulative)});
+      Out.push_back({E->Name, "histogram", "sum", "", H.sum()});
+      Out.push_back({E->Name, "histogram", "count", "",
+                     static_cast<double>(H.count())});
+      break;
+    }
+    }
+  }
+  return Out;
+}
+
+void Registry::reset() {
+  std::lock_guard<std::mutex> Lock(Mu);
+  for (auto &E : Entries) {
+    switch (E->EntryKind) {
+    case Kind::Counter:
+      E->C->reset();
+      break;
+    case Kind::Gauge:
+      E->G->reset();
+      break;
+    case Kind::Histogram:
+      E->H->reset();
+      break;
+    }
+  }
+}

@@ -1,0 +1,179 @@
+//===-- obs/Trace.cpp - Low-overhead span tracer --------------------------===//
+//
+// Part of CWS, a reproduction of Toporkov, "Application-Level and Job-Flow
+// Scheduling" (PaCT 2009). Distributed without any warranty.
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/Trace.h"
+#include "support/Check.h"
+
+#include <chrono>
+#include <cstdio>
+
+using namespace cws;
+using namespace cws::obs;
+
+static int64_t steadyMicros() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Small dense thread ids for the trace viewer's per-track layout
+/// (std::thread::id hashes are visually useless).
+static uint32_t currentTid() {
+  static std::atomic<uint32_t> Next{1};
+  thread_local uint32_t Tid = Next.fetch_add(1, std::memory_order_relaxed);
+  return Tid;
+}
+
+Tracer &Tracer::global() {
+  static Tracer T;
+  return T;
+}
+
+void Tracer::enable(size_t Capacity) {
+  CWS_CHECK(Capacity > 0, "tracer needs a non-empty ring");
+  std::lock_guard<std::mutex> Lock(Mu);
+  Ring.assign(Capacity, TraceEvent{});
+  Head = 0;
+  EpochMicros = steadyMicros();
+  Enabled.store(true, std::memory_order_relaxed);
+}
+
+void Tracer::disable() { Enabled.store(false, std::memory_order_relaxed); }
+
+void Tracer::reset() {
+  disable();
+  std::lock_guard<std::mutex> Lock(Mu);
+  Ring.clear();
+  Head = 0;
+}
+
+void Tracer::record(TracePhase Phase, const char *Category, const char *Name,
+                    const TraceArg *Args, size_t ArgCount) {
+  if (!enabled())
+    return;
+  int64_t Ts = steadyMicros();
+  uint32_t Tid = currentTid();
+  std::lock_guard<std::mutex> Lock(Mu);
+  if (Ring.empty())
+    return; // reset() raced the enabled check.
+  TraceEvent &E = Ring[Head % Ring.size()];
+  E.Name = Name;
+  E.Category = Category;
+  E.TsMicros = Ts - EpochMicros;
+  E.Seq = Head;
+  E.Tid = Tid;
+  E.Phase = Phase;
+  E.ArgCount = static_cast<uint8_t>(ArgCount > 2 ? 2 : ArgCount);
+  for (size_t I = 0; I < E.ArgCount; ++I)
+    E.Args[I] = Args[I];
+  ++Head;
+}
+
+uint64_t Tracer::recorded() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Head;
+}
+
+uint64_t Tracer::dropped() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Head > Ring.size() ? Head - Ring.size() : 0;
+}
+
+std::vector<TraceEvent> Tracer::snapshot() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  std::vector<TraceEvent> Out;
+  if (Ring.empty())
+    return Out;
+  uint64_t Size = Head < Ring.size() ? Head : Ring.size();
+  Out.reserve(Size);
+  // Oldest surviving event first: when wrapped, that is slot Head mod N.
+  uint64_t Start = Head < Ring.size() ? 0 : Head;
+  for (uint64_t I = 0; I < Size; ++I)
+    Out.push_back(Ring[(Start + I) % Ring.size()]);
+  return Out;
+}
+
+/// Escapes a string for a JSON literal. Names are plain identifiers in
+/// practice, but the exporter must never emit invalid JSON.
+static void appendJsonString(std::string &Out, const char *S) {
+  Out += '"';
+  for (; *S; ++S) {
+    char C = *S;
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        Out += Buf;
+      } else {
+        Out += C;
+      }
+    }
+  }
+  Out += '"';
+}
+
+std::string Tracer::chromeJson() const {
+  std::vector<TraceEvent> Events = snapshot();
+  std::string Out = "{\"traceEvents\":[";
+  char Buf[96];
+  bool First = true;
+  for (const TraceEvent &E : Events) {
+    if (!First)
+      Out += ",";
+    First = false;
+    Out += "{\"name\":";
+    appendJsonString(Out, E.Name ? E.Name : "");
+    Out += ",\"cat\":";
+    appendJsonString(Out, E.Category ? E.Category : "");
+    std::snprintf(Buf, sizeof(Buf),
+                  ",\"ph\":\"%c\",\"ts\":%lld,\"pid\":1,\"tid\":%u",
+                  static_cast<char>(E.Phase),
+                  static_cast<long long>(E.TsMicros), E.Tid);
+    Out += Buf;
+    if (E.Phase == TracePhase::Instant)
+      Out += ",\"s\":\"t\"";
+    if (E.ArgCount > 0) {
+      Out += ",\"args\":{";
+      for (uint8_t I = 0; I < E.ArgCount; ++I) {
+        if (I)
+          Out += ",";
+        appendJsonString(Out, E.Args[I].Key ? E.Args[I].Key : "");
+        std::snprintf(Buf, sizeof(Buf), ":%lld",
+                      static_cast<long long>(E.Args[I].Value));
+        Out += Buf;
+      }
+      Out += "}";
+    }
+    Out += "}";
+  }
+  Out += "],\"displayTimeUnit\":\"ms\"}";
+  return Out;
+}
+
+bool Tracer::writeJson(const std::string &Path) const {
+  std::FILE *F = std::fopen(Path.c_str(), "w");
+  if (!F)
+    return false;
+  std::string Json = chromeJson();
+  size_t Written = std::fwrite(Json.data(), 1, Json.size(), F);
+  bool Ok = Written == Json.size();
+  Ok = std::fclose(F) == 0 && Ok;
+  return Ok;
+}

@@ -1,0 +1,183 @@
+//===-- obs/Trace.h - Low-overhead span tracer ------------------*- C++ -*-===//
+//
+// Part of CWS, a reproduction of Toporkov, "Application-Level and Job-Flow
+// Scheduling" (PaCT 2009). Distributed without any warranty.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A low-overhead span tracer: a thread-safe ring buffer of begin/end/
+/// instant events, recorded through RAII `Span` guards, exported as
+/// Chrome trace-event JSON (loadable in chrome://tracing or Perfetto).
+///
+/// The tracer is disabled by default. While disabled every record call
+/// is a single relaxed atomic load plus a predictable branch, so
+/// instrumentation may stay in hot paths permanently; the
+/// `bench/obs_overhead` binary guards this property. Defining
+/// `CWS_OBS_ENABLED=0` at compile time removes the instrumentation
+/// bodies entirely.
+///
+/// Event names and categories must be string literals (or otherwise
+/// outlive the tracer): the ring buffer stores the pointers only.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CWS_OBS_TRACE_H
+#define CWS_OBS_TRACE_H
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#ifndef CWS_OBS_ENABLED
+#define CWS_OBS_ENABLED 1
+#endif
+
+namespace cws {
+namespace obs {
+
+/// Chrome trace-event phases the tracer emits.
+enum class TracePhase : char {
+  Begin = 'B',
+  End = 'E',
+  Instant = 'i',
+};
+
+/// One numeric argument attached to an event. Keys must be string
+/// literals for the same lifetime reason as names.
+struct TraceArg {
+  const char *Key = nullptr;
+  int64_t Value = 0;
+};
+
+/// One recorded event (one ring-buffer slot).
+struct TraceEvent {
+  const char *Name = nullptr;
+  const char *Category = nullptr;
+  /// Microseconds since the tracer was enabled.
+  int64_t TsMicros = 0;
+  /// Monotone sequence number; orders events across wraparound.
+  uint64_t Seq = 0;
+  uint32_t Tid = 0;
+  TracePhase Phase = TracePhase::Instant;
+  uint8_t ArgCount = 0;
+  TraceArg Args[2];
+};
+
+/// Thread-safe ring-buffer tracer.
+///
+/// Most code records through the process-wide `Tracer::global()`
+/// instance via `Span` guards and `instant()`; tests may construct
+/// their own.
+class Tracer {
+public:
+  static constexpr size_t DefaultCapacity = 1 << 16;
+
+  /// The process-wide tracer every `Span` records into.
+  static Tracer &global();
+
+  /// Starts recording into a fresh ring of \p Capacity slots and
+  /// resets the timestamp epoch.
+  void enable(size_t Capacity = DefaultCapacity);
+
+  /// Stops recording. Already recorded events stay exportable.
+  void disable();
+
+  bool enabled() const { return Enabled.load(std::memory_order_relaxed); }
+
+  /// Records one event; no-op while disabled.
+  void record(TracePhase Phase, const char *Category, const char *Name,
+              const TraceArg *Args = nullptr, size_t ArgCount = 0);
+
+  /// Records an instant event; no-op while disabled.
+  void instant(const char *Category, const char *Name) {
+    record(TracePhase::Instant, Category, Name);
+  }
+  void instant(const char *Category, const char *Name, const char *Key,
+               int64_t Value) {
+    TraceArg A{Key, Value};
+    record(TracePhase::Instant, Category, Name, &A, 1);
+  }
+
+  /// Events recorded since enable() (including overwritten ones).
+  uint64_t recorded() const;
+  /// Events lost to ring wraparound.
+  uint64_t dropped() const;
+
+  /// Copies the surviving events out in record order.
+  std::vector<TraceEvent> snapshot() const;
+
+  /// Renders the surviving events as Chrome trace-event JSON.
+  std::string chromeJson() const;
+
+  /// Writes chromeJson() to \p Path; returns false on I/O failure.
+  bool writeJson(const std::string &Path) const;
+
+  /// Drops all recorded events and disables the tracer.
+  void reset();
+
+private:
+  std::atomic<bool> Enabled{false};
+  mutable std::mutex Mu;
+  std::vector<TraceEvent> Ring;
+  /// Total events recorded; Head % Ring.size() is the next slot.
+  uint64_t Head = 0;
+  /// steady_clock epoch (microseconds) set at enable().
+  int64_t EpochMicros = 0;
+};
+
+/// RAII span guard: records a Begin event on construction and the
+/// matching End on destruction. Arguments attached with `arg()` are
+/// emitted with the End event, so values computed inside the span
+/// (counts, outcomes) can be attached before it closes.
+class Span {
+public:
+#if CWS_OBS_ENABLED
+  Span(const char *Category, const char *Name)
+      : Category(Category), Name(Name),
+        Active(Tracer::global().enabled()) {
+    if (Active)
+      Tracer::global().record(TracePhase::Begin, Category, Name);
+  }
+  Span(const char *Category, const char *Name, const char *Key,
+       int64_t Value)
+      : Span(Category, Name) {
+    arg(Key, Value);
+  }
+  ~Span() {
+    if (Active)
+      Tracer::global().record(TracePhase::End, Category, Name, Args,
+                              ArgCount);
+  }
+  /// Attaches a numeric argument to the closing event (at most two;
+  /// later calls overwrite the second slot).
+  void arg(const char *Key, int64_t Value) {
+    if (!Active)
+      return;
+    size_t Slot = ArgCount < 2 ? ArgCount++ : 1;
+    Args[Slot] = TraceArg{Key, Value};
+  }
+
+private:
+  const char *Category;
+  const char *Name;
+  TraceArg Args[2];
+  uint8_t ArgCount = 0;
+  bool Active;
+#else
+  Span(const char *, const char *) {}
+  Span(const char *, const char *, const char *, int64_t) {}
+  void arg(const char *, int64_t) {}
+#endif
+
+public:
+  Span(const Span &) = delete;
+  Span &operator=(const Span &) = delete;
+};
+
+} // namespace obs
+} // namespace cws
+
+#endif // CWS_OBS_TRACE_H

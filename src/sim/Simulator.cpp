@@ -6,11 +6,33 @@
 //===----------------------------------------------------------------------===//
 
 #include "sim/Simulator.h"
+#include "obs/Metrics.h"
+#include "obs/Trace.h"
 #include "support/Check.h"
 
 #include <algorithm>
+#include <chrono>
 
 using namespace cws;
+
+namespace {
+struct SimMetrics {
+  obs::Counter &Events = obs::Registry::global().counter(
+      "cws_sim_events_total", "simulation events dispatched");
+  obs::Gauge &QueueDepth = obs::Registry::global().gauge(
+      "cws_sim_queue_depth", "events pending in the simulator queue");
+  obs::Gauge &VirtualTicks = obs::Registry::global().gauge(
+      "cws_sim_virtual_time_ticks",
+      "simulation clock at the end of the last run()");
+  obs::Gauge &WallMicros = obs::Registry::global().gauge(
+      "cws_sim_wall_micros",
+      "wall-clock duration of the last run() (microseconds)");
+  static SimMetrics &get() {
+    static SimMetrics M;
+    return M;
+  }
+};
+} // namespace
 
 EventId Simulator::at(Tick At, EventFn Fn) {
   return Events.schedule(std::max(At, Now), std::move(Fn));
@@ -22,14 +44,27 @@ EventId Simulator::after(Tick Delay, EventFn Fn) {
 }
 
 size_t Simulator::run(Tick Until) {
+  SimMetrics &M = SimMetrics::get();
+  obs::Span RunSpan("sim", "sim.run");
+  auto T0 = std::chrono::steady_clock::now();
   size_t Executed = 0;
+  obs::Tracer &Tr = obs::Tracer::global();
   while (!Events.empty() && Events.nextTime() <= Until) {
     // Advance the clock before dispatching so handlers scheduling
     // relative work (after()) see the firing time as now().
     Now = Events.nextTime();
+    Tr.instant("sim", "sim.event", "vt", Now);
     Events.runNext();
     ++Executed;
+    M.Events.add();
+    M.QueueDepth.set(static_cast<int64_t>(Events.size()));
   }
+  M.VirtualTicks.set(Now);
+  M.WallMicros.set(std::chrono::duration_cast<std::chrono::microseconds>(
+                       std::chrono::steady_clock::now() - T0)
+                       .count());
+  RunSpan.arg("events", static_cast<int64_t>(Executed));
+  RunSpan.arg("virtual_ticks", Now);
   if (Events.empty() || Now > Until)
     return Executed;
   // The next event lies beyond the horizon: advance the clock to it so a
@@ -42,6 +77,11 @@ bool Simulator::step() {
   if (Events.empty())
     return false;
   Now = Events.nextTime();
+  obs::Tracer::global().instant("sim", "sim.event", "vt", Now);
   Events.runNext();
+  SimMetrics &M = SimMetrics::get();
+  M.Events.add();
+  M.QueueDepth.set(static_cast<int64_t>(Events.size()));
+  M.VirtualTicks.set(Now);
   return true;
 }

@@ -1,0 +1,183 @@
+//===-- tests/test_metrics_registry.cpp - Metrics registry tests ----------===//
+//
+// Part of CWS, a reproduction of Toporkov, "Application-Level and Job-Flow
+// Scheduling" (PaCT 2009). Distributed without any warranty.
+//
+//===----------------------------------------------------------------------===//
+
+#include "metrics/Export.h"
+#include "obs/Metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+using namespace cws;
+using namespace cws::obs;
+
+namespace {
+
+TEST(MetricsCounter, AddsAndReturnsTheSameInstance) {
+  Registry R;
+  Counter &C = R.counter("requests_total", "requests seen");
+  C.add();
+  C.add(4);
+  EXPECT_EQ(C.value(), 5u);
+  EXPECT_EQ(&R.counter("requests_total"), &C);
+}
+
+TEST(MetricsCounter, ConcurrentIncrementsAreLossless) {
+  Registry R;
+  Counter &C = R.counter("contended_total");
+  constexpr size_t Threads = 8;
+  constexpr size_t PerThread = 10000;
+  std::vector<std::thread> Workers;
+  for (size_t W = 0; W < Threads; ++W)
+    Workers.emplace_back([&C] {
+      for (size_t I = 0; I < PerThread; ++I)
+        C.add();
+    });
+  for (auto &W : Workers)
+    W.join();
+  EXPECT_EQ(C.value(), Threads * PerThread);
+}
+
+TEST(MetricsGauge, SetAddSub) {
+  Registry R;
+  Gauge &G = R.gauge("depth");
+  G.set(10);
+  G.add(5);
+  G.sub(3);
+  EXPECT_EQ(G.value(), 12);
+  G.set(-4);
+  EXPECT_EQ(G.value(), -4);
+}
+
+TEST(MetricsHistogram, BucketBoundariesAreLessOrEqual) {
+  Registry R;
+  Histogram &H = R.histogram("latency", {1.0, 2.0, 5.0});
+  // Prometheus `le` semantics: a value exactly on a bound belongs to
+  // that bound's bucket.
+  H.observe(0.5); // -> le=1
+  H.observe(1.0); // -> le=1 (boundary)
+  H.observe(1.5); // -> le=2
+  H.observe(2.0); // -> le=2 (boundary)
+  H.observe(5.0); // -> le=5 (boundary)
+  H.observe(7.0); // -> +Inf
+  EXPECT_EQ(H.bucketCount(0), 2u);
+  EXPECT_EQ(H.bucketCount(1), 2u);
+  EXPECT_EQ(H.bucketCount(2), 1u);
+  EXPECT_EQ(H.bucketCount(3), 1u); // +Inf
+  EXPECT_EQ(H.count(), 6u);
+  EXPECT_DOUBLE_EQ(H.sum(), 0.5 + 1.0 + 1.5 + 2.0 + 5.0 + 7.0);
+  // Cumulative counts are monotone and end at the total.
+  EXPECT_EQ(H.cumulativeCount(0), 2u);
+  EXPECT_EQ(H.cumulativeCount(1), 4u);
+  EXPECT_EQ(H.cumulativeCount(2), 5u);
+  EXPECT_EQ(H.cumulativeCount(3), 6u);
+}
+
+TEST(MetricsHistogram, ConcurrentObservationsAreLossless) {
+  Registry R;
+  Histogram &H = R.histogram("contended", {10.0, 100.0});
+  constexpr size_t Threads = 8;
+  constexpr size_t PerThread = 5000;
+  std::vector<std::thread> Workers;
+  for (size_t W = 0; W < Threads; ++W)
+    Workers.emplace_back([&H] {
+      for (size_t I = 0; I < PerThread; ++I)
+        H.observe(1.0);
+    });
+  for (auto &W : Workers)
+    W.join();
+  EXPECT_EQ(H.count(), Threads * PerThread);
+  EXPECT_EQ(H.bucketCount(0), Threads * PerThread);
+  EXPECT_DOUBLE_EQ(H.sum(), static_cast<double>(Threads * PerThread));
+}
+
+TEST(MetricsRegistry, PrometheusExpositionFormat) {
+  Registry R;
+  R.counter("cws_test_total", "things counted").add(3);
+  R.gauge("cws_test_depth").set(-2);
+  Histogram &H = R.histogram("cws_test_micros", {0.5, 10.0});
+  H.observe(0.25);
+  H.observe(50.0);
+
+  std::string Text = R.prometheusText();
+  EXPECT_NE(Text.find("# HELP cws_test_total things counted\n"),
+            std::string::npos);
+  EXPECT_NE(Text.find("# TYPE cws_test_total counter\n"), std::string::npos);
+  EXPECT_NE(Text.find("cws_test_total 3\n"), std::string::npos);
+  EXPECT_NE(Text.find("# TYPE cws_test_depth gauge\n"), std::string::npos);
+  EXPECT_NE(Text.find("cws_test_depth -2\n"), std::string::npos);
+  EXPECT_NE(Text.find("# TYPE cws_test_micros histogram\n"),
+            std::string::npos);
+  EXPECT_NE(Text.find("cws_test_micros_bucket{le=\"0.5\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(Text.find("cws_test_micros_bucket{le=\"10\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(Text.find("cws_test_micros_bucket{le=\"+Inf\"} 2\n"),
+            std::string::npos);
+  EXPECT_NE(Text.find("cws_test_micros_sum 50.25\n"), std::string::npos);
+  EXPECT_NE(Text.find("cws_test_micros_count 2\n"), std::string::npos);
+}
+
+TEST(MetricsRegistry, SamplesMirrorTheExposition) {
+  Registry R;
+  R.counter("a_total").add(1);
+  Histogram &H = R.histogram("b_micros", {1.0});
+  H.observe(0.5);
+  std::vector<Registry::Sample> S = R.samples();
+  // counter + (1 bucket + Inf bucket + sum + count) = 5 rows.
+  ASSERT_EQ(S.size(), 5u);
+  EXPECT_EQ(S[0].Name, "a_total");
+  EXPECT_EQ(S[0].Type, "counter");
+  EXPECT_EQ(S[0].Value, 1.0);
+  EXPECT_EQ(S[1].Series, "bucket");
+  EXPECT_EQ(S[1].Le, "1");
+  EXPECT_EQ(S[2].Le, "+Inf");
+  EXPECT_EQ(S[3].Series, "sum");
+  EXPECT_EQ(S[4].Series, "count");
+  EXPECT_EQ(S[4].Value, 1.0);
+}
+
+TEST(MetricsRegistry, CsvExportHasHeaderAndAllRows) {
+  Registry R;
+  R.counter("a_total").add(2);
+  R.gauge("b_depth").set(7);
+  std::string Csv = metricsCsv(R);
+  EXPECT_NE(Csv.find("metric,type,series,le,value\n"), std::string::npos);
+  EXPECT_NE(Csv.find("a_total,counter,,,2\n"), std::string::npos);
+  EXPECT_NE(Csv.find("b_depth,gauge,,,7\n"), std::string::npos);
+}
+
+TEST(MetricsRegistry, ResetZeroesValuesButKeepsRegistrations) {
+  Registry R;
+  Counter &C = R.counter("a_total");
+  Gauge &G = R.gauge("b_depth");
+  Histogram &H = R.histogram("c_micros", {1.0});
+  C.add(5);
+  G.set(9);
+  H.observe(0.5);
+  R.reset();
+  EXPECT_EQ(C.value(), 0u);
+  EXPECT_EQ(G.value(), 0);
+  EXPECT_EQ(H.count(), 0u);
+  EXPECT_DOUBLE_EQ(H.sum(), 0.0);
+  // Same instances are still registered.
+  EXPECT_EQ(&R.counter("a_total"), &C);
+  EXPECT_EQ(&R.gauge("b_depth"), &G);
+}
+
+TEST(MetricsRegistry, GlobalRegistryExposesBuiltInInstruments) {
+  // The library instruments register on first use through
+  // Registry::global(); registering again must return the same
+  // instrument rather than a duplicate series.
+  Counter &C = Registry::global().counter("cws_selftest_total");
+  Counter &Again = Registry::global().counter("cws_selftest_total");
+  EXPECT_EQ(&C, &Again);
+}
+
+} // namespace

@@ -11,6 +11,7 @@
 ///
 ///   cws-sched --file job.cws [--strategy S1|S2|S3|MS1]
 ///             [--now T] [--gantt 1] [--csv 1]
+///             [--trace out.json] [--metrics out.prom]
 ///
 /// The description must declare nodes (or pass --fig2grid 1 to use the
 /// paper's four-type environment).
@@ -22,6 +23,7 @@
 #include "core/Strategy.h"
 #include "lang/Parser.h"
 #include "metrics/Export.h"
+#include "obs/Trace.h"
 #include "resource/Network.h"
 #include "support/Flags.h"
 #include "support/Table.h"
@@ -40,6 +42,8 @@ int main(int Argc, char **Argv) {
   int64_t Csv = 0;
   int64_t Dot = 0;
   int64_t UseFig2Grid = 0;
+  std::string TraceFile;
+  std::string MetricsFile;
   Flags F;
   F.addString("file", &File, "job description file ('-' for stdin)");
   F.addString("strategy", &StrategyName, "S1 | S2 | S3 | MS1");
@@ -49,8 +53,15 @@ int main(int Argc, char **Argv) {
   F.addInt("dot", &Dot, "print the job as a Graphviz digraph and exit");
   F.addInt("fig2grid", &UseFig2Grid,
            "use the paper's Fig. 2 environment (0/1)");
+  F.addString("trace", &TraceFile,
+              "write a Chrome trace-event JSON timeline of the build");
+  F.addString("metrics", &MetricsFile,
+              "write a metrics snapshot (Prometheus text, CSV if *.csv)");
   if (!F.parse(Argc, Argv))
     return 0;
+
+  if (!TraceFile.empty())
+    obs::Tracer::global().enable();
 
   if (File.empty()) {
     std::fprintf(stderr, "cws-sched: --file is required (try --help)\n");
@@ -99,6 +110,20 @@ int main(int Argc, char **Argv) {
   Network Net;
   Strategy S = Strategy::build(R.TheJob, Env, Net, Config, /*Owner=*/1,
                                Now);
+
+  if (!TraceFile.empty()) {
+    obs::Tracer::global().disable();
+    if (!obs::Tracer::global().writeJson(TraceFile)) {
+      std::fprintf(stderr, "cws-sched: cannot write trace '%s'\n",
+                   TraceFile.c_str());
+      return 2;
+    }
+  }
+  if (!MetricsFile.empty() && !writeMetricsSnapshot(MetricsFile)) {
+    std::fprintf(stderr, "cws-sched: cannot write metrics '%s'\n",
+                 MetricsFile.c_str());
+    return 2;
+  }
 
   if (Csv) {
     std::cout << strategyCsv(S);

@@ -10,12 +10,13 @@
 /// command line and report QoS aggregates or a per-job CSV. Usage:
 ///
 ///   cws-sim [--strategy S1|S2|S3|MS1] [--jobs N] [--seed S]
-///           [--slack X] [--csv 1]
+///           [--slack X] [--csv 1] [--trace out.json] [--metrics out.prom]
 ///
 //===----------------------------------------------------------------------===//
 
 #include "metrics/Export.h"
 #include "metrics/QoS.h"
+#include "obs/Trace.h"
 #include "support/Flags.h"
 #include "support/Table.h"
 
@@ -30,6 +31,8 @@ int main(int Argc, char **Argv) {
   double Slack = 2.0;
   int64_t Csv = 0;
   int64_t Exec = 0;
+  std::string TraceFile;
+  std::string MetricsFile;
   Flags F;
   F.addString("strategy", &StrategyName, "S1 | S2 | S3 | MS1");
   F.addInt("jobs", &Jobs, "compound jobs in the flow");
@@ -38,8 +41,15 @@ int main(int Argc, char **Argv) {
   F.addInt("csv", &Csv, "print the per-job CSV instead of a summary");
   F.addInt("exec", &Exec,
            "execute committed schedules under runtime deviations (0/1)");
+  F.addString("trace", &TraceFile,
+              "write a Chrome trace-event JSON timeline of the run");
+  F.addString("metrics", &MetricsFile,
+              "write a metrics snapshot (Prometheus text, CSV if *.csv)");
   if (!F.parse(Argc, Argv))
     return 0;
+
+  if (!TraceFile.empty())
+    obs::Tracer::global().enable();
 
   StrategyKind Kind = StrategyKind::S1;
   for (StrategyKind K : {StrategyKind::S1, StrategyKind::S2,
@@ -53,6 +63,29 @@ int main(int Argc, char **Argv) {
   Config.ExecuteWithDeviations = Exec != 0;
   VoRunResult Run =
       runVirtualOrganization(Config, Kind, static_cast<uint64_t>(Seed));
+
+  if (!TraceFile.empty()) {
+    obs::Tracer &Tr = obs::Tracer::global();
+    Tr.disable();
+    if (!Tr.writeJson(TraceFile)) {
+      std::fprintf(stderr, "cws-sim: cannot write trace '%s'\n",
+                   TraceFile.c_str());
+      return 2;
+    }
+    std::fprintf(stderr, "cws-sim: wrote %llu trace events to %s",
+                 static_cast<unsigned long long>(Tr.recorded() -
+                                                 Tr.dropped()),
+                 TraceFile.c_str());
+    if (Tr.dropped() > 0)
+      std::fprintf(stderr, " (%llu older events dropped by the ring)",
+                   static_cast<unsigned long long>(Tr.dropped()));
+    std::fprintf(stderr, "\n");
+  }
+  if (!MetricsFile.empty() && !writeMetricsSnapshot(MetricsFile)) {
+    std::fprintf(stderr, "cws-sim: cannot write metrics '%s'\n",
+                 MetricsFile.c_str());
+    return 2;
+  }
 
   if (Csv) {
     std::cout << voStatsCsv(Run.Jobs);
