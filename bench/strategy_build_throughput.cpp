@@ -1,0 +1,143 @@
+//===-- bench/strategy_build_throughput.cpp - Parallel build gauge --------===//
+//
+// Part of CWS, a reproduction of Toporkov, "Application-Level and Job-Flow
+// Scheduling" (PaCT 2009). Distributed without any warranty.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Pins the strategy-build throughput (builds/sec) of the serial path
+/// against the parallel variant-generation path on the simulator's
+/// standard workload, and verifies the parallel output is identical to
+/// the serial one — the contract that lets `Strategy::build` default to
+/// `hw_concurrency` lanes. Usage:
+///
+///   strategy_build_throughput [--jobs 50] [--seed 42] [--threads N]
+///                             [--rounds 3] [--strategy S1|S2|S3|MS1]
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/Strategy.h"
+#include "job/Generator.h"
+#include "resource/Grid.h"
+#include "resource/Network.h"
+#include "support/Check.h"
+#include "support/Flags.h"
+#include "support/Prng.h"
+#include "support/Table.h"
+#include "support/ThreadPool.h"
+
+#include <chrono>
+#include <iostream>
+#include <thread>
+#include <vector>
+
+using namespace cws;
+
+/// Seconds of wall clock Fn takes.
+template <typename F> static double seconds(F &&Fn) {
+  auto T0 = std::chrono::steady_clock::now();
+  Fn();
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - T0)
+      .count();
+}
+
+/// True when both strategies hold variant-for-variant identical
+/// supporting schedules.
+static bool identicalStrategies(const Strategy &A, const Strategy &B) {
+  if (A.variants().size() != B.variants().size() ||
+      A.levels() != B.levels())
+    return false;
+  for (size_t I = 0; I < A.variants().size(); ++I) {
+    const ScheduleVariant &VA = A.variants()[I];
+    const ScheduleVariant &VB = B.variants()[I];
+    if (VA.Level != VB.Level || VA.Bias != VB.Bias ||
+        VA.feasible() != VB.feasible())
+      return false;
+    const Distribution &DA = VA.Result.Dist;
+    const Distribution &DB = VB.Result.Dist;
+    if (DA.size() != DB.size())
+      return false;
+    for (const Placement &P : DA.placements()) {
+      const Placement *Q = DB.find(P.TaskId);
+      if (!Q || Q->NodeId != P.NodeId || Q->Start != P.Start ||
+          Q->End != P.End)
+        return false;
+    }
+  }
+  return true;
+}
+
+int main(int Argc, char **Argv) {
+  int64_t Jobs = 50;
+  int64_t Seed = 42;
+  int64_t Threads = static_cast<int64_t>(ThreadPool::defaultThreads());
+  int64_t Rounds = 3;
+  std::string StrategyName = "S1";
+  Flags F;
+  F.addInt("jobs", &Jobs, "compound jobs to build strategies for");
+  F.addInt("seed", &Seed, "workload seed");
+  F.addInt("threads", &Threads, "parallel lane count to benchmark");
+  F.addInt("rounds", &Rounds, "timed repetitions (best round reported)");
+  F.addString("strategy", &StrategyName, "S1 | S2 | S3 | MS1");
+  if (!F.parse(Argc, Argv))
+    return 0;
+
+  StrategyConfig Config;
+  for (StrategyKind K : {StrategyKind::S1, StrategyKind::S2,
+                         StrategyKind::S3, StrategyKind::MS1})
+    if (StrategyName == strategyName(K))
+      Config.Kind = K;
+
+  // The simulator's standard workload and environment.
+  Prng Root(static_cast<uint64_t>(Seed));
+  Grid Env = Grid::makeRandom(GridConfig{}, Root);
+  JobGenerator Gen(WorkloadConfig{}, static_cast<uint64_t>(Seed) + 1);
+  std::vector<Job> Workload;
+  Workload.reserve(static_cast<size_t>(Jobs));
+  for (int64_t I = 0; I < Jobs; ++I)
+    Workload.push_back(Gen.next());
+  Network Net;
+
+  auto BuildAll = [&](size_t Lanes) {
+    std::vector<Strategy> Out;
+    Out.reserve(Workload.size());
+    StrategyConfig C = Config;
+    C.BuildThreads = Lanes;
+    for (const Job &J : Workload)
+      Out.push_back(Strategy::build(J, Env, Net, C, /*Owner=*/1));
+    return Out;
+  };
+
+  // Warm-up builds both ways and proves the determinism contract.
+  std::vector<Strategy> Serial = BuildAll(1);
+  std::vector<Strategy> Parallel = BuildAll(static_cast<size_t>(Threads));
+  for (size_t I = 0; I < Serial.size(); ++I)
+    CWS_CHECK(identicalStrategies(Serial[I], Parallel[I]),
+              "parallel build diverged from the serial build");
+
+  double SerialBest = 1e100;
+  double ParallelBest = 1e100;
+  for (int64_t R = 0; R < Rounds; ++R) {
+    SerialBest = std::min(SerialBest, seconds([&] { BuildAll(1); }));
+    ParallelBest = std::min(
+        ParallelBest,
+        seconds([&] { BuildAll(static_cast<size_t>(Threads)); }));
+  }
+
+  double N = static_cast<double>(Jobs);
+  unsigned Hw = std::thread::hardware_concurrency();
+  std::cout << "strategy " << strategyName(Config.Kind) << ", " << Jobs
+            << " jobs, seed " << Seed << ", parallel output identical\n"
+            << "hardware concurrency " << Hw;
+  if (static_cast<int64_t>(Hw) < Threads)
+    std::cout << " (below the requested lanes; expect no wall-clock gain)";
+  std::cout << "\n\n";
+  Table T({"path", "lanes", "builds/sec", "speedup"});
+  T.addRow({"serial", "1", Table::num(N / SerialBest, 1), "1.00"});
+  T.addRow({"parallel", std::to_string(Threads),
+            Table::num(N / ParallelBest, 1),
+            Table::num(SerialBest / ParallelBest, 2)});
+  T.print(std::cout);
+  return 0;
+}

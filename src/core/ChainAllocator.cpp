@@ -100,29 +100,13 @@ Tick ChainAllocator::placedInboundTicks(unsigned TaskId, unsigned NodeId,
   return Sum;
 }
 
-void ChainAllocator::insertLabel(std::vector<Label> &Front, Label L) const {
-  // Front is sorted by Finish ascending with strictly descending Cost.
-  for (const Label &Existing : Front)
-    if (Existing.Finish <= L.Finish && Existing.Cost <= L.Cost + 1e-9)
-      return; // Dominated.
-  Front.erase(std::remove_if(Front.begin(), Front.end(),
-                             [&](const Label &Existing) {
-                               return Existing.Finish >= L.Finish &&
-                                      Existing.Cost >= L.Cost - 1e-9;
-                             }),
-              Front.end());
-  auto Pos = std::lower_bound(Front.begin(), Front.end(), L,
-                              [](const Label &A, const Label &B) {
-                                return A.Finish < B.Finish;
-                              });
-  Front.insert(Pos, L);
+void ChainAllocator::insertLabel(LabelFront &Front, Label L) const {
+  ParetoInsertOutcome Outcome = paretoInsert(Front, L, Params.MaxFrontSize);
+  if (!Outcome.Inserted)
+    return;
   AllocatorMetrics::get().Labels.add();
-  // Keep the extremes (earliest finish, cheapest cost); evict from the
-  // middle when over the cap.
-  if (Front.size() > Params.MaxFrontSize) {
-    Front.erase(Front.begin() + static_cast<ptrdiff_t>(Front.size() / 2));
+  if (Outcome.EvictedForCap)
     AllocatorMetrics::get().Evictions.add();
-  }
 }
 
 namespace {
@@ -157,8 +141,8 @@ bool ChainAllocator::allocate(const CriticalWork &Work, Distribution &Dist,
 
   for (int Attempt = 0; Attempt < 4; ++Attempt) {
     // --- Forward DP over (chain position, candidate node). ---
-    std::vector<std::vector<std::vector<Label>>> Fronts(
-        K, std::vector<std::vector<Label>>(N));
+    std::vector<std::vector<LabelFront>> Fronts(K,
+                                                std::vector<LabelFront>(N));
 
     for (size_t NodeIdx = 0; NodeIdx < N; ++NodeIdx) {
       unsigned NodeId = Cand[NodeIdx];

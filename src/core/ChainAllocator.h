@@ -23,8 +23,10 @@
 #include "core/CostModel.h"
 #include "core/CriticalWork.h"
 #include "core/Distribution.h"
+#include "core/ParetoFront.h"
 #include "resource/DataPolicy.h"
 #include "sim/Time.h"
+#include "support/SmallVector.h"
 
 #include <cstddef>
 #include <vector>
@@ -88,6 +90,11 @@ private:
     int32_t PrevLabel;
   };
 
+  /// One (position, node) state's Pareto front. The inline capacity
+  /// matches the default `AllocatorPolicy::MaxFrontSize`, so with
+  /// default knobs front maintenance never touches the heap.
+  using LabelFront = SmallVector<Label, 8>;
+
   /// Ready time of chain position \p Pos on node \p NodeId considering
   /// placed predecessors only (the immediate chain predecessor is added
   /// by the DP transition).
@@ -104,8 +111,9 @@ private:
                           const Distribution &Dist, unsigned SkipPred) const;
 
   /// Inserts a label into a Pareto front (sorted by Finish ascending,
-  /// Cost strictly descending); drops it when dominated.
-  void insertLabel(std::vector<Label> &Front, Label L) const;
+  /// Cost strictly descending); drops it when dominated. Thin metrics
+  /// wrapper over `paretoInsert` (core/ParetoFront.h).
+  void insertLabel(LabelFront &Front, Label L) const;
 
   const Job &J;
   Grid &G;

@@ -1,0 +1,99 @@
+//===-- core/ParetoFront.h - (finish, cost) front maintenance ---*- C++ -*-===//
+//
+// Part of CWS, a reproduction of Toporkov, "Application-Level and Job-Flow
+// Scheduling" (PaCT 2009). Distributed without any warranty.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Maintenance of the chain DP's Pareto fronts of (finish time, economic
+/// cost) labels. A front is kept sorted by Finish strictly ascending and
+/// Cost strictly descending (modulo the cost epsilon) — the defining
+/// invariant of a two-objective Pareto set — which makes insertion
+/// O(log F + moved elements) instead of the two linear scans of a naive
+/// dominance filter:
+///
+///   * the insertion point is found by binary search on Finish;
+///   * the new label is dominated iff its left neighbour (the cheapest
+///     label finishing no later) costs no more, or an equal-Finish label
+///     at the insertion point costs no more;
+///   * the labels the new one dominates are exactly a contiguous run
+///     starting at the insertion point (Finish no earlier, Cost no
+///     lower), removed with a single range erase.
+///
+/// The header is intentionally standalone and template-based so tests
+/// and future search layers can drive the maintenance with their own
+/// label and container types (any vector-like container of structs with
+/// `Finish` and `Cost` members works, including `SmallVector`).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CWS_CORE_PARETOFRONT_H
+#define CWS_CORE_PARETOFRONT_H
+
+#include <algorithm>
+#include <cstddef>
+
+namespace cws {
+
+/// Tolerance under which two economic costs are considered equal.
+inline constexpr double CostEpsilon = 1e-9;
+
+/// Epsilon-tolerant "A costs no more than B". This single helper is
+/// used both for the dominance test (an existing label dominates the
+/// candidate) and the eviction test (the candidate dominates existing
+/// labels), so at equal cost the two directions agree and precedence is
+/// decided by check order alone: dominance is tested first, hence ties
+/// deterministically keep the incumbent label.
+inline bool costLeq(double A, double B) { return A <= B + CostEpsilon; }
+
+/// Outcome of one insertion, for the caller's load metrics.
+struct ParetoInsertOutcome {
+  /// False when the candidate was dominated and dropped.
+  bool Inserted = false;
+  /// True when the size cap forced a middle-of-front eviction.
+  bool EvictedForCap = false;
+};
+
+/// Inserts \p L into \p Front, preserving the front invariant. When the
+/// front would exceed \p MaxFrontSize the middle label is evicted so
+/// both extremes (earliest finish, cheapest cost) survive.
+template <typename FrontT, typename LabelT>
+ParetoInsertOutcome paretoInsert(FrontT &Front, const LabelT &L,
+                                 size_t MaxFrontSize) {
+  ParetoInsertOutcome Outcome;
+  auto Pos = std::lower_bound(
+      Front.begin(), Front.end(), L,
+      [](const LabelT &A, const LabelT &B) { return A.Finish < B.Finish; });
+
+  // Dominance. Labels left of Pos finish strictly earlier and the one
+  // directly left is the cheapest of them; a label at Pos with equal
+  // Finish is the only other candidate dominator.
+  if (Pos != Front.begin() && costLeq((Pos - 1)->Cost, L.Cost))
+    return Outcome;
+  if (Pos != Front.end() && Pos->Finish == L.Finish &&
+      costLeq(Pos->Cost, L.Cost))
+    return Outcome;
+
+  // Eviction: everything from Pos finishes no earlier, and those the
+  // new label dominates (cost no lower) are a contiguous prefix of that
+  // suffix because Cost descends.
+  auto EvictEnd = std::partition_point(
+      Pos, Front.end(),
+      [&L](const LabelT &E) { return costLeq(L.Cost, E.Cost); });
+  Pos = Front.erase(Pos, EvictEnd);
+
+  Front.insert(Pos, L);
+  Outcome.Inserted = true;
+
+  // Keep the extremes; evict from the middle when over the cap.
+  if (Front.size() > MaxFrontSize) {
+    Front.erase(Front.begin() + static_cast<ptrdiff_t>(Front.size() / 2));
+    Outcome.EvictedForCap = true;
+  }
+  return Outcome;
+}
+
+} // namespace cws
+
+#endif // CWS_CORE_PARETOFRONT_H

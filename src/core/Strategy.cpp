@@ -12,6 +12,7 @@
 #include "obs/Metrics.h"
 #include "obs/Trace.h"
 #include "support/Check.h"
+#include "support/ThreadPool.h"
 
 #include <cmath>
 
@@ -134,6 +135,17 @@ Strategy Strategy::build(const Job &J, const Grid &Env, const Network &Net,
     for (size_t I = 0; I < S.Levels.size(); ++I)
       Covered.push_back(I);
 
+  // One build task per covered (level, bias) pair. Each task runs
+  // scheduleJob on its own scratch state (the scheduler copies the
+  // environment and owns its data policy and cost model), so the set is
+  // embarrassingly parallel — the paper's strategy is precisely a set
+  // of *independent* supporting schedules, one per environment event.
+  struct VariantTask {
+    size_t Level;
+    OptimizationBias Bias;
+    std::vector<unsigned> Candidates;
+  };
+  std::vector<VariantTask> Tasks;
   for (size_t Level : Covered) {
     // The variant for level L covers the event "every node faster than L
     // is taken": it may only use nodes at or below that performance.
@@ -143,34 +155,48 @@ Strategy Strategy::build(const Job &J, const Grid &Env, const Network &Net,
         Candidates.push_back(N.id());
     if (Candidates.empty())
       continue;
-
     for (OptimizationBias Bias :
-         {OptimizationBias::Cost, OptimizationBias::Time}) {
-      SchedulerConfig SC;
-      SC.DataKind = strategyDataPolicy(Config.Kind);
-      SC.DataConfig = Config.DataConfig;
-      SC.Costs = Config.Costs;
-      SC.Alloc.CandidateNodes = Candidates;
-      SC.Alloc.Bias = Bias;
-      SC.Alloc.NodeSwitchPenalty =
-          Config.Kind == StrategyKind::S3 ? Config.CoarsePenalty : 0.0;
-      SC.Alloc.MaxFrontSize = Config.MaxFrontSize;
+         {OptimizationBias::Cost, OptimizationBias::Time})
+      Tasks.push_back({Level, Bias, Candidates});
+  }
 
-      ScheduleVariant Variant{Level, S.Levels[Level], Bias,
-                              scheduleJob(S.Scheduled, Env, Net, SC, Owner,
-                                          Now)};
+  std::vector<ScheduleVariant> Built(Tasks.size());
+  auto BuildOne = [&](size_t I) {
+    const VariantTask &T = Tasks[I];
+    SchedulerConfig SC;
+    SC.DataKind = strategyDataPolicy(Config.Kind);
+    SC.DataConfig = Config.DataConfig;
+    SC.Costs = Config.Costs;
+    SC.Alloc.CandidateNodes = T.Candidates;
+    SC.Alloc.Bias = T.Bias;
+    SC.Alloc.NodeSwitchPenalty =
+        Config.Kind == StrategyKind::S3 ? Config.CoarsePenalty : 0.0;
+    SC.Alloc.MaxFrontSize = Config.MaxFrontSize;
+    Built[I] = {T.Level, S.Levels[T.Level], T.Bias,
+                scheduleJob(S.Scheduled, Env, Net, SC, Owner, Now)};
+  };
 
-      // Identical supporting schedules add no coverage; keep one.
-      bool Duplicate = false;
-      for (const auto &Existing : S.Variants)
-        if (Existing.feasible() == Variant.feasible() &&
-            sameDistribution(Existing.Result.Dist, Variant.Result.Dist)) {
-          Duplicate = true;
-          break;
-        }
-      if (!Duplicate)
-        S.Variants.push_back(std::move(Variant));
-    }
+  size_t Lanes = Config.BuildThreads > 0 ? Config.BuildThreads
+                                         : ThreadPool::defaultThreads();
+  if (Lanes <= 1 || Tasks.size() <= 1)
+    for (size_t I = 0; I < Tasks.size(); ++I)
+      BuildOne(I);
+  else
+    ThreadPool::global().parallelFor(Tasks.size(), BuildOne, Lanes);
+
+  // Merge in (level, bias) order — deterministic and identical to the
+  // serial build at any lane count. Identical supporting schedules add
+  // no coverage; keep one.
+  for (ScheduleVariant &Variant : Built) {
+    bool Duplicate = false;
+    for (const auto &Existing : S.Variants)
+      if (Existing.feasible() == Variant.feasible() &&
+          sameDistribution(Existing.Result.Dist, Variant.Result.Dist)) {
+        Duplicate = true;
+        break;
+      }
+    if (!Duplicate)
+      S.Variants.push_back(std::move(Variant));
   }
   Builds.add();
   BuildMicros.observe(static_cast<double>(

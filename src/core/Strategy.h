@@ -65,6 +65,13 @@ struct StrategyConfig {
   DataPolicyConfig DataConfig;
   CostConfig Costs;
   size_t MaxFrontSize = 8;
+  /// Worker lanes Strategy::build fans variants out over. 0 resolves to
+  /// `ThreadPool::defaultThreads()` (the CWS_BUILD_THREADS environment
+  /// variable, else hardware concurrency); 1 builds serially on the
+  /// calling thread. Variants are merged in (level, bias) order onto
+  /// per-variant scratch state, so the result is identical at any
+  /// thread count.
+  size_t BuildThreads = 0;
   /// When non-empty, restrict scheduling to these node ids (a domain of
   /// the hierarchical framework). Estimation levels are derived from
   /// the restricted set.
@@ -74,10 +81,10 @@ struct StrategyConfig {
 /// One supporting schedule of a strategy.
 struct ScheduleVariant {
   /// Estimation level this variant covers (index into levels()).
-  size_t Level;
+  size_t Level = 0;
   /// Relative performance of that level.
-  double LevelPerf;
-  OptimizationBias Bias;
+  double LevelPerf = 0.0;
+  OptimizationBias Bias = OptimizationBias::Cost;
   ScheduleResult Result;
 
   bool feasible() const { return Result.Feasible; }

@@ -82,3 +82,47 @@ VoAggregates cws::summarizeVo(const VoRunResult &Run) {
   }
   return A;
 }
+
+void cws::publishVoAggregates(const VoAggregates &A, obs::Registry &R) {
+  auto Set = [&R](const char *Name, const char *Help, double Value) {
+    R.realGauge(Name, Help).set(Value);
+  };
+  Set("cws_vo_jobs", "compound jobs in the summarized VO run",
+      static_cast<double>(A.Jobs));
+  Set("cws_vo_committed_jobs", "jobs whose schedule was committed",
+      static_cast<double>(A.Committed));
+  Set("cws_vo_admissible_percent", "share of admissible jobs",
+      A.AdmissiblePercent);
+  Set("cws_vo_committed_percent", "share of committed jobs",
+      A.CommittedPercent);
+  Set("cws_vo_rejected_percent", "share of rejected jobs",
+      A.RejectedPercent);
+  Set("cws_vo_switched_percent",
+      "share of jobs that switched supporting schedules",
+      A.SwitchedPercent);
+  Set("cws_vo_reallocated_percent", "share of reallocated jobs",
+      A.ReallocatedPercent);
+  Set("cws_vo_shift_recovered_percent",
+      "share of jobs recovered by shifting a stale schedule",
+      A.ShiftRecoveredPercent);
+  Set("cws_vo_mean_commit_shift", "mean shift over shift-recovered commits",
+      A.MeanCommitShift);
+  Set("cws_vo_mean_cost", "mean quota cost of committed jobs", A.MeanCost);
+  Set("cws_vo_mean_cf", "mean cost-function value of committed jobs",
+      A.MeanCf);
+  Set("cws_vo_mean_run_ticks", "mean start-to-completion wall ticks",
+      A.MeanRunTicks);
+  Set("cws_vo_mean_response_ticks", "mean arrival-to-completion wall ticks",
+      A.MeanResponseTicks);
+  Set("cws_vo_mean_ttl", "mean strategy time-to-live of admissible jobs",
+      A.MeanTtl);
+  Set("cws_vo_mean_start_deviation",
+      "mean |actual - forecast| start deviation", A.MeanStartDeviation);
+  Set("cws_vo_mean_start_deviation_ratio",
+      "mean start deviation / run time ratio", A.MeanStartDeviationRatio);
+  Set("cws_vo_mean_collisions", "mean collisions per committed job",
+      A.MeanCollisions);
+  Set("cws_vo_execution_killed_percent",
+      "share of committed jobs killed at a wall limit",
+      A.ExecutionKilledPercent);
+}

@@ -16,6 +16,7 @@
 #define CWS_METRICS_QOS_H
 
 #include "flow/VirtualOrganization.h"
+#include "obs/Metrics.h"
 
 #include <cstddef>
 
@@ -59,6 +60,13 @@ struct VoAggregates {
 
 /// Computes the aggregates of one run.
 VoAggregates summarizeVo(const VoRunResult &Run);
+
+/// Publishes \p A into \p R as `cws_vo_*` real gauges, so one
+/// `--metrics` snapshot carries the engine internals (scheduler
+/// counters, build latencies) and the QoS results of the same run
+/// side by side.
+void publishVoAggregates(const VoAggregates &A,
+                         obs::Registry &R = obs::Registry::global());
 
 } // namespace cws
 

@@ -125,6 +125,23 @@ Gauge &Registry::gauge(const std::string &Name, const std::string &Help) {
   return *Entries.back()->G;
 }
 
+RealGauge &Registry::realGauge(const std::string &Name,
+                               const std::string &Help) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  if (Entry *E = find(Name)) {
+    CWS_CHECK(E->EntryKind == Kind::RealGauge,
+              "metric re-registered under a different kind");
+    return *E->R;
+  }
+  auto E = std::make_unique<Entry>();
+  E->Name = Name;
+  E->Help = Help;
+  E->EntryKind = Kind::RealGauge;
+  E->R = std::make_unique<RealGauge>();
+  Entries.push_back(std::move(E));
+  return *Entries.back()->R;
+}
+
 Histogram &Registry::histogram(const std::string &Name,
                                std::vector<double> UpperBounds,
                                const std::string &Help) {
@@ -169,6 +186,10 @@ std::string Registry::prometheusText() const {
       Out += "# TYPE " + E->Name + " gauge\n";
       Out += E->Name + " " + std::to_string(E->G->value()) + "\n";
       break;
+    case Kind::RealGauge:
+      Out += "# TYPE " + E->Name + " gauge\n";
+      Out += E->Name + " " + renderNumber(E->R->value()) + "\n";
+      break;
     case Kind::Histogram: {
       const Histogram &H = *E->H;
       Out += "# TYPE " + E->Name + " histogram\n";
@@ -203,6 +224,9 @@ std::vector<Registry::Sample> Registry::samples() const {
       Out.push_back({E->Name, "gauge", "", "",
                      static_cast<double>(E->G->value())});
       break;
+    case Kind::RealGauge:
+      Out.push_back({E->Name, "gauge", "", "", E->R->value()});
+      break;
     case Kind::Histogram: {
       const Histogram &H = *E->H;
       uint64_t Cumulative = 0;
@@ -234,6 +258,9 @@ void Registry::reset() {
       break;
     case Kind::Gauge:
       E->G->reset();
+      break;
+    case Kind::RealGauge:
+      E->R->reset();
       break;
     case Kind::Histogram:
       E->H->reset();

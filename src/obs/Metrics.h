@@ -25,6 +25,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <cstring>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -55,6 +56,29 @@ public:
 
 private:
   std::atomic<int64_t> V{0};
+};
+
+/// Last-value gauge for real-valued samples (QoS means, percentages,
+/// ratios). Stored as a bit-cast double so set/value stay single
+/// relaxed atomic operations; exposed as a Prometheus gauge.
+class RealGauge {
+public:
+  void set(double X) {
+    uint64_t Bits;
+    std::memcpy(&Bits, &X, sizeof(Bits));
+    V.store(Bits, std::memory_order_relaxed);
+  }
+  double value() const {
+    uint64_t Bits = V.load(std::memory_order_relaxed);
+    double X;
+    std::memcpy(&X, &Bits, sizeof(X));
+    return X;
+  }
+  void reset() { V.store(0, std::memory_order_relaxed); }
+
+private:
+  /// Bits of 0.0 are all-zero, so the default is an exact 0.0.
+  std::atomic<uint64_t> V{0};
 };
 
 /// Fixed-bucket histogram with Prometheus `le` (less-or-equal)
@@ -101,6 +125,7 @@ public:
   /// first use. Re-registration under a different kind aborts.
   Counter &counter(const std::string &Name, const std::string &Help = "");
   Gauge &gauge(const std::string &Name, const std::string &Help = "");
+  RealGauge &realGauge(const std::string &Name, const std::string &Help = "");
   /// \p UpperBounds is only consulted on first registration.
   Histogram &histogram(const std::string &Name,
                        std::vector<double> UpperBounds,
@@ -126,13 +151,14 @@ public:
   void reset();
 
 private:
-  enum class Kind { Counter, Gauge, Histogram };
+  enum class Kind { Counter, Gauge, RealGauge, Histogram };
   struct Entry {
     std::string Name;
     std::string Help;
     Kind EntryKind;
     std::unique_ptr<Counter> C;
     std::unique_ptr<Gauge> G;
+    std::unique_ptr<obs::RealGauge> R;
     std::unique_ptr<Histogram> H;
   };
 

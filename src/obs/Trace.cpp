@@ -38,8 +38,43 @@ void Tracer::enable(size_t Capacity) {
   std::lock_guard<std::mutex> Lock(Mu);
   Ring.assign(Capacity, TraceEvent{});
   Head = 0;
+  Filtered = 0;
   EpochMicros = steadyMicros();
   Enabled.store(true, std::memory_order_relaxed);
+}
+
+void Tracer::setCategoryFilter(const std::string &CommaSeparated) {
+  std::vector<std::string> Parsed;
+  size_t Pos = 0;
+  while (Pos <= CommaSeparated.size()) {
+    size_t Comma = CommaSeparated.find(',', Pos);
+    if (Comma == std::string::npos)
+      Comma = CommaSeparated.size();
+    std::string Part = CommaSeparated.substr(Pos, Comma - Pos);
+    // Trim surrounding spaces so "core, flow" works.
+    size_t B = Part.find_first_not_of(" \t");
+    size_t E = Part.find_last_not_of(" \t");
+    if (B != std::string::npos)
+      Parsed.push_back(Part.substr(B, E - B + 1));
+    Pos = Comma + 1;
+  }
+  std::lock_guard<std::mutex> Lock(Mu);
+  Categories = std::move(Parsed);
+}
+
+bool Tracer::categoryEnabled(const char *Category) const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  if (Categories.empty())
+    return true;
+  for (const std::string &C : Categories)
+    if (Category && C == Category)
+      return true;
+  return false;
+}
+
+uint64_t Tracer::filtered() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Filtered;
 }
 
 void Tracer::disable() { Enabled.store(false, std::memory_order_relaxed); }
@@ -48,6 +83,8 @@ void Tracer::reset() {
   disable();
   std::lock_guard<std::mutex> Lock(Mu);
   Ring.clear();
+  Categories.clear();
+  Filtered = 0;
   Head = 0;
 }
 
@@ -60,6 +97,18 @@ void Tracer::record(TracePhase Phase, const char *Category, const char *Name,
   std::lock_guard<std::mutex> Lock(Mu);
   if (Ring.empty())
     return; // reset() raced the enabled check.
+  if (!Categories.empty()) {
+    bool Pass = false;
+    for (const std::string &C : Categories)
+      if (Category && C == Category) {
+        Pass = true;
+        break;
+      }
+    if (!Pass) {
+      ++Filtered;
+      return;
+    }
+  }
   TraceEvent &E = Ring[Head % Ring.size()];
   E.Name = Name;
   E.Category = Category;

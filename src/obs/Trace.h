@@ -87,6 +87,19 @@ public:
 
   bool enabled() const { return Enabled.load(std::memory_order_relaxed); }
 
+  /// Restricts recording to the categories in \p CommaSeparated (e.g.
+  /// "core,flow"); the empty string lifts the restriction. High-volume
+  /// categories (one `sim.event` instant per simulator event) can this
+  /// way be masked out before they wrap the ring. The filter survives
+  /// enable()/disable() (reset() clears it) and may be changed mid-run.
+  void setCategoryFilter(const std::string &CommaSeparated);
+
+  /// True when events of \p Category currently pass the filter.
+  bool categoryEnabled(const char *Category) const;
+
+  /// Events rejected by the category filter since enable().
+  uint64_t filtered() const;
+
   /// Records one event; no-op while disabled.
   void record(TracePhase Phase, const char *Category, const char *Name,
               const TraceArg *Args = nullptr, size_t ArgCount = 0);
@@ -122,6 +135,10 @@ private:
   std::atomic<bool> Enabled{false};
   mutable std::mutex Mu;
   std::vector<TraceEvent> Ring;
+  /// Enabled categories; empty means every category records.
+  std::vector<std::string> Categories;
+  /// Events rejected by the category filter since enable().
+  uint64_t Filtered = 0;
   /// Total events recorded; Head % Ring.size() is the next slot.
   uint64_t Head = 0;
   /// steady_clock epoch (microseconds) set at enable().

@@ -6,6 +6,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "metrics/Export.h"
+#include "metrics/QoS.h"
 #include "resource/Network.h"
 #include "TestUtil.h"
 
@@ -104,6 +105,32 @@ TEST(Export, VoStatsCsvRoundTripCounts) {
   EXPECT_EQ(countLines(Csv), 3u);
   EXPECT_NE(Csv.find("7,3,40,1,1,0,0,0,0,5,30,12.500,9,22,1,0"),
             std::string::npos);
+}
+
+TEST(Export, PublishVoAggregatesFillsRealGauges) {
+  VoAggregates A;
+  A.Jobs = 200;
+  A.Committed = 150;
+  A.AdmissiblePercent = 87.5;
+  A.CommittedPercent = 75.0;
+  A.MeanCost = 12.25;
+  A.MeanCf = 41.0;
+  obs::Registry R;
+  publishVoAggregates(A, R);
+  EXPECT_DOUBLE_EQ(R.realGauge("cws_vo_jobs").value(), 200.0);
+  EXPECT_DOUBLE_EQ(R.realGauge("cws_vo_committed_jobs").value(), 150.0);
+  EXPECT_DOUBLE_EQ(R.realGauge("cws_vo_admissible_percent").value(), 87.5);
+  EXPECT_DOUBLE_EQ(R.realGauge("cws_vo_committed_percent").value(), 75.0);
+  EXPECT_DOUBLE_EQ(R.realGauge("cws_vo_mean_cost").value(), 12.25);
+  EXPECT_DOUBLE_EQ(R.realGauge("cws_vo_mean_cf").value(), 41.0);
+  std::string Text = R.prometheusText();
+  EXPECT_NE(Text.find("cws_vo_admissible_percent 87.5\n"),
+            std::string::npos);
+  EXPECT_NE(Text.find("# TYPE cws_vo_jobs gauge\n"), std::string::npos);
+  // Republishing overwrites in place: one snapshot, one series each.
+  A.AdmissiblePercent = 90.0;
+  publishVoAggregates(A, R);
+  EXPECT_DOUBLE_EQ(R.realGauge("cws_vo_admissible_percent").value(), 90.0);
 }
 
 TEST(Export, EmptyInputsYieldHeaderOnly) {

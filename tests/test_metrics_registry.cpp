@@ -97,6 +97,39 @@ TEST(MetricsHistogram, ConcurrentObservationsAreLossless) {
   EXPECT_DOUBLE_EQ(H.sum(), static_cast<double>(Threads * PerThread));
 }
 
+TEST(MetricsRealGauge, StoresDoublesExactly) {
+  Registry R;
+  RealGauge &G = R.realGauge("cws_vo_mean_cost", "mean quota cost");
+  EXPECT_DOUBLE_EQ(G.value(), 0.0);
+  G.set(37.25);
+  EXPECT_DOUBLE_EQ(G.value(), 37.25);
+  G.set(-0.125);
+  EXPECT_DOUBLE_EQ(G.value(), -0.125);
+  EXPECT_EQ(&R.realGauge("cws_vo_mean_cost"), &G);
+  G.reset();
+  EXPECT_DOUBLE_EQ(G.value(), 0.0);
+}
+
+TEST(MetricsRealGauge, ExposesAsPrometheusGauge) {
+  Registry R;
+  R.realGauge("cws_test_ratio", "a real-valued gauge").set(62.5);
+  std::string Text = R.prometheusText();
+  EXPECT_NE(Text.find("# HELP cws_test_ratio a real-valued gauge\n"),
+            std::string::npos);
+  EXPECT_NE(Text.find("# TYPE cws_test_ratio gauge\n"), std::string::npos);
+  EXPECT_NE(Text.find("cws_test_ratio 62.5\n"), std::string::npos);
+
+  std::vector<Registry::Sample> S = R.samples();
+  ASSERT_EQ(S.size(), 1u);
+  EXPECT_EQ(S[0].Name, "cws_test_ratio");
+  EXPECT_EQ(S[0].Type, "gauge");
+  EXPECT_EQ(S[0].Value, 62.5);
+
+  R.reset();
+  EXPECT_NE(R.prometheusText().find("cws_test_ratio 0\n"),
+            std::string::npos);
+}
+
 TEST(MetricsRegistry, PrometheusExpositionFormat) {
   Registry R;
   R.counter("cws_test_total", "things counted").add(3);

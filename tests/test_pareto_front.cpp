@@ -1,0 +1,248 @@
+//===-- tests/test_pareto_front.cpp - Pareto front maintenance tests ------===//
+//
+// Part of CWS, a reproduction of Toporkov, "Application-Level and Job-Flow
+// Scheduling" (PaCT 2009). Distributed without any warranty.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/ParetoFront.h"
+#include "support/Prng.h"
+#include "support/SmallVector.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+using namespace cws;
+
+namespace {
+
+/// The (Finish, Cost) shape of the chain DP's labels.
+struct L {
+  int64_t Finish;
+  double Cost;
+};
+
+bool operator==(const L &A, const L &B) {
+  return A.Finish == B.Finish && A.Cost == B.Cost;
+}
+
+/// The reference semantics `paretoInsert` must reproduce: a full linear
+/// scan (as the allocator did before the fast path) over an unordered
+/// membership view of the front.
+template <typename FrontT>
+bool referenceInsert(FrontT &Front, const L &New, size_t MaxFrontSize) {
+  for (const L &E : Front)
+    if (E.Finish <= New.Finish && costLeq(E.Cost, New.Cost))
+      return false; // Dominated by an incumbent (ties keep it).
+  for (auto It = Front.begin(); It != Front.end();)
+    if (It->Finish >= New.Finish && costLeq(New.Cost, It->Cost))
+      It = Front.erase(It);
+    else
+      ++It;
+  auto Pos = Front.begin();
+  while (Pos != Front.end() && Pos->Finish < New.Finish)
+    ++Pos;
+  Front.insert(Pos, New);
+  if (Front.size() > MaxFrontSize)
+    Front.erase(Front.begin() + static_cast<ptrdiff_t>(Front.size() / 2));
+  return true;
+}
+
+TEST(CostLeq, ToleratesTheEpsilonBothWays) {
+  EXPECT_TRUE(costLeq(1.0, 1.0));
+  EXPECT_TRUE(costLeq(1.0 + CostEpsilon / 2, 1.0));
+  EXPECT_TRUE(costLeq(1.0, 1.0 + CostEpsilon / 2));
+  EXPECT_FALSE(costLeq(1.0 + 2 * CostEpsilon, 1.0));
+  EXPECT_TRUE(costLeq(0.5, 1.0));
+  EXPECT_FALSE(costLeq(1.0, 0.5));
+}
+
+TEST(ParetoInsert, FirstLabelAlwaysEnters) {
+  std::vector<L> F;
+  ParetoInsertOutcome O = paretoInsert(F, L{10, 5.0}, 8);
+  EXPECT_TRUE(O.Inserted);
+  EXPECT_FALSE(O.EvictedForCap);
+  ASSERT_EQ(F.size(), 1u);
+  EXPECT_EQ(F[0], (L{10, 5.0}));
+}
+
+TEST(ParetoInsert, DominatedByEarlierCheaperLabelIsRejected) {
+  std::vector<L> F;
+  EXPECT_TRUE(paretoInsert(F, L{10, 5.0}, 8).Inserted);
+  // Later finish, same cost: strictly worse.
+  EXPECT_FALSE(paretoInsert(F, L{12, 5.0}, 8).Inserted);
+  // Later finish, more expensive: strictly worse.
+  EXPECT_FALSE(paretoInsert(F, L{12, 7.0}, 8).Inserted);
+  EXPECT_EQ(F.size(), 1u);
+}
+
+TEST(ParetoInsert, EqualFinishTieKeepsTheIncumbent) {
+  std::vector<L> F;
+  EXPECT_TRUE(paretoInsert(F, L{10, 5.0}, 8).Inserted);
+  // Same (Finish, Cost): the incumbent survives, the copy is dropped.
+  EXPECT_FALSE(paretoInsert(F, L{10, 5.0}, 8).Inserted);
+  // Equal within the epsilon counts as a tie, not an improvement.
+  EXPECT_FALSE(paretoInsert(F, L{10, 5.0 + CostEpsilon / 2}, 8).Inserted);
+  EXPECT_EQ(F.size(), 1u);
+}
+
+TEST(ParetoInsert, EqualFinishCheaperLabelReplaces) {
+  std::vector<L> F;
+  EXPECT_TRUE(paretoInsert(F, L{10, 5.0}, 8).Inserted);
+  EXPECT_TRUE(paretoInsert(F, L{10, 3.0}, 8).Inserted);
+  ASSERT_EQ(F.size(), 1u);
+  EXPECT_EQ(F[0], (L{10, 3.0}));
+}
+
+TEST(ParetoInsert, EqualCostEarlierFinishReplaces) {
+  std::vector<L> F;
+  EXPECT_TRUE(paretoInsert(F, L{10, 5.0}, 8).Inserted);
+  EXPECT_TRUE(paretoInsert(F, L{8, 5.0}, 8).Inserted);
+  ASSERT_EQ(F.size(), 1u);
+  EXPECT_EQ(F[0], (L{8, 5.0}));
+}
+
+TEST(ParetoInsert, DominatedSuffixIsErasedInOneRange) {
+  std::vector<L> F;
+  // A clean front: Finish ascending, Cost strictly descending.
+  EXPECT_TRUE(paretoInsert(F, L{4, 9.0}, 8).Inserted);
+  EXPECT_TRUE(paretoInsert(F, L{6, 7.0}, 8).Inserted);
+  EXPECT_TRUE(paretoInsert(F, L{8, 5.0}, 8).Inserted);
+  EXPECT_TRUE(paretoInsert(F, L{10, 3.0}, 8).Inserted);
+  // Finishes before 6 and is cheaper than everything from there on:
+  // evicts {6,7}, {8,5}, {10,3} in one contiguous erase.
+  EXPECT_TRUE(paretoInsert(F, L{5, 2.0}, 8).Inserted);
+  ASSERT_EQ(F.size(), 2u);
+  EXPECT_EQ(F[0], (L{4, 9.0}));
+  EXPECT_EQ(F[1], (L{5, 2.0}));
+}
+
+TEST(ParetoInsert, CapEvictionDropsTheMiddleAndKeepsBothExtremes) {
+  std::vector<L> F;
+  for (int I = 0; I < 4; ++I)
+    EXPECT_TRUE(
+        paretoInsert(F, L{10 + I, 10.0 - I}, /*MaxFrontSize=*/3).Inserted);
+  // The 4th insert overflows the cap; the middle label goes, the
+  // fastest and the cheapest stay.
+  ASSERT_EQ(F.size(), 3u);
+  EXPECT_EQ(F.front().Finish, 10);
+  EXPECT_EQ(F.back().Finish, 13);
+  EXPECT_DOUBLE_EQ(F.front().Cost, 10.0);
+  EXPECT_DOUBLE_EQ(F.back().Cost, 7.0);
+}
+
+TEST(ParetoInsert, CapEvictionIsReported) {
+  std::vector<L> F;
+  EXPECT_FALSE(paretoInsert(F, L{1, 3.0}, 2).EvictedForCap);
+  EXPECT_FALSE(paretoInsert(F, L{2, 2.0}, 2).EvictedForCap);
+  ParetoInsertOutcome O = paretoInsert(F, L{3, 1.0}, 2);
+  EXPECT_TRUE(O.Inserted);
+  EXPECT_TRUE(O.EvictedForCap);
+  EXPECT_EQ(F.size(), 2u);
+}
+
+TEST(ParetoInsert, FrontInvariantHoldsUnderRandomInserts) {
+  Prng Rng(7);
+  for (int Round = 0; Round < 50; ++Round) {
+    std::vector<L> F;
+    for (int I = 0; I < 200; ++I) {
+      L New{static_cast<int64_t>(Rng.uniformInt(0, 30)),
+            static_cast<double>(Rng.uniformInt(0, 30))};
+      paretoInsert(F, New, 8);
+      ASSERT_LE(F.size(), 8u);
+      for (size_t K = 1; K < F.size(); ++K) {
+        // Sorted by Finish ascending, Cost strictly descending: no
+        // label dominates another.
+        ASSERT_LT(F[K - 1].Finish, F[K].Finish);
+        ASSERT_GT(F[K - 1].Cost, F[K].Cost);
+      }
+    }
+  }
+}
+
+TEST(ParetoInsert, MatchesTheLinearReferenceExactly) {
+  // The fast path (binary search + neighbor dominance + suffix erase)
+  // must keep the exact label sets of the full linear scan it replaced
+  // — the tier-1 tests pin schedules built on these fronts.
+  Prng Rng(42);
+  for (int Round = 0; Round < 100; ++Round) {
+    std::vector<L> Fast;
+    std::vector<L> Ref;
+    size_t Cap = 1 + static_cast<size_t>(Rng.uniformInt(0, 7));
+    for (int I = 0; I < 120; ++I) {
+      L New{static_cast<int64_t>(Rng.uniformInt(0, 20)),
+            static_cast<double>(Rng.uniformInt(0, 20)) / 2.0};
+      bool InsertedFast = paretoInsert(Fast, New, Cap).Inserted;
+      bool InsertedRef = referenceInsert(Ref, New, Cap);
+      ASSERT_EQ(InsertedFast, InsertedRef)
+          << "label (" << New.Finish << ", " << New.Cost << ")";
+      ASSERT_EQ(Fast.size(), Ref.size());
+      for (size_t K = 0; K < Fast.size(); ++K)
+        ASSERT_EQ(Fast[K], Ref[K]);
+    }
+  }
+}
+
+TEST(ParetoInsert, WorksOnSmallVectorFronts) {
+  // The allocator's front type: inline storage, raw-pointer iterators.
+  SmallVector<L, 4> F;
+  for (int I = 0; I < 6; ++I)
+    EXPECT_TRUE(paretoInsert(F, L{10 + I, 10.0 - I}, 8).Inserted);
+  EXPECT_EQ(F.size(), 6u);
+  EXPECT_FALSE(F.inlined()); // Grew past the inline capacity.
+  EXPECT_FALSE(paretoInsert(F, L{20, 10.0}, 8).Inserted);
+  EXPECT_TRUE(paretoInsert(F, L{9, 0.5}, 8).Inserted);
+  ASSERT_EQ(F.size(), 1u);
+  EXPECT_EQ(F[0], (L{9, 0.5}));
+}
+
+TEST(SmallVector, InlineThenHeapGrowthPreservesContents) {
+  SmallVector<int, 4> V;
+  EXPECT_TRUE(V.empty());
+  EXPECT_TRUE(V.inlined());
+  for (int I = 0; I < 4; ++I)
+    V.push_back(I);
+  EXPECT_TRUE(V.inlined());
+  V.push_back(4); // Spills to the heap.
+  EXPECT_FALSE(V.inlined());
+  ASSERT_EQ(V.size(), 5u);
+  for (int I = 0; I < 5; ++I)
+    EXPECT_EQ(V[static_cast<size_t>(I)], I);
+}
+
+TEST(SmallVector, InsertAndEraseShiftLikeVector) {
+  SmallVector<int, 8> V;
+  for (int I : {1, 2, 4, 5})
+    V.push_back(I);
+  V.insert(V.begin() + 2, 3);
+  ASSERT_EQ(V.size(), 5u);
+  for (int I = 0; I < 5; ++I)
+    EXPECT_EQ(V[static_cast<size_t>(I)], I + 1);
+  V.erase(V.begin() + 1, V.begin() + 3); // Drops 2, 3.
+  ASSERT_EQ(V.size(), 3u);
+  EXPECT_EQ(V[0], 1);
+  EXPECT_EQ(V[1], 4);
+  EXPECT_EQ(V[2], 5);
+  V.erase(V.begin());
+  ASSERT_EQ(V.size(), 2u);
+  EXPECT_EQ(V[0], 4);
+  V.clear();
+  EXPECT_TRUE(V.empty());
+}
+
+TEST(SmallVector, CopyIsIndependent) {
+  SmallVector<int, 2> A;
+  for (int I = 0; I < 5; ++I)
+    A.push_back(I);
+  SmallVector<int, 2> B(A);
+  B.push_back(5);
+  EXPECT_EQ(A.size(), 5u);
+  EXPECT_EQ(B.size(), 6u);
+  A = B;
+  ASSERT_EQ(A.size(), 6u);
+  EXPECT_EQ(A[5], 5);
+}
+
+} // namespace

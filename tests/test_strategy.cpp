@@ -180,6 +180,45 @@ TEST(Strategy, BuildLeavesEnvironmentUntouched) {
     EXPECT_TRUE(N.timeline().intervals().empty());
 }
 
+TEST(Strategy, ParallelBuildMatchesSerialExactly) {
+  // Variant generation fans out over a worker pool; the merged result
+  // must be indistinguishable from the serial build at any lane count.
+  Job J = makeFig2Job();
+  Grid Env = Grid::makeFig2();
+  Network Net;
+  for (StrategyKind Kind : {StrategyKind::S1, StrategyKind::S2,
+                            StrategyKind::S3, StrategyKind::MS1}) {
+    StrategyConfig Serial;
+    Serial.Kind = Kind;
+    Serial.BuildThreads = 1;
+    StrategyConfig Parallel = Serial;
+    Parallel.BuildThreads = 4;
+    Strategy A = Strategy::build(J, Env, Net, Serial, 42);
+    Strategy B = Strategy::build(J, Env, Net, Parallel, 42);
+    EXPECT_EQ(A.levels(), B.levels());
+    ASSERT_EQ(A.variants().size(), B.variants().size())
+        << strategyName(Kind);
+    for (size_t I = 0; I < A.variants().size(); ++I) {
+      const ScheduleVariant &VA = A.variants()[I];
+      const ScheduleVariant &VB = B.variants()[I];
+      EXPECT_EQ(VA.Level, VB.Level);
+      EXPECT_EQ(VA.Bias, VB.Bias);
+      EXPECT_EQ(VA.feasible(), VB.feasible());
+      const Distribution &DA = VA.Result.Dist;
+      const Distribution &DB = VB.Result.Dist;
+      ASSERT_EQ(DA.size(), DB.size());
+      for (const Placement &P : DA.placements()) {
+        const Placement *Q = DB.find(P.TaskId);
+        ASSERT_NE(Q, nullptr);
+        EXPECT_EQ(Q->NodeId, P.NodeId);
+        EXPECT_EQ(Q->Start, P.Start);
+        EXPECT_EQ(Q->End, P.End);
+        EXPECT_DOUBLE_EQ(Q->EconomicCost, P.EconomicCost);
+      }
+    }
+  }
+}
+
 TEST(Strategy, JobIdAndKindAreRecorded) {
   Job J = makeFig2Job();
   J.setId(123);

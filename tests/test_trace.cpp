@@ -248,6 +248,48 @@ TEST_F(TraceTest, ConcurrentRecordingLosesNoEvents) {
   EXPECT_TRUE(JsonChecker(T.chromeJson()).valid());
 }
 
+TEST_F(TraceTest, CategoryFilterMasksUnlistedCategories) {
+  Tracer &T = Tracer::global();
+  T.setCategoryFilter("core, flow");
+  T.enable(64);
+  T.instant("core", "keep1");
+  T.instant("sim", "drop1");
+  T.instant("flow", "keep2");
+  T.instant("sim", "drop2");
+  T.disable();
+  EXPECT_EQ(T.filtered(), 2u);
+  std::vector<TraceEvent> E = T.snapshot();
+  ASSERT_EQ(E.size(), 2u);
+  EXPECT_STREQ(E[0].Name, "keep1");
+  EXPECT_STREQ(E[1].Name, "keep2");
+  EXPECT_TRUE(T.categoryEnabled("core"));
+  EXPECT_TRUE(T.categoryEnabled("flow"));
+  EXPECT_FALSE(T.categoryEnabled("sim"));
+}
+
+TEST_F(TraceTest, EmptyCategoryFilterRecordsEverything) {
+  Tracer &T = Tracer::global();
+  T.setCategoryFilter("");
+  T.enable(16);
+  T.instant("core", "a");
+  T.instant("sim", "b");
+  T.disable();
+  EXPECT_EQ(T.filtered(), 0u);
+  EXPECT_EQ(T.snapshot().size(), 2u);
+  EXPECT_TRUE(T.categoryEnabled("anything"));
+}
+
+TEST_F(TraceTest, ResetClearsTheCategoryFilter) {
+  Tracer &T = Tracer::global();
+  T.setCategoryFilter("core");
+  T.reset();
+  T.enable(16);
+  T.instant("sim", "survives");
+  T.disable();
+  EXPECT_EQ(T.filtered(), 0u);
+  EXPECT_EQ(T.snapshot().size(), 1u);
+}
+
 TEST_F(TraceTest, ReenableResetsEpochAndRing) {
   Tracer &T = Tracer::global();
   T.enable(8);

@@ -10,8 +10,9 @@
 /// "-") and report the strategy. Usage:
 ///
 ///   cws-sched --file job.cws [--strategy S1|S2|S3|MS1]
-///             [--now T] [--gantt 1] [--csv 1]
-///             [--trace out.json] [--metrics out.prom]
+///             [--now T] [--gantt 1] [--csv 1] [--build-threads N]
+///             [--trace out.json] [--trace-categories core]
+///             [--metrics out.prom]
 ///
 /// The description must declare nodes (or pass --fig2grid 1 to use the
 /// paper's four-type environment).
@@ -42,7 +43,9 @@ int main(int Argc, char **Argv) {
   int64_t Csv = 0;
   int64_t Dot = 0;
   int64_t UseFig2Grid = 0;
+  int64_t BuildThreads = 0;
   std::string TraceFile;
+  std::string TraceCategories;
   std::string MetricsFile;
   Flags F;
   F.addString("file", &File, "job description file ('-' for stdin)");
@@ -53,15 +56,23 @@ int main(int Argc, char **Argv) {
   F.addInt("dot", &Dot, "print the job as a Graphviz digraph and exit");
   F.addInt("fig2grid", &UseFig2Grid,
            "use the paper's Fig. 2 environment (0/1)");
+  F.addInt("build-threads", &BuildThreads,
+           "worker lanes for the strategy build (0 = hardware concurrency / "
+           "CWS_BUILD_THREADS, 1 = serial)");
   F.addString("trace", &TraceFile,
               "write a Chrome trace-event JSON timeline of the build");
+  F.addString("trace-categories", &TraceCategories,
+              "record only these trace categories, comma-separated "
+              "(e.g. core; empty = all)");
   F.addString("metrics", &MetricsFile,
               "write a metrics snapshot (Prometheus text, CSV if *.csv)");
   if (!F.parse(Argc, Argv))
     return 0;
 
-  if (!TraceFile.empty())
+  if (!TraceFile.empty()) {
+    obs::Tracer::global().setCategoryFilter(TraceCategories);
     obs::Tracer::global().enable();
+  }
 
   if (File.empty()) {
     std::fprintf(stderr, "cws-sched: --file is required (try --help)\n");
@@ -106,6 +117,8 @@ int main(int Argc, char **Argv) {
                          StrategyKind::S3, StrategyKind::MS1})
     if (StrategyName == strategyName(K))
       Config.Kind = K;
+  if (BuildThreads > 0)
+    Config.BuildThreads = static_cast<size_t>(BuildThreads);
 
   Network Net;
   Strategy S = Strategy::build(R.TheJob, Env, Net, Config, /*Owner=*/1,

@@ -10,7 +10,9 @@
 /// command line and report QoS aggregates or a per-job CSV. Usage:
 ///
 ///   cws-sim [--strategy S1|S2|S3|MS1] [--jobs N] [--seed S]
-///           [--slack X] [--csv 1] [--trace out.json] [--metrics out.prom]
+///           [--slack X] [--csv 1] [--build-threads N]
+///           [--trace out.json] [--trace-categories core,flow]
+///           [--metrics out.prom]
 ///
 //===----------------------------------------------------------------------===//
 
@@ -31,7 +33,9 @@ int main(int Argc, char **Argv) {
   double Slack = 2.0;
   int64_t Csv = 0;
   int64_t Exec = 0;
+  int64_t BuildThreads = 0;
   std::string TraceFile;
+  std::string TraceCategories;
   std::string MetricsFile;
   Flags F;
   F.addString("strategy", &StrategyName, "S1 | S2 | S3 | MS1");
@@ -41,15 +45,23 @@ int main(int Argc, char **Argv) {
   F.addInt("csv", &Csv, "print the per-job CSV instead of a summary");
   F.addInt("exec", &Exec,
            "execute committed schedules under runtime deviations (0/1)");
+  F.addInt("build-threads", &BuildThreads,
+           "worker lanes for strategy builds (0 = hardware concurrency / "
+           "CWS_BUILD_THREADS, 1 = serial)");
   F.addString("trace", &TraceFile,
               "write a Chrome trace-event JSON timeline of the run");
+  F.addString("trace-categories", &TraceCategories,
+              "record only these trace categories, comma-separated "
+              "(e.g. core,flow; empty = all)");
   F.addString("metrics", &MetricsFile,
               "write a metrics snapshot (Prometheus text, CSV if *.csv)");
   if (!F.parse(Argc, Argv))
     return 0;
 
-  if (!TraceFile.empty())
+  if (!TraceFile.empty()) {
+    obs::Tracer::global().setCategoryFilter(TraceCategories);
     obs::Tracer::global().enable();
+  }
 
   StrategyKind Kind = StrategyKind::S1;
   for (StrategyKind K : {StrategyKind::S1, StrategyKind::S2,
@@ -61,8 +73,15 @@ int main(int Argc, char **Argv) {
   Config.JobCount = static_cast<size_t>(Jobs);
   Config.Workload.DeadlineSlack = Slack;
   Config.ExecuteWithDeviations = Exec != 0;
+  Config.Strategy.BuildThreads = static_cast<size_t>(
+      BuildThreads > 0 ? BuildThreads : 0);
   VoRunResult Run =
       runVirtualOrganization(Config, Kind, static_cast<uint64_t>(Seed));
+
+  // Publish the QoS aggregates before any snapshot is written, so one
+  // --metrics file carries engine internals and results together.
+  VoAggregates A = summarizeVo(Run);
+  publishVoAggregates(A);
 
   if (!TraceFile.empty()) {
     obs::Tracer &Tr = obs::Tracer::global();
@@ -79,6 +98,9 @@ int main(int Argc, char **Argv) {
     if (Tr.dropped() > 0)
       std::fprintf(stderr, " (%llu older events dropped by the ring)",
                    static_cast<unsigned long long>(Tr.dropped()));
+    if (Tr.filtered() > 0)
+      std::fprintf(stderr, " (%llu events masked by --trace-categories)",
+                   static_cast<unsigned long long>(Tr.filtered()));
     std::fprintf(stderr, "\n");
   }
   if (!MetricsFile.empty() && !writeMetricsSnapshot(MetricsFile)) {
@@ -92,7 +114,6 @@ int main(int Argc, char **Argv) {
     return 0;
   }
 
-  VoAggregates A = summarizeVo(Run);
   std::cout << "strategy " << strategyName(Kind) << ", " << Jobs
             << " jobs, seed " << Seed << "\n\n";
   Table T({"metric", "value"});
