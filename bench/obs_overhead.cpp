@@ -8,14 +8,16 @@
 /// \file
 /// Measures what the observability layer costs on the scheduling hot
 /// path: `scheduleJob` throughput with tracing disabled vs enabled,
-/// plus the raw per-call price of a disabled span and a counter add.
-/// Aborts when the disabled-mode primitives are not effectively free —
-/// the contract that lets instrumentation live in hot paths.
+/// plus the raw per-call price of a disabled span, a counter add and a
+/// guarded disabled-journal append. Aborts when the disabled-mode
+/// primitives are not effectively free — the contract that lets
+/// instrumentation live in hot paths.
 ///
 //===----------------------------------------------------------------------===//
 
 #include "core/Scheduler.h"
 #include "job/Job.h"
+#include "obs/Journal.h"
 #include "obs/Metrics.h"
 #include "obs/Trace.h"
 #include "resource/Grid.h"
@@ -91,16 +93,25 @@ int main() {
       obs::Tracer::global().recorded() / (Warmup + Iters);
   obs::Tracer::global().reset();
 
-  // --- Raw disabled-mode primitives: one span + one counter add. ---
+  // --- Raw disabled-mode primitives: one span + one counter add +
+  // one guarded journal append, exactly as the instrumentation sites
+  // are written. ---
   constexpr int PrimIters = 2000000;
   obs::Counter &C = obs::Registry::global().counter("bench_obs_probe_total");
+  obs::Journal &Jn = obs::Journal::global();
+  Jn.reset();
   double PrimNs = timeNs([&] {
                     for (int I = 0; I < PrimIters; ++I) {
                       obs::Span S("bench", "probe");
                       C.add();
+                      if (Jn.enabled())
+                        Jn.append(obs::JournalKind::Note, I, I,
+                                  {{"i", I}});
                     }
                   }) /
                   PrimIters;
+  CWS_CHECK(Jn.recorded() == 0,
+            "the disabled journal must not record the bench probe");
 
   Table T({"configuration", "ns / scheduleJob", "vs disabled"});
   T.addRow({"tracing disabled", Table::num(DisabledNs, 0), "1.00x"});
@@ -109,7 +120,8 @@ int main() {
   T.print(std::cout);
   std::printf("\ntrace events per scheduleJob while enabled: %llu\n",
               static_cast<unsigned long long>(EventsPerCall));
-  std::printf("disabled span + counter add: %.2f ns/op\n", PrimNs);
+  std::printf("disabled span + counter add + journal guard: %.2f ns/op\n",
+              PrimNs);
   std::printf("(feasible results: %zu, keeps the optimizer honest)\n",
               Feasible);
 

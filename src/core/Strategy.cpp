@@ -9,6 +9,7 @@
 #include "job/Coarsen.h"
 #include "job/Estimates.h"
 #include "job/Job.h"
+#include "obs/Journal.h"
 #include "obs/Metrics.h"
 #include "obs/Trace.h"
 #include "support/Check.h"
@@ -197,6 +198,33 @@ Strategy Strategy::build(const Job &J, const Grid &Env, const Network &Net,
       }
     if (!Duplicate)
       S.Variants.push_back(std::move(Variant));
+  }
+  // Journal the per-variant outcomes post-merge, on the calling thread
+  // and in (level, bias) order — the event stream stays byte-identical
+  // at any BuildThreads lane count.
+  obs::Journal &Jn = obs::Journal::global();
+  if (Jn.enabled()) {
+    auto JobId = static_cast<int64_t>(J.id());
+    for (size_t I = 0; I < S.Variants.size(); ++I) {
+      const ScheduleVariant &V = S.Variants[I];
+      Jn.append(obs::JournalKind::Variant, JobId, Now,
+                {{"level", static_cast<int64_t>(V.Level)},
+                 {"bias", static_cast<int64_t>(V.Bias)},
+                 {"feasible", V.feasible() ? 1 : 0},
+                 {"cost", std::llround(V.Result.Dist.economicCost())},
+                 {"cf", V.Result.Dist.costFunction(S.Scheduled)},
+                 {"makespan", V.Result.Dist.makespan()}},
+                optimizationBiasName(V.Bias));
+      for (const CollisionRecord &C : V.Result.Collisions)
+        Jn.append(obs::JournalKind::Collision, JobId, Now,
+                  {{"variant", static_cast<int64_t>(I)},
+                   {"task", C.TaskId},
+                   {"node", C.NodeId},
+                   {"wanted", C.WantedStart},
+                   {"actual", C.ActualStart},
+                   {"owner", static_cast<int64_t>(C.BlockingOwner)}},
+                  collisionResolutionName(C.Resolution));
+    }
   }
   Builds.add();
   BuildMicros.observe(static_cast<double>(

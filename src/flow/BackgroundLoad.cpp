@@ -6,6 +6,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "flow/BackgroundLoad.h"
+#include "obs/Journal.h"
 #include "support/Check.h"
 
 using namespace cws;
@@ -51,6 +52,15 @@ void BackgroundLoad::scheduleNext(unsigned NodeId, Tick Until) {
       bool Ok = Line.reserve(Start, Start + Dur, BackgroundOwner);
       CWS_CHECK(Ok, "earliestFit returned an occupied slot");
       ++Placed;
+      // Journal the change before the observer runs: invalidations it
+      // finds then auto-attribute their trigger to this event.
+      obs::Journal &Jn = obs::Journal::global();
+      if (Jn.enabled())
+        Jn.append(obs::JournalKind::EnvChange, -1, Now,
+                  {{"node", NodeId},
+                   {"start", Start},
+                   {"end", Start + Dur}},
+                  "background");
       if (Observer)
         Observer(Now);
     }

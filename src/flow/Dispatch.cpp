@@ -6,6 +6,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "flow/Dispatch.h"
+#include "obs/Journal.h"
 #include "obs/Metrics.h"
 #include "obs/Trace.h"
 #include "support/Check.h"
@@ -113,6 +114,7 @@ DispatchDecision DomainDispatcher::dispatch(const Job &J, OwnerId Owner,
       Decision.S = std::move(*Winner);
       DispatchSpan.arg("domain",
                        static_cast<int64_t>(Decision.DomainIdx));
+      journalDecision(J, Decision, Now);
       return Decision;
     }
     // No admissible bid anywhere: return the first domain's strategy
@@ -124,5 +126,17 @@ DispatchDecision DomainDispatcher::dispatch(const Job &J, OwnerId Owner,
 
   Decision.S = buildOn(J, Domains[Decision.DomainIdx], Owner, Now);
   DispatchSpan.arg("domain", static_cast<int64_t>(Decision.DomainIdx));
+  journalDecision(J, Decision, Now);
   return Decision;
+}
+
+void DomainDispatcher::journalDecision(const Job &J,
+                                       const DispatchDecision &Decision,
+                                       Tick Now) const {
+  obs::Journal &Jn = obs::Journal::global();
+  if (Jn.enabled())
+    Jn.append(obs::JournalKind::Dispatch, J.id(), Now,
+              {{"domain", static_cast<int64_t>(Decision.DomainIdx)},
+               {"bids", static_cast<int64_t>(Decision.Bids.size())}},
+              dispatchPolicyName(Policy));
 }

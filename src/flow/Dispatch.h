@@ -77,6 +77,10 @@ private:
   Strategy buildOn(const Job &J, const Domain &D, OwnerId Owner,
                    Tick Now) const;
 
+  /// Journals the routing decision (domain, bid count, policy).
+  void journalDecision(const Job &J, const DispatchDecision &Decision,
+                       Tick Now) const;
+
   Grid &Env;
   const Network &Net;
   StrategyConfig Config;

@@ -7,9 +7,12 @@
 
 #include "flow/JobManager.h"
 #include "core/Shift.h"
+#include "obs/Journal.h"
 #include "obs/Metrics.h"
 #include "obs/Trace.h"
 #include "support/Check.h"
+
+#include <cmath>
 
 using namespace cws;
 
@@ -46,6 +49,53 @@ struct FlowMetrics {
     return M;
   }
 };
+
+/// Where an invalidated strategy broke: the first reservation of a
+/// feasible variant that now overlaps somebody else's interval.
+struct BrokenSlot {
+  size_t Variant;
+  unsigned NodeId;
+  Tick Start, End;
+  Tick BusyStart, BusyEnd;
+};
+
+std::optional<BrokenSlot> findBrokenSlot(const Strategy &S, const Grid &G,
+                                         OwnerId Ignore) {
+  for (size_t I = 0; I < S.variants().size(); ++I) {
+    const ScheduleVariant &V = S.variants()[I];
+    if (!V.feasible())
+      continue;
+    for (const Placement &P : V.Result.Dist.placements())
+      for (const Interval &Busy : G.node(P.NodeId).timeline().intervals()) {
+        if (Busy.Owner == Ignore)
+          continue;
+        if (Busy.Begin < P.End && P.Start < Busy.End)
+          return BrokenSlot{I,       P.NodeId,   P.Start,
+                            P.End,   Busy.Begin, Busy.End};
+      }
+  }
+  return std::nullopt;
+}
+
+/// Journals one strategy invalidation, naming the broken slot (the
+/// scan runs only when the journal is on — it is diagnostic-priced).
+void journalInvalidate(obs::Journal &Jn, const Strategy &S, const Grid &G,
+                       unsigned JobId, Tick Now, Tick Ttl) {
+  if (std::optional<BrokenSlot> B =
+          findBrokenSlot(S, G, Metascheduler::ownerOf(JobId)))
+    Jn.append(obs::JournalKind::Invalidate, JobId, Now,
+              {{"variant", static_cast<int64_t>(B->Variant)},
+               {"node", B->NodeId},
+               {"start", B->Start},
+               {"end", B->End},
+               {"busy_start", B->BusyStart},
+               {"busy_end", B->BusyEnd},
+               {"ttl", Ttl}},
+              "stale");
+  else
+    Jn.append(obs::JournalKind::Invalidate, JobId, Now, {{"ttl", Ttl}},
+              "stale");
+}
 } // namespace
 
 bool JobManager::onArrival(const Job &J, Tick Now) {
@@ -53,6 +103,15 @@ bool JobManager::onArrival(const Job &J, Tick Now) {
   M.Submitted.add();
   obs::Span ArrivalSpan("flow", "job.arrival", "job",
                         static_cast<int64_t>(J.id()));
+  obs::Journal &Jn = obs::Journal::global();
+  // The arrival event opens the job's causal chain and registers its
+  // flow, so the flow-ignorant layers below (Strategy, Metascheduler)
+  // inherit both.
+  if (Jn.enabled())
+    Jn.append(obs::JournalKind::Arrival, J.id(), Now,
+              {{"deadline", J.deadline()},
+               {"tasks", static_cast<int64_t>(J.taskCount())}},
+              strategyName(Meta.strategyConfig().Kind), FlowId);
   Strategy S = Meta.buildStrategy(J, Now);
 
   VoJobStats St;
@@ -69,10 +128,23 @@ bool JobManager::onArrival(const Job &J, Tick Now) {
   }
   Stats.push_back(St);
   ArrivalSpan.arg("admissible", St.Admissible);
+  if (Jn.enabled())
+    Jn.append(obs::JournalKind::Admission, J.id(), Now,
+              {{"admissible", St.Admissible ? 1 : 0},
+               {"feasible", static_cast<int64_t>(S.feasibleCount())},
+               {"variants", static_cast<int64_t>(S.variants().size())},
+               {"forecast_variant",
+                ForecastVariant == SIZE_MAX
+                    ? -1
+                    : static_cast<int64_t>(ForecastVariant)},
+               {"forecast_start", St.ForecastStart},
+               {"collisions", static_cast<int64_t>(St.Collisions)}});
 
   if (!St.Admissible) {
     // Nothing will ever run; the strategy was dead on arrival.
     Stats.back().TtlClosed = true;
+    if (Jn.enabled())
+      Jn.append(obs::JournalKind::Reject, J.id(), Now, {}, "inadmissible");
     return false;
   }
   M.Admissible.add();
@@ -85,6 +157,7 @@ std::optional<Tick> JobManager::onNegotiation(unsigned JobId, Tick Now) {
   FlowMetrics &M = FlowMetrics::get();
   obs::Span NegotiationSpan("flow", "job.negotiate", "job",
                             static_cast<int64_t>(JobId));
+  obs::Journal &Jn = obs::Journal::global();
   auto It = Active.find(JobId);
   CWS_CHECK(It != Active.end(), "negotiation for an unknown job");
   ActiveJob &A = It->second;
@@ -101,6 +174,8 @@ std::optional<Tick> JobManager::onNegotiation(unsigned JobId, Tick Now) {
       St.Ttl = Now - St.Arrival;
       St.TtlClosed = true;
       M.Invalidated.add();
+      if (Jn.enabled())
+        journalInvalidate(Jn, A.S, Meta.grid(), JobId, Now, St.Ttl);
     }
     // Cheapest recovery first: shift a stale supporting schedule as a
     // whole — structure and co-allocation survive, only the start
@@ -122,10 +197,22 @@ std::optional<Tick> JobManager::onNegotiation(unsigned JobId, Tick Now) {
         BestCost = Cost;
       }
     }
+    if (Jn.enabled()) {
+      if (ShiftBase)
+        Jn.append(obs::JournalKind::ShiftAttempt, JobId, Now,
+                  {{"variant", static_cast<int64_t>(
+                                   ShiftBase - A.S.variants().data())},
+                   {"delta", BestShift},
+                   {"cost", std::llround(BestCost)}},
+                  "candidate");
+      else
+        Jn.append(obs::JournalKind::ShiftAttempt, JobId, Now, {},
+                  "no-candidate");
+    }
     if (ShiftBase) {
       Distribution Shifted =
           shiftDistribution(ShiftBase->Result.Dist, BestShift);
-      if (Meta.commitDistribution(A.TheJob, Shifted, UserId)) {
+      if (Meta.commitDistribution(A.TheJob, Shifted, UserId, Now)) {
         St.Committed = true;
         St.Switched = true;
         St.ShiftRecovered = true;
@@ -139,7 +226,17 @@ std::optional<Tick> JobManager::onNegotiation(unsigned JobId, Tick Now) {
         M.ShiftRecovered.add();
         M.Switched.add();
         NegotiationSpan.arg("outcome", 1);
-        runExecution(A, Shifted);
+        if (Jn.enabled())
+          Jn.append(obs::JournalKind::Commit, JobId, Now,
+                    {{"variant", static_cast<int64_t>(
+                                     ShiftBase - A.S.variants().data())},
+                     {"start", St.ActualStart},
+                     {"makespan", St.Completion},
+                     {"cost", std::llround(St.Cost)},
+                     {"cf", St.Cf},
+                     {"shift", BestShift}},
+                    "shift-recovered");
+        runExecution(A, Shifted, Now);
         return St.Completion;
       }
     }
@@ -150,6 +247,9 @@ std::optional<Tick> JobManager::onNegotiation(unsigned JobId, Tick Now) {
       A.Done = true;
       M.Rejected.add();
       NegotiationSpan.arg("outcome", 0);
+      if (Jn.enabled())
+        Jn.append(obs::JournalKind::Reject, JobId, Now, {},
+                  "stale-inadmissible");
       maybeRetire(JobId);
       return std::nullopt;
     }
@@ -164,7 +264,7 @@ std::optional<Tick> JobManager::onNegotiation(unsigned JobId, Tick Now) {
   if (St.Reallocated || PickIdx != A.ForecastVariant)
     St.Switched = true;
 
-  if (!Meta.commit(A.TheJob, *Pick, UserId)) {
+  if (!Meta.commit(A.TheJob, *Pick, UserId, Now)) {
     // Out of quota or raced by a same-tick reservation.
     St.Rejected = true;
     if (!St.TtlClosed) {
@@ -174,6 +274,8 @@ std::optional<Tick> JobManager::onNegotiation(unsigned JobId, Tick Now) {
     A.Done = true;
     M.Rejected.add();
     NegotiationSpan.arg("outcome", 0);
+    if (Jn.enabled())
+      Jn.append(obs::JournalKind::Reject, JobId, Now, {}, "commit-failed");
     maybeRetire(JobId);
     return std::nullopt;
   }
@@ -192,11 +294,21 @@ std::optional<Tick> JobManager::onNegotiation(unsigned JobId, Tick Now) {
   St.Cost = Pick->Result.Dist.economicCost();
   St.Cf = Pick->Result.Dist.costFunction(A.S.scheduledJob());
   A.Committed = true;
-  runExecution(A, Pick->Result.Dist);
+  if (Jn.enabled())
+    Jn.append(obs::JournalKind::Commit, JobId, Now,
+              {{"variant", static_cast<int64_t>(PickIdx)},
+               {"start", St.ActualStart},
+               {"makespan", St.Completion},
+               {"cost", std::llround(St.Cost)},
+               {"cf", St.Cf}},
+              St.Reallocated ? "reallocated"
+                             : (St.Switched ? "switched" : "forecast"));
+  runExecution(A, Pick->Result.Dist, Now);
   return St.Completion;
 }
 
-void JobManager::runExecution(ActiveJob &A, const Distribution &D) {
+void JobManager::runExecution(ActiveJob &A, const Distribution &D,
+                              Tick Now) {
   if (!ExecEnabled)
     return;
   ExecutionConfig Config = Exec;
@@ -207,9 +319,16 @@ void JobManager::runExecution(ActiveJob &A, const Distribution &D) {
   VoJobStats &St = statsOf(A);
   St.ActualCompletion = R.Completion;
   St.ExecutionKilled = !R.Succeeded;
+  obs::Journal &Jn = obs::Journal::global();
+  if (Jn.enabled())
+    Jn.append(obs::JournalKind::Execution, A.TheJob.id(), Now,
+              {{"completion", R.Completion},
+               {"killed", R.Succeeded ? 0 : 1}},
+              R.Succeeded ? "ok" : "wall-limit-kill");
 }
 
 void JobManager::onEnvironmentChange(Tick Now) {
+  obs::Journal &Jn = obs::Journal::global();
   std::vector<unsigned> Retire;
   for (auto &[JobId, A] : Active) {
     VoJobStats &St = statsOf(A);
@@ -221,6 +340,10 @@ void JobManager::onEnvironmentChange(Tick Now) {
       FlowMetrics::get().Invalidated.add();
       obs::Tracer::global().instant("flow", "job.invalidate", "job",
                                     static_cast<int64_t>(JobId));
+      // The trigger resolves to the environment change that just fired
+      // (the background observer runs after every placement).
+      if (Jn.enabled())
+        journalInvalidate(Jn, A.S, Meta.grid(), JobId, Now, St.Ttl);
       if (A.Done)
         Retire.push_back(JobId);
     }
@@ -244,6 +367,9 @@ void JobManager::onCompletion(unsigned JobId, Tick Now) {
     St.TtlClosed = true;
   }
   A.Done = true;
+  obs::Journal &Jn = obs::Journal::global();
+  if (Jn.enabled())
+    Jn.append(obs::JournalKind::Complete, JobId, Now, {{"ttl", St.Ttl}});
   maybeRetire(JobId);
 }
 

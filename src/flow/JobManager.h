@@ -78,8 +78,10 @@ struct VoJobStats {
 /// Manages the lifecycle of the jobs of one flow.
 class JobManager {
 public:
-  JobManager(Metascheduler &Meta, unsigned UserId)
-      : Meta(Meta), UserId(UserId) {}
+  /// \p FlowId tags this flow's journal events (multi-flow runs number
+  /// their flows; -1 = unlabelled single flow).
+  JobManager(Metascheduler &Meta, unsigned UserId, int FlowId = -1)
+      : Meta(Meta), UserId(UserId), FlowId(FlowId) {}
 
   /// Enables execution with runtime deviations: every committed
   /// schedule is run through the execution engine and its actual
@@ -128,10 +130,11 @@ private:
   void maybeRetire(unsigned JobId);
 
   /// Runs the committed distribution when execution is enabled.
-  void runExecution(ActiveJob &A, const Distribution &D);
+  void runExecution(ActiveJob &A, const Distribution &D, Tick Now);
 
   Metascheduler &Meta;
   unsigned UserId;
+  int FlowId = -1;
   bool ExecEnabled = false;
   ExecutionConfig Exec;
   Prng ExecRng{0};

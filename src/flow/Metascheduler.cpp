@@ -7,9 +7,12 @@
 
 #include "flow/Metascheduler.h"
 #include "job/Job.h"
+#include "obs/Journal.h"
 #include "obs/Metrics.h"
 #include "obs/Trace.h"
 #include "support/Check.h"
+
+#include <cmath>
 
 using namespace cws;
 
@@ -34,31 +37,41 @@ struct MetaMetrics {
 } // namespace
 
 bool Metascheduler::commit(const Job &J, const ScheduleVariant &Variant,
-                           unsigned UserId) {
+                           unsigned UserId, Tick Now) {
   CWS_CHECK(Variant.feasible(), "committing an infeasible variant");
-  return commitDistribution(J, Variant.Result.Dist, UserId);
+  return commitDistribution(J, Variant.Result.Dist, UserId, Now);
 }
 
 bool Metascheduler::commitDistribution(const Job &J, const Distribution &D,
-                                       unsigned UserId) {
+                                       unsigned UserId, Tick Now) {
   MetaMetrics &M = MetaMetrics::get();
   obs::Span CommitSpan("flow", "meta.commit", "job",
                        static_cast<int64_t>(J.id()));
+  obs::Journal &Jn = obs::Journal::global();
   double Cost = D.economicCost();
+  auto Attempt = [&](bool Ok, const char *Why) {
+    if (Jn.enabled())
+      Jn.append(obs::JournalKind::CommitAttempt,
+                static_cast<int64_t>(J.id()), Now,
+                {{"cost", std::llround(Cost)}, {"ok", Ok ? 1 : 0}}, Why);
+  };
   if (!Econ.canAfford(UserId, Cost)) {
     M.QuotaDenied.add();
     CommitSpan.arg("ok", 0);
+    Attempt(false, "quota-denied");
     return false;
   }
   if (!D.commit(Env, ownerOf(J.id()))) {
     M.SlotConflicts.add();
     CommitSpan.arg("ok", 0);
+    Attempt(false, "slot-conflict");
     return false;
   }
   bool Charged = Econ.charge(UserId, Cost);
   CWS_CHECK(Charged, "charge failed after affordability check");
   M.Commits.add();
   CommitSpan.arg("ok", 1);
+  Attempt(true, "ok");
   return true;
 }
 
@@ -66,6 +79,10 @@ Strategy Metascheduler::reallocate(const Job &J, Tick Now) {
   MetaMetrics::get().Reallocations.add();
   obs::Span ReallocSpan("flow", "meta.reallocate", "job",
                         static_cast<int64_t>(J.id()));
+  obs::Journal &Jn = obs::Journal::global();
+  if (Jn.enabled())
+    Jn.append(obs::JournalKind::Reallocate, static_cast<int64_t>(J.id()),
+              Now, {}, "stale-strategy");
   Env.releaseOwner(ownerOf(J.id()));
   return buildStrategy(J, Now);
 }

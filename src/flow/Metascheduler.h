@@ -46,12 +46,14 @@ public:
 
   /// Commits \p Variant's distribution for \p J if user \p UserId can
   /// pay and every slot is still free; charges the economy on success.
-  bool commit(const Job &J, const ScheduleVariant &Variant, unsigned UserId);
+  /// \p Now is the decision tick (journaled, not used for scheduling).
+  bool commit(const Job &J, const ScheduleVariant &Variant, unsigned UserId,
+              Tick Now = 0);
 
   /// Commits an explicit distribution (e.g. a shifted supporting
   /// schedule produced by the negotiation layer) under the same rules.
   bool commitDistribution(const Job &J, const Distribution &D,
-                          unsigned UserId);
+                          unsigned UserId, Tick Now = 0);
 
   /// Reallocation: drops any reservations \p J holds and rebuilds its
   /// strategy from the current environment state.

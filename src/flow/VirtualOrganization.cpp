@@ -36,7 +36,8 @@ cws::runMultiFlowVo(const VoConfig &Config,
     SC.Kind = Kind;
     unsigned User = Econ.addUser(Config.UserQuota);
     Metas.push_back(std::make_unique<Metascheduler>(Env, Net, Econ, SC));
-    Managers.push_back(std::make_unique<JobManager>(*Metas.back(), User));
+    Managers.push_back(std::make_unique<JobManager>(
+        *Metas.back(), User, static_cast<int>(Managers.size())));
   }
 
   Simulator Sim;

@@ -7,6 +7,8 @@
 
 #include "metrics/Export.h"
 #include "job/Job.h"
+#include "obs/Journal.h"
+#include "obs/Trace.h"
 
 #include <cstdio>
 
@@ -96,6 +98,13 @@ bool cws::writeTextFile(const std::string &Path, const std::string &Text) {
 
 bool cws::writeMetricsSnapshot(const std::string &Path,
                                const obs::Registry &R) {
+  // Snapshots of the global registry also carry the tracer's and
+  // journal's loss counters, so trace/journal incompleteness is visible
+  // in the same export.
+  if (&R == &obs::Registry::global()) {
+    obs::publishTraceStats(obs::Registry::global());
+    obs::publishJournalStats(obs::Registry::global());
+  }
   bool Csv = Path.size() >= 4 && Path.compare(Path.size() - 4, 4, ".csv") == 0;
   return writeTextFile(Path, Csv ? metricsCsv(R) : R.prometheusText());
 }

@@ -126,3 +126,72 @@ void cws::publishVoAggregates(const VoAggregates &A, obs::Registry &R) {
       "share of committed jobs killed at a wall limit",
       A.ExecutionKilledPercent);
 }
+
+void cws::publishFlowAggregates(const VoAggregates &A,
+                                const std::string &Flow, obs::Registry &R) {
+  // Labeled series: the registry stores the full name and the exporter
+  // splits the family at '{' for the HELP/TYPE headers.
+  std::string Label = "{flow=\"" + Flow + "\"}";
+  auto Set = [&R, &Label](const char *Name, const char *Help,
+                          double Value) {
+    R.realGauge(std::string(Name) + Label, Help).set(Value);
+  };
+  Set("cws_flow_jobs", "compound jobs of the flow",
+      static_cast<double>(A.Jobs));
+  Set("cws_flow_committed_jobs", "committed jobs of the flow",
+      static_cast<double>(A.Committed));
+  Set("cws_flow_admissible_percent", "share of admissible jobs per flow",
+      A.AdmissiblePercent);
+  Set("cws_flow_committed_percent", "share of committed jobs per flow",
+      A.CommittedPercent);
+  Set("cws_flow_rejected_percent", "share of rejected jobs per flow",
+      A.RejectedPercent);
+  Set("cws_flow_switched_percent",
+      "share of jobs that switched supporting schedules per flow",
+      A.SwitchedPercent);
+  Set("cws_flow_reallocated_percent", "share of reallocated jobs per flow",
+      A.ReallocatedPercent);
+  Set("cws_flow_shift_recovered_percent",
+      "share of jobs recovered by shifting a stale schedule per flow",
+      A.ShiftRecoveredPercent);
+  Set("cws_flow_mean_commit_shift",
+      "mean shift over shift-recovered commits per flow",
+      A.MeanCommitShift);
+  Set("cws_flow_mean_cost", "mean quota cost of committed jobs per flow",
+      A.MeanCost);
+  Set("cws_flow_mean_cf",
+      "mean cost-function value of committed jobs per flow", A.MeanCf);
+  Set("cws_flow_mean_run_ticks",
+      "mean start-to-completion wall ticks per flow", A.MeanRunTicks);
+  Set("cws_flow_mean_response_ticks",
+      "mean arrival-to-completion wall ticks per flow",
+      A.MeanResponseTicks);
+  Set("cws_flow_mean_ttl",
+      "mean strategy time-to-live of admissible jobs per flow", A.MeanTtl);
+  Set("cws_flow_mean_start_deviation",
+      "mean |actual - forecast| start deviation per flow",
+      A.MeanStartDeviation);
+  Set("cws_flow_mean_start_deviation_ratio",
+      "mean start deviation / run time ratio per flow",
+      A.MeanStartDeviationRatio);
+  Set("cws_flow_mean_collisions",
+      "mean collisions per committed job per flow", A.MeanCollisions);
+  Set("cws_flow_execution_killed_percent",
+      "share of committed jobs killed at a wall limit per flow",
+      A.ExecutionKilledPercent);
+}
+
+void cws::publishMultiFlowAggregates(const std::vector<VoRunResult> &Runs,
+                                     obs::Registry &R) {
+  for (size_t I = 0; I < Runs.size(); ++I) {
+    std::string Label = strategyName(Runs[I].Kind);
+    // Runs may pit the same strategy type against itself; keep the
+    // labels distinct by flow position.
+    for (size_t P = 0; P < I; ++P)
+      if (Runs[P].Kind == Runs[I].Kind) {
+        Label += "#" + std::to_string(I);
+        break;
+      }
+    publishFlowAggregates(summarizeVo(Runs[I]), Label, R);
+  }
+}

@@ -68,6 +68,18 @@ VoAggregates summarizeVo(const VoRunResult &Run);
 void publishVoAggregates(const VoAggregates &A,
                          obs::Registry &R = obs::Registry::global());
 
+/// Publishes \p A as one flow's labeled series: every `cws_vo_<x>`
+/// metric becomes a `cws_flow_<x>{flow="<Flow>"}` gauge. \p Flow is
+/// the flow's label (a strategy name like "S1", or any caller-chosen
+/// tag); it must not contain '"' or '\'.
+void publishFlowAggregates(const VoAggregates &A, const std::string &Flow,
+                           obs::Registry &R = obs::Registry::global());
+
+/// Summarizes and publishes every flow of a multi-flow run under its
+/// strategy-type label (the per-flow QoS breakdown of the ROADMAP).
+void publishMultiFlowAggregates(const std::vector<VoRunResult> &Runs,
+                                obs::Registry &R = obs::Registry::global());
+
 } // namespace cws
 
 #endif // CWS_METRICS_QOS_H

@@ -1,0 +1,61 @@
+//===-- obs/Explain.h - Journal analysis for cws-explain --------*- C++ -*-===//
+//
+// Part of CWS, a reproduction of Toporkov, "Application-Level and Job-Flow
+// Scheduling" (PaCT 2009). Distributed without any warranty.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Turns a parsed decision journal back into answers: schema
+/// validation, a per-job causal timeline, "why was this job
+/// reallocated / rejected", and per-flow decision counts. Pure
+/// functions over `ParsedJournal` so the tests can pin the renderings
+/// without running the `cws-explain` binary.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CWS_OBS_EXPLAIN_H
+#define CWS_OBS_EXPLAIN_H
+
+#include "obs/Journal.h"
+
+#include <string>
+#include <vector>
+
+namespace cws {
+namespace obs {
+
+/// Checks the journal's structural invariants and returns one message
+/// per violation (empty = valid):
+///  - event ids strictly increasing, kinds known to this build;
+///  - `cause` / `trigger` always reference an *earlier* id;
+///  - a reference below the first surviving id is legal only when the
+///    ring actually dropped events (`Dropped > 0`);
+///  - a resolvable `cause` belongs to the same job and does not run
+///    backwards in time; a resolvable `trigger` is an `env.change`;
+///  - the meta header's `recorded`/`dropped` counts match the events.
+std::vector<std::string> validateJournal(const ParsedJournal &J);
+
+/// Renders the causal timeline of \p JobId: one line per event in id
+/// order (`#id t=<tick> <kind> ...`), with resolvable triggers
+/// expanded to the environment change they reference. Returns a "no
+/// events" message when the job never appears.
+std::string explainJob(const ParsedJournal &J, int64_t JobId);
+
+/// For every `reallocate` event: which environment change triggered
+/// it, and which variant/node/slot the preceding invalidation found
+/// broken. One block per reallocation, in id order.
+std::string explainReallocations(const ParsedJournal &J);
+
+/// For every `reject` event: the job, the reason, and the decision
+/// that preceded it.
+std::string explainRejections(const ParsedJournal &J);
+
+/// Per-flow decision counts (arrivals, admissions, commits, rejects,
+/// reallocations, invalidations, shift attempts) plus journal totals.
+std::string journalSummary(const ParsedJournal &J);
+
+} // namespace obs
+} // namespace cws
+
+#endif // CWS_OBS_EXPLAIN_H

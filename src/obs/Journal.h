@@ -1,0 +1,257 @@
+//===-- obs/Journal.h - Per-job decision journal ----------------*- C++ -*-===//
+//
+// Part of CWS, a reproduction of Toporkov, "Application-Level and Job-Flow
+// Scheduling" (PaCT 2009). Distributed without any warranty.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The per-job decision journal ("flight recorder"): an append-only,
+/// thread-safe ring of structured events recording the full causal
+/// chain of every job through the job-flow level — arrival, admission
+/// verdict, per-variant strategy-build outcomes, collisions, background
+/// -load invalidations, shift-recovery attempts, reallocations,
+/// dispatch decisions, commits, rejections and kills. Exported as JSONL
+/// (one event per line) for `cws-explain`.
+///
+/// The journal is disabled by default. While disabled, `enabled()` is a
+/// single relaxed atomic load, so call sites guard emission with
+///
+///   obs::Journal &Jn = obs::Journal::global();
+///   if (Jn.enabled())
+///     Jn.append(obs::JournalKind::Commit, J.id(), Now, {{"variant", 2}});
+///
+/// and the instrumentation may stay in hot paths permanently (the
+/// `bench/obs_overhead` binary guards this). With `CWS_OBS_ENABLED=0`
+/// `enabled()` is a compile-time `false` and emission code dead-strips.
+///
+/// Causality: the journal links each event to the previous event of the
+/// same job automatically (`Cause`), so per-job chains reconstruct
+/// without caller bookkeeping; `Invalidate`/`Reallocate` events also
+/// get a `Trigger` reference to the most recent `EnvChange` event (the
+/// background arrival that aged the strategy). Events carry the
+/// simulation tick only — never wall-clock time — so an enabled-mode
+/// journal is byte-identical for a fixed seed at any `--build-threads`
+/// lane count (variant events are emitted post-merge, in (level, bias)
+/// order, on the calling thread).
+///
+/// Event names, argument keys and `Detail` strings must be string
+/// literals (or otherwise outlive the journal): the ring stores the
+/// pointers only.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CWS_OBS_JOURNAL_H
+#define CWS_OBS_JOURNAL_H
+
+#include <atomic>
+#include <cstdint>
+#include <initializer_list>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#ifndef CWS_OBS_ENABLED
+#define CWS_OBS_ENABLED 1
+#endif
+
+namespace cws {
+namespace obs {
+
+class Registry;
+
+/// The decision kinds the job-flow level records. The names are the
+/// JSONL schema; `docs/OBSERVABILITY.md` documents each field-by-field.
+enum class JournalKind : uint8_t {
+  /// A job entered a flow (args: deadline, tasks; detail: strategy type).
+  Arrival,
+  /// Admission verdict at arrival (args: admissible, feasible, variants,
+  /// forecast_variant, forecast_start, collisions).
+  Admission,
+  /// One supporting schedule built by Strategy::build (args: level,
+  /// bias, feasible, cost, cf, makespan; detail: bias name).
+  Variant,
+  /// A critical-work collision and its resolution (args: variant, task,
+  /// node, wanted, actual, owner; detail: resolution).
+  Collision,
+  /// The environment changed (args: node, start, end; detail: source).
+  EnvChange,
+  /// A strategy lost every fitting variant (args: variant, node, start,
+  /// end, busy_start, busy_end, ttl; trigger: the breaking EnvChange).
+  Invalidate,
+  /// Shift recovery of a stale supporting schedule was attempted
+  /// (args: variant, delta, cost).
+  ShiftAttempt,
+  /// The metascheduler dropped the job's reservations and rebuilt its
+  /// strategy (trigger: the most recent EnvChange).
+  Reallocate,
+  /// The dispatcher routed the job to a domain (args: domain, bids;
+  /// detail: policy name).
+  Dispatch,
+  /// One commit attempt at the metascheduler (args: cost, ok; detail:
+  /// "ok" / "quota-denied" / "slot-conflict").
+  CommitAttempt,
+  /// A supporting schedule was committed (args: variant, start,
+  /// makespan, cost, cf, shift; detail: how the variant was reached).
+  Commit,
+  /// The job was rejected (detail: reason).
+  Reject,
+  /// Execution under runtime deviations finished (args: completion,
+  /// killed; detail: "ok" / "wall-limit-kill").
+  Execution,
+  /// The job's last reservation ended (args: ttl).
+  Complete,
+  /// Free-form marker (sim run boundaries, bench probes).
+  Note,
+};
+
+inline constexpr size_t JournalKindCount = 15;
+
+/// Stable schema name ("arrival", "commit", ...).
+const char *journalKindName(JournalKind Kind);
+
+/// Parses a schema name back; returns false when unknown.
+bool journalKindFromName(const std::string &Name, JournalKind &Out);
+
+/// One named integer argument. Keys must be string literals.
+struct JournalArg {
+  const char *Key = nullptr;
+  int64_t Value = 0;
+};
+
+/// One recorded event (one ring slot).
+struct JournalEvent {
+  static constexpr size_t MaxArgs = 8;
+
+  /// 1-based monotone id; orders events across ring wraparound.
+  uint64_t Id = 0;
+  /// Id of the previous event of the same job (0 = chain head).
+  uint64_t Cause = 0;
+  /// Cross-chain trigger (e.g. the EnvChange that broke a strategy).
+  uint64_t Trigger = 0;
+  /// Job the event belongs to; -1 for job-agnostic events (EnvChange).
+  int64_t JobId = -1;
+  /// Flow the job belongs to; -1 when unknown (inherited from the
+  /// job's Arrival event when available).
+  int32_t FlowId = -1;
+  /// Simulation tick the decision was taken at.
+  int64_t At = 0;
+  JournalKind Kind = JournalKind::Note;
+  uint8_t ArgCount = 0;
+  const char *Detail = nullptr;
+  JournalArg Args[MaxArgs];
+};
+
+/// Thread-safe append-only ring journal.
+class Journal {
+public:
+  static constexpr size_t DefaultCapacity = 1 << 16;
+
+  /// The process-wide journal the built-in instrumentation appends to.
+  static Journal &global();
+
+  /// Starts recording into a fresh ring of \p Capacity slots; clears
+  /// the causal bookkeeping.
+  void enable(size_t Capacity = DefaultCapacity);
+
+  /// Stops recording. Already recorded events stay exportable.
+  void disable();
+
+  bool enabled() const {
+#if CWS_OBS_ENABLED
+    return On.load(std::memory_order_relaxed);
+#else
+    return false;
+#endif
+  }
+
+  /// Appends one event and returns its id (0 while disabled). `Cause`
+  /// is filled from the job's previous event; `FlowId < 0` inherits the
+  /// flow recorded by the job's earlier events; `Trigger == 0` on
+  /// Invalidate/Reallocate events resolves to the last EnvChange.
+  uint64_t append(JournalKind Kind, int64_t JobId, int64_t At,
+                  std::initializer_list<JournalArg> Args = {},
+                  const char *Detail = nullptr, int FlowId = -1,
+                  uint64_t Trigger = 0);
+
+  /// Events appended since enable() (including overwritten ones).
+  uint64_t recorded() const;
+  /// Events lost to ring wraparound.
+  uint64_t dropped() const;
+  /// Id of the most recent EnvChange event (0 = none yet).
+  uint64_t lastEnvChange() const;
+
+  /// Copies the surviving events out in append order.
+  std::vector<JournalEvent> snapshot() const;
+
+  /// Renders the surviving events as JSONL: one `journal.meta` header
+  /// line (schema version, recorded/dropped counts) followed by one
+  /// JSON object per event. Pure function of the event stream — no
+  /// wall-clock fields — so fixed seeds give byte-identical output.
+  std::string jsonl() const;
+
+  /// Writes jsonl() to \p Path; returns false on I/O failure.
+  bool writeJsonl(const std::string &Path) const;
+
+  /// Drops everything and disables the journal.
+  void reset();
+
+private:
+  std::atomic<bool> On{false};
+  mutable std::mutex Mu;
+  std::vector<JournalEvent> Ring;
+  /// Total events appended; Head % Ring.size() is the next slot.
+  uint64_t Head = 0;
+  uint64_t LastEnvChangeId = 0;
+  /// Last event id per job (the automatic `Cause` chain).
+  std::unordered_map<int64_t, uint64_t> LastOf;
+  /// Flow per job, learned from the first event that carries one.
+  std::unordered_map<int64_t, int32_t> FlowOf;
+};
+
+/// Publishes the journal's loss counters into \p R as
+/// `cws_journal_recorded_total` / `cws_journal_dropped_total` gauges.
+void publishJournalStats(Registry &R);
+
+//===----------------------------------------------------------------------===//
+// JSONL parsing (cws-explain, tests)
+//===----------------------------------------------------------------------===//
+
+/// One parsed event; strings are owned (the journal's literal-pointer
+/// contract does not survive a file round-trip).
+struct ParsedJournalEvent {
+  uint64_t Id = 0;
+  uint64_t Cause = 0;
+  uint64_t Trigger = 0;
+  int64_t JobId = -1;
+  int64_t FlowId = -1;
+  int64_t At = 0;
+  std::string Kind;
+  std::string Detail;
+  std::vector<std::pair<std::string, int64_t>> Args;
+
+  /// Pointer to the value of \p Key, or nullptr when absent.
+  const int64_t *arg(const std::string &Key) const;
+};
+
+/// A parsed journal file: the meta header plus the surviving events.
+struct ParsedJournal {
+  uint64_t Recorded = 0;
+  uint64_t Dropped = 0;
+  std::vector<ParsedJournalEvent> Events;
+
+  /// Event with \p Id (binary search; ids are ascending), or nullptr.
+  const ParsedJournalEvent *byId(uint64_t Id) const;
+};
+
+/// Parses JSONL text written by Journal::jsonl(). Returns false and
+/// sets \p Error (with a 1-based line number) on malformed input.
+bool parseJournalJsonl(const std::string &Text, ParsedJournal &Out,
+                       std::string &Error);
+
+} // namespace obs
+} // namespace cws
+
+#endif // CWS_OBS_JOURNAL_H

@@ -8,8 +8,11 @@
 #include "obs/Metrics.h"
 #include "support/Check.h"
 
+#include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <unordered_set>
 
 using namespace cws;
 using namespace cws::obs;
@@ -61,6 +64,39 @@ uint64_t Histogram::cumulativeCount(size_t I) const {
   for (size_t B = 0; B <= I && B <= Bounds.size(); ++B)
     Total += bucketCount(B);
   return Total;
+}
+
+double Histogram::quantile(double Q) const {
+  uint64_t Total = count();
+  if (Total == 0)
+    return std::nan("");
+  double Rank = Q * static_cast<double>(Total);
+  uint64_t Cum = 0;
+  for (size_t I = 0; I < Bounds.size(); ++I) {
+    uint64_t InBucket = bucketCount(I);
+    if (InBucket == 0)
+      continue;
+    if (static_cast<double>(Cum + InBucket) >= Rank) {
+      // The first bucket's lower edge is taken as 0 when its bound is
+      // positive (histogram_quantile's convention); non-positive first
+      // bounds yield the bound itself.
+      if (I == 0 && Bounds[0] <= 0)
+        return Bounds[0];
+      double Start = I == 0 ? 0.0 : Bounds[I - 1];
+      double End = Bounds[I];
+      double Frac = (Rank - static_cast<double>(Cum)) /
+                    static_cast<double>(InBucket);
+      if (Frac < 0)
+        Frac = 0;
+      if (Frac > 1)
+        Frac = 1;
+      return Start + (End - Start) * Frac;
+    }
+    Cum += InBucket;
+  }
+  // The rank lands in the +Inf bucket: best estimate is the highest
+  // finite bound.
+  return Bounds.back();
 }
 
 void Histogram::reset() {
@@ -161,38 +197,60 @@ Histogram &Registry::histogram(const std::string &Name,
 }
 
 /// Renders \p X the way Prometheus clients do: integral values without
-/// a fractional part, others with enough digits to round-trip.
+/// a fractional part, others with the fewest digits that round-trip
+/// (so 6.4 renders as "6.4", not "6.4000000000000004").
 static std::string renderNumber(double X) {
   char Buf[64];
-  if (X == static_cast<double>(static_cast<long long>(X)))
+  if (X == static_cast<double>(static_cast<long long>(X))) {
     std::snprintf(Buf, sizeof(Buf), "%lld", static_cast<long long>(X));
-  else
-    std::snprintf(Buf, sizeof(Buf), "%.17g", X);
+    return Buf;
+  }
+  for (int Precision = 1; Precision <= 17; ++Precision) {
+    std::snprintf(Buf, sizeof(Buf), "%.*g", Precision, X);
+    if (std::strtod(Buf, nullptr) == X)
+      break;
+  }
   return Buf;
+}
+
+/// Metric family of a (possibly labeled) series name: everything
+/// before the label braces.
+static std::string familyOf(const std::string &Name) {
+  size_t Brace = Name.find('{');
+  return Brace == std::string::npos ? Name : Name.substr(0, Brace);
 }
 
 std::string Registry::prometheusText() const {
   std::lock_guard<std::mutex> Lock(Mu);
   std::string Out;
+  // Labeled series of one family (cws_flow_x{flow="S1"}, {flow="S2"},
+  // ...) share one HELP/TYPE header.
+  std::unordered_set<std::string> SeenFamilies;
   for (const auto &E : Entries) {
-    if (!E->Help.empty())
-      Out += "# HELP " + E->Name + " " + E->Help + "\n";
+    std::string Family = familyOf(E->Name);
+    bool FirstOfFamily = SeenFamilies.insert(Family).second;
+    if (FirstOfFamily && !E->Help.empty())
+      Out += "# HELP " + Family + " " + E->Help + "\n";
     switch (E->EntryKind) {
     case Kind::Counter:
-      Out += "# TYPE " + E->Name + " counter\n";
+      if (FirstOfFamily)
+        Out += "# TYPE " + Family + " counter\n";
       Out += E->Name + " " + std::to_string(E->C->value()) + "\n";
       break;
     case Kind::Gauge:
-      Out += "# TYPE " + E->Name + " gauge\n";
+      if (FirstOfFamily)
+        Out += "# TYPE " + Family + " gauge\n";
       Out += E->Name + " " + std::to_string(E->G->value()) + "\n";
       break;
     case Kind::RealGauge:
-      Out += "# TYPE " + E->Name + " gauge\n";
+      if (FirstOfFamily)
+        Out += "# TYPE " + Family + " gauge\n";
       Out += E->Name + " " + renderNumber(E->R->value()) + "\n";
       break;
     case Kind::Histogram: {
       const Histogram &H = *E->H;
-      Out += "# TYPE " + E->Name + " histogram\n";
+      if (FirstOfFamily)
+        Out += "# TYPE " + Family + " histogram\n";
       uint64_t Cumulative = 0;
       for (size_t I = 0; I < H.bounds().size(); ++I) {
         Cumulative += H.bucketCount(I);
@@ -204,6 +262,13 @@ std::string Registry::prometheusText() const {
              std::to_string(Cumulative) + "\n";
       Out += E->Name + "_sum " + renderNumber(H.sum()) + "\n";
       Out += E->Name + "_count " + std::to_string(H.count()) + "\n";
+      // Untyped quantile summaries computed from the buckets, so a
+      // plain-text reader gets p50/p90/p99 without PromQL.
+      if (H.count() > 0) {
+        Out += E->Name + "_p50 " + renderNumber(H.quantile(0.50)) + "\n";
+        Out += E->Name + "_p90 " + renderNumber(H.quantile(0.90)) + "\n";
+        Out += E->Name + "_p99 " + renderNumber(H.quantile(0.99)) + "\n";
+      }
       break;
     }
     }
@@ -242,6 +307,11 @@ std::vector<Registry::Sample> Registry::samples() const {
       Out.push_back({E->Name, "histogram", "sum", "", H.sum()});
       Out.push_back({E->Name, "histogram", "count", "",
                      static_cast<double>(H.count())});
+      if (H.count() > 0) {
+        Out.push_back({E->Name, "histogram", "p50", "", H.quantile(0.50)});
+        Out.push_back({E->Name, "histogram", "p90", "", H.quantile(0.90)});
+        Out.push_back({E->Name, "histogram", "p99", "", H.quantile(0.99)});
+      }
       break;
     }
     }

@@ -103,6 +103,13 @@ public:
   /// Cumulative count of observations <= bounds()[I] (Prometheus
   /// exposition form).
   uint64_t cumulativeCount(size_t I) const;
+
+  /// Quantile estimate with `histogram_quantile` semantics: linear
+  /// interpolation inside the bucket holding rank `Q * count()`; a
+  /// rank in the +Inf bucket returns the highest finite bound; NaN
+  /// when empty.
+  double quantile(double Q) const;
+
   void reset();
 
 private:
@@ -123,6 +130,8 @@ public:
 
   /// Returns the counter registered under \p Name, creating it on
   /// first use. Re-registration under a different kind aborts.
+  /// Names may carry a Prometheus label set (`cws_x{flow="S1"}`);
+  /// exposition emits HELP/TYPE once per family (the part before '{').
   Counter &counter(const std::string &Name, const std::string &Help = "");
   Gauge &gauge(const std::string &Name, const std::string &Help = "");
   RealGauge &realGauge(const std::string &Name, const std::string &Help = "");
@@ -139,7 +148,8 @@ public:
     std::string Name;
     /// "counter" | "gauge" | "histogram".
     std::string Type;
-    /// Histogram series suffix: `bucket` / `sum` / `count`, else empty.
+    /// Histogram series suffix: `bucket` / `sum` / `count` /
+    /// `p50` / `p90` / `p99`, else empty.
     std::string Series;
     /// Bucket upper bound rendered like the `le` label ("+Inf" last).
     std::string Le;

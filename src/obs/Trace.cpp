@@ -6,6 +6,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "obs/Trace.h"
+#include "obs/Metrics.h"
 #include "support/Check.h"
 
 #include <chrono>
@@ -225,4 +226,14 @@ bool Tracer::writeJson(const std::string &Path) const {
   bool Ok = Written == Json.size();
   Ok = std::fclose(F) == 0 && Ok;
   return Ok;
+}
+
+void cws::obs::publishTraceStats(Registry &R) {
+  const Tracer &T = Tracer::global();
+  R.gauge("cws_trace_filtered_total",
+          "trace events rejected by the category filter")
+      .set(static_cast<int64_t>(T.filtered()));
+  R.gauge("cws_trace_dropped_total",
+          "trace events lost to ring wraparound")
+      .set(static_cast<int64_t>(T.dropped()));
 }

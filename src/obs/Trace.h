@@ -38,6 +38,8 @@
 namespace cws {
 namespace obs {
 
+class Registry;
+
 /// Chrome trace-event phases the tracer emits.
 enum class TracePhase : char {
   Begin = 'B',
@@ -193,6 +195,12 @@ public:
   Span(const Span &) = delete;
   Span &operator=(const Span &) = delete;
 };
+
+/// Publishes the global tracer's loss counters into \p R as
+/// `cws_trace_filtered_total` / `cws_trace_dropped_total` gauges, so
+/// exported metrics snapshots show whether (and how much of) the trace
+/// is incomplete.
+void publishTraceStats(Registry &R);
 
 } // namespace obs
 } // namespace cws

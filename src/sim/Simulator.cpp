@@ -6,6 +6,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "sim/Simulator.h"
+#include "obs/Journal.h"
 #include "obs/Metrics.h"
 #include "obs/Trace.h"
 #include "support/Check.h"
@@ -65,6 +66,10 @@ size_t Simulator::run(Tick Until) {
                        .count());
   RunSpan.arg("events", static_cast<int64_t>(Executed));
   RunSpan.arg("virtual_ticks", Now);
+  obs::Journal &Jn = obs::Journal::global();
+  if (Jn.enabled())
+    Jn.append(obs::JournalKind::Note, -1, Now,
+              {{"events", static_cast<int64_t>(Executed)}}, "sim.run");
   if (Events.empty() || Now > Until)
     return Executed;
   // The next event lies beyond the horizon: advance the clock to it so a

@@ -7,9 +7,11 @@
 
 #include "metrics/Export.h"
 #include "obs/Metrics.h"
+#include "obs/Trace.h"
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <string>
 #include <thread>
 #include <vector>
@@ -163,8 +165,8 @@ TEST(MetricsRegistry, SamplesMirrorTheExposition) {
   Histogram &H = R.histogram("b_micros", {1.0});
   H.observe(0.5);
   std::vector<Registry::Sample> S = R.samples();
-  // counter + (1 bucket + Inf bucket + sum + count) = 5 rows.
-  ASSERT_EQ(S.size(), 5u);
+  // counter + (1 bucket + Inf bucket + sum + count + p50/p90/p99).
+  ASSERT_EQ(S.size(), 8u);
   EXPECT_EQ(S[0].Name, "a_total");
   EXPECT_EQ(S[0].Type, "counter");
   EXPECT_EQ(S[0].Value, 1.0);
@@ -174,6 +176,9 @@ TEST(MetricsRegistry, SamplesMirrorTheExposition) {
   EXPECT_EQ(S[3].Series, "sum");
   EXPECT_EQ(S[4].Series, "count");
   EXPECT_EQ(S[4].Value, 1.0);
+  EXPECT_EQ(S[5].Series, "p50");
+  EXPECT_EQ(S[6].Series, "p90");
+  EXPECT_EQ(S[7].Series, "p99");
 }
 
 TEST(MetricsRegistry, CsvExportHasHeaderAndAllRows) {
@@ -202,6 +207,94 @@ TEST(MetricsRegistry, ResetZeroesValuesButKeepsRegistrations) {
   // Same instances are still registered.
   EXPECT_EQ(&R.counter("a_total"), &C);
   EXPECT_EQ(&R.gauge("b_depth"), &G);
+}
+
+TEST(MetricsHistogram, QuantileInterpolatesPrometheusStyle) {
+  Registry R;
+  Histogram &H = R.histogram("q_micros", {1.0, 2.0, 4.0, 8.0});
+  EXPECT_TRUE(std::isnan(H.quantile(0.5)));
+  H.observe(0.5);
+  H.observe(1.5);
+  H.observe(3.0);
+  H.observe(7.0);
+  // histogram_quantile semantics: rank = q * count, linear
+  // interpolation inside the bucket holding the rank. With one
+  // observation per bucket and bounds {1,2,4,8}:
+  //   p50: rank 2.0 -> (1,2] filled -> 2.0
+  //   p90: rank 3.6 -> 0.6 into (4,8] -> 4 + 0.6*4 = 6.4
+  //   p99: rank 3.96 -> 4 + 0.96*4 = 7.84
+  EXPECT_DOUBLE_EQ(H.quantile(0.50), 2.0);
+  EXPECT_DOUBLE_EQ(H.quantile(0.90), 6.4);
+  EXPECT_DOUBLE_EQ(H.quantile(0.99), 7.84);
+  // The first bucket interpolates from a lower edge of 0.
+  EXPECT_DOUBLE_EQ(H.quantile(0.25), 1.0);
+  EXPECT_DOUBLE_EQ(H.quantile(0.125), 0.5);
+  // A rank landing in +Inf clamps to the highest finite bound.
+  Histogram &Tail = R.histogram("tail_micros", {1.0, 2.0});
+  Tail.observe(50.0);
+  EXPECT_DOUBLE_EQ(Tail.quantile(0.99), 2.0);
+}
+
+TEST(MetricsHistogram, QuantilesAppearInExpositionAndSamples) {
+  Registry R;
+  Histogram &H = R.histogram("lat_micros", {1.0, 2.0, 4.0, 8.0});
+  // An empty histogram must not emit NaN quantile series.
+  EXPECT_EQ(R.prometheusText().find("lat_micros_p50"), std::string::npos);
+  H.observe(0.5);
+  H.observe(1.5);
+  H.observe(3.0);
+  H.observe(7.0);
+  std::string Text = R.prometheusText();
+  EXPECT_NE(Text.find("lat_micros_p50 2\n"), std::string::npos) << Text;
+  EXPECT_NE(Text.find("lat_micros_p90 6.4\n"), std::string::npos) << Text;
+  EXPECT_NE(Text.find("lat_micros_p99 7.84\n"), std::string::npos) << Text;
+  std::vector<Registry::Sample> S = R.samples();
+  // 4 buckets + Inf + sum + count + 3 quantiles.
+  ASSERT_EQ(S.size(), 10u);
+  EXPECT_EQ(S[7].Series, "p50");
+  EXPECT_EQ(S[7].Value, 2.0);
+  EXPECT_EQ(S[8].Series, "p90");
+  EXPECT_EQ(S[9].Series, "p99");
+  EXPECT_EQ(S[9].Value, 7.84);
+}
+
+TEST(MetricsRegistry, LabeledSeriesShareOneFamilyHeader) {
+  Registry R;
+  R.realGauge("cws_flow_mean_cost{flow=\"S1\"}", "mean cost per flow")
+      .set(10.0);
+  R.realGauge("cws_flow_mean_cost{flow=\"S2\"}", "mean cost per flow")
+      .set(20.0);
+  std::string Text = R.prometheusText();
+  // Exactly one HELP/TYPE pair for the family, both series present.
+  size_t First = Text.find("# TYPE cws_flow_mean_cost gauge\n");
+  ASSERT_NE(First, std::string::npos) << Text;
+  EXPECT_EQ(Text.find("# TYPE cws_flow_mean_cost", First + 1),
+            std::string::npos)
+      << Text;
+  EXPECT_NE(Text.find("cws_flow_mean_cost{flow=\"S1\"} 10\n"),
+            std::string::npos);
+  EXPECT_NE(Text.find("cws_flow_mean_cost{flow=\"S2\"} 20\n"),
+            std::string::npos);
+}
+
+TEST(MetricsRegistry, PublishTraceStatsExportsTracerCounters) {
+  Tracer &T = Tracer::global();
+  T.reset();
+  T.setCategoryFilter("core");
+  T.enable(4);
+  T.instant("core", "keep");
+  T.instant("sim", "masked");
+  for (int I = 0; I < 6; ++I)
+    T.instant("core", "tick");
+  T.disable();
+  Registry R;
+  publishTraceStats(R);
+  std::string Text = R.prometheusText();
+  EXPECT_NE(Text.find("cws_trace_filtered_total 1\n"), std::string::npos)
+      << Text;
+  EXPECT_NE(Text.find("cws_trace_dropped_total 3\n"), std::string::npos)
+      << Text;
+  T.reset();
 }
 
 TEST(MetricsRegistry, GlobalRegistryExposesBuiltInInstruments) {

@@ -12,7 +12,7 @@
 ///   cws-sched --file job.cws [--strategy S1|S2|S3|MS1]
 ///             [--now T] [--gantt 1] [--csv 1] [--build-threads N]
 ///             [--trace out.json] [--trace-categories core]
-///             [--metrics out.prom]
+///             [--metrics out.prom] [--journal run.jsonl]
 ///
 /// The description must declare nodes (or pass --fig2grid 1 to use the
 /// paper's four-type environment).
@@ -24,6 +24,7 @@
 #include "core/Strategy.h"
 #include "lang/Parser.h"
 #include "metrics/Export.h"
+#include "obs/Journal.h"
 #include "obs/Trace.h"
 #include "resource/Network.h"
 #include "support/Flags.h"
@@ -47,6 +48,7 @@ int main(int Argc, char **Argv) {
   std::string TraceFile;
   std::string TraceCategories;
   std::string MetricsFile;
+  std::string JournalFile;
   Flags F;
   F.addString("file", &File, "job description file ('-' for stdin)");
   F.addString("strategy", &StrategyName, "S1 | S2 | S3 | MS1");
@@ -66,6 +68,9 @@ int main(int Argc, char **Argv) {
               "(e.g. core; empty = all)");
   F.addString("metrics", &MetricsFile,
               "write a metrics snapshot (Prometheus text, CSV if *.csv)");
+  F.addString("journal", &JournalFile,
+              "write the per-job decision journal as JSONL "
+              "(inspect with cws-explain)");
   if (!F.parse(Argc, Argv))
     return 0;
 
@@ -73,6 +78,8 @@ int main(int Argc, char **Argv) {
     obs::Tracer::global().setCategoryFilter(TraceCategories);
     obs::Tracer::global().enable();
   }
+  if (!JournalFile.empty())
+    obs::Journal::global().enable();
 
   if (File.empty()) {
     std::fprintf(stderr, "cws-sched: --file is required (try --help)\n");
@@ -129,6 +136,14 @@ int main(int Argc, char **Argv) {
     if (!obs::Tracer::global().writeJson(TraceFile)) {
       std::fprintf(stderr, "cws-sched: cannot write trace '%s'\n",
                    TraceFile.c_str());
+      return 2;
+    }
+  }
+  if (!JournalFile.empty()) {
+    obs::Journal::global().disable();
+    if (!obs::Journal::global().writeJsonl(JournalFile)) {
+      std::fprintf(stderr, "cws-sched: cannot write journal '%s'\n",
+                   JournalFile.c_str());
       return 2;
     }
   }

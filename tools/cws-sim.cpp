@@ -12,12 +12,13 @@
 ///   cws-sim [--strategy S1|S2|S3|MS1] [--jobs N] [--seed S]
 ///           [--slack X] [--csv 1] [--build-threads N]
 ///           [--trace out.json] [--trace-categories core,flow]
-///           [--metrics out.prom]
+///           [--metrics out.prom] [--journal run.jsonl]
 ///
 //===----------------------------------------------------------------------===//
 
 #include "metrics/Export.h"
 #include "metrics/QoS.h"
+#include "obs/Journal.h"
 #include "obs/Trace.h"
 #include "support/Flags.h"
 #include "support/Table.h"
@@ -37,6 +38,7 @@ int main(int Argc, char **Argv) {
   std::string TraceFile;
   std::string TraceCategories;
   std::string MetricsFile;
+  std::string JournalFile;
   Flags F;
   F.addString("strategy", &StrategyName, "S1 | S2 | S3 | MS1");
   F.addInt("jobs", &Jobs, "compound jobs in the flow");
@@ -55,6 +57,9 @@ int main(int Argc, char **Argv) {
               "(e.g. core,flow; empty = all)");
   F.addString("metrics", &MetricsFile,
               "write a metrics snapshot (Prometheus text, CSV if *.csv)");
+  F.addString("journal", &JournalFile,
+              "write the per-job decision journal as JSONL "
+              "(inspect with cws-explain)");
   if (!F.parse(Argc, Argv))
     return 0;
 
@@ -62,6 +67,8 @@ int main(int Argc, char **Argv) {
     obs::Tracer::global().setCategoryFilter(TraceCategories);
     obs::Tracer::global().enable();
   }
+  if (!JournalFile.empty())
+    obs::Journal::global().enable();
 
   StrategyKind Kind = StrategyKind::S1;
   for (StrategyKind K : {StrategyKind::S1, StrategyKind::S2,
@@ -79,9 +86,12 @@ int main(int Argc, char **Argv) {
       runVirtualOrganization(Config, Kind, static_cast<uint64_t>(Seed));
 
   // Publish the QoS aggregates before any snapshot is written, so one
-  // --metrics file carries engine internals and results together.
+  // --metrics file carries engine internals and results together. The
+  // single flow also appears under its strategy label, matching the
+  // flow ids journal events carry.
   VoAggregates A = summarizeVo(Run);
   publishVoAggregates(A);
+  publishFlowAggregates(A, strategyName(Kind));
 
   if (!TraceFile.empty()) {
     obs::Tracer &Tr = obs::Tracer::global();
@@ -101,6 +111,23 @@ int main(int Argc, char **Argv) {
     if (Tr.filtered() > 0)
       std::fprintf(stderr, " (%llu events masked by --trace-categories)",
                    static_cast<unsigned long long>(Tr.filtered()));
+    std::fprintf(stderr, "\n");
+  }
+  if (!JournalFile.empty()) {
+    obs::Journal &Jn = obs::Journal::global();
+    Jn.disable();
+    if (!Jn.writeJsonl(JournalFile)) {
+      std::fprintf(stderr, "cws-sim: cannot write journal '%s'\n",
+                   JournalFile.c_str());
+      return 2;
+    }
+    std::fprintf(stderr, "cws-sim: wrote %llu journal events to %s",
+                 static_cast<unsigned long long>(Jn.recorded() -
+                                                 Jn.dropped()),
+                 JournalFile.c_str());
+    if (Jn.dropped() > 0)
+      std::fprintf(stderr, " (%llu older events dropped by the ring)",
+                   static_cast<unsigned long long>(Jn.dropped()));
     std::fprintf(stderr, "\n");
   }
   if (!MetricsFile.empty() && !writeMetricsSnapshot(MetricsFile)) {
