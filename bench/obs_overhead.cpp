@@ -19,6 +19,7 @@
 #include "job/Job.h"
 #include "obs/Journal.h"
 #include "obs/Metrics.h"
+#include "obs/TimeSeries.h"
 #include "obs/Trace.h"
 #include "resource/Grid.h"
 #include "resource/Network.h"
@@ -99,7 +100,9 @@ int main() {
   constexpr int PrimIters = 2000000;
   obs::Counter &C = obs::Registry::global().counter("bench_obs_probe_total");
   obs::Journal &Jn = obs::Journal::global();
+  obs::TimeSeries &Ts = obs::TimeSeries::global();
   Jn.reset();
+  Ts.reset();
   double PrimNs = timeNs([&] {
                     for (int I = 0; I < PrimIters; ++I) {
                       obs::Span S("bench", "probe");
@@ -107,11 +110,14 @@ int main() {
                       if (Jn.enabled())
                         Jn.append(obs::JournalKind::Note, I, I,
                                   {{"i", I}});
+                      Ts.onTick(I);
                     }
                   }) /
                   PrimIters;
   CWS_CHECK(Jn.recorded() == 0,
             "the disabled journal must not record the bench probe");
+  CWS_CHECK(Ts.recorded() == 0,
+            "the disabled sampler must not take frames off the bench probe");
 
   Table T({"configuration", "ns / scheduleJob", "vs disabled"});
   T.addRow({"tracing disabled", Table::num(DisabledNs, 0), "1.00x"});
@@ -120,7 +126,8 @@ int main() {
   T.print(std::cout);
   std::printf("\ntrace events per scheduleJob while enabled: %llu\n",
               static_cast<unsigned long long>(EventsPerCall));
-  std::printf("disabled span + counter add + journal guard: %.2f ns/op\n",
+  std::printf("disabled span + counter + journal + sampler tick: "
+              "%.2f ns/op\n",
               PrimNs);
   std::printf("(feasible results: %zu, keeps the optimizer honest)\n",
               Feasible);

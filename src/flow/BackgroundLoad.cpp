@@ -7,6 +7,8 @@
 
 #include "flow/BackgroundLoad.h"
 #include "obs/Journal.h"
+#include "obs/Metrics.h"
+#include "obs/TimeSeries.h"
 #include "support/Check.h"
 
 using namespace cws;
@@ -52,6 +54,10 @@ void BackgroundLoad::scheduleNext(unsigned NodeId, Tick Until) {
       bool Ok = Line.reserve(Start, Start + Dur, BackgroundOwner);
       CWS_CHECK(Ok, "earliestFit returned an occupied slot");
       ++Placed;
+      static obs::Counter &EnvChanges = obs::Registry::global().counter(
+          "cws_env_changes_total",
+          "background placements that changed the environment");
+      EnvChanges.add();
       // Journal the change before the observer runs: invalidations it
       // finds then auto-attribute their trigger to this event.
       obs::Journal &Jn = obs::Journal::global();
@@ -63,6 +69,9 @@ void BackgroundLoad::scheduleNext(unsigned NodeId, Tick Until) {
                   "background");
       if (Observer)
         Observer(Now);
+      // Sample after the observer so the frame records the fallout
+      // (invalidations, TTL closes) the change just caused.
+      obs::TimeSeries::global().sampleEvent(Now, "env.change");
     }
     scheduleNext(NodeId, Until);
   });

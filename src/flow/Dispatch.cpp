@@ -8,6 +8,7 @@
 #include "flow/Dispatch.h"
 #include "obs/Journal.h"
 #include "obs/Metrics.h"
+#include "obs/TimeSeries.h"
 #include "obs/Trace.h"
 #include "support/Check.h"
 
@@ -133,6 +134,7 @@ DispatchDecision DomainDispatcher::dispatch(const Job &J, OwnerId Owner,
 void DomainDispatcher::journalDecision(const Job &J,
                                        const DispatchDecision &Decision,
                                        Tick Now) const {
+  obs::TimeSeries::global().sampleEvent(Now, "dispatch");
   obs::Journal &Jn = obs::Journal::global();
   if (Jn.enabled())
     Jn.append(obs::JournalKind::Dispatch, J.id(), Now,

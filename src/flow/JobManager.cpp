@@ -327,13 +327,48 @@ void JobManager::runExecution(ActiveJob &A, const Distribution &D,
               R.Succeeded ? "ok" : "wall-limit-kill");
 }
 
+size_t JobManager::queuedCount() const {
+  size_t N = 0;
+  for (const auto &[JobId, A] : Active)
+    if (!A.Committed && !A.Done)
+      ++N;
+  return N;
+}
+
+size_t JobManager::inFlightCount() const {
+  size_t N = 0;
+  for (const auto &[JobId, A] : Active)
+    if (A.Committed && !A.Done)
+      ++N;
+  return N;
+}
+
 void JobManager::onEnvironmentChange(Tick Now) {
+  // The ROADMAP invalidation-scan hotspot: every environment change
+  // re-validates each open strategy placement by placement, so the
+  // worst case is O(active x variants x placements). These instruments
+  // size the scan so the cost is quantified before anyone optimizes it.
+  static obs::Counter &ScanJobs = obs::Registry::global().counter(
+      "cws_env_scan_jobs_total",
+      "strategies re-validated across environment changes");
+  static obs::Counter &ScanPlacements = obs::Registry::global().counter(
+      "cws_env_scan_placements_total",
+      "placements scanned re-validating strategies on env changes");
+  static obs::Histogram &ScanSize = obs::Registry::global().histogram(
+      "cws_env_scan_size",
+      {8.0, 32.0, 128.0, 512.0, 2048.0, 8192.0, 32768.0},
+      "placements scanned per environment change");
+  uint64_t ScannedJobs = 0, ScannedPlacements = 0;
   obs::Journal &Jn = obs::Journal::global();
   std::vector<unsigned> Retire;
   for (auto &[JobId, A] : Active) {
     VoJobStats &St = statsOf(A);
     if (St.TtlClosed)
       continue;
+    ++ScannedJobs;
+    for (const ScheduleVariant &V : A.S.variants())
+      if (V.feasible())
+        ScannedPlacements += V.Result.Dist.placements().size();
     if (!A.S.bestFitting(Meta.grid(), Metascheduler::ownerOf(JobId))) {
       St.Ttl = Now - St.Arrival;
       St.TtlClosed = true;
@@ -348,6 +383,9 @@ void JobManager::onEnvironmentChange(Tick Now) {
         Retire.push_back(JobId);
     }
   }
+  ScanJobs.add(ScannedJobs);
+  ScanPlacements.add(ScannedPlacements);
+  ScanSize.observe(static_cast<double>(ScannedPlacements));
   for (unsigned JobId : Retire)
     maybeRetire(JobId);
 }

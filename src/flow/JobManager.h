@@ -115,6 +115,14 @@ public:
   /// Jobs still tracked (uncommitted or TTL-open).
   size_t activeCount() const { return Active.size(); }
 
+  /// Admissible jobs still negotiating (no committed schedule yet) —
+  /// the telemetry sampler's per-flow "queued" series.
+  size_t queuedCount() const;
+
+  /// Committed jobs whose completion has not fired yet — the sampler's
+  /// per-flow "in_flight" series.
+  size_t inFlightCount() const;
+
 private:
   struct ActiveJob {
     Job TheJob;

@@ -9,6 +9,7 @@
 #include "job/Job.h"
 #include "obs/Journal.h"
 #include "obs/Metrics.h"
+#include "obs/TimeSeries.h"
 #include "obs/Trace.h"
 #include "support/Check.h"
 
@@ -72,11 +73,13 @@ bool Metascheduler::commitDistribution(const Job &J, const Distribution &D,
   M.Commits.add();
   CommitSpan.arg("ok", 1);
   Attempt(true, "ok");
+  obs::TimeSeries::global().sampleEvent(Now, "commit");
   return true;
 }
 
 Strategy Metascheduler::reallocate(const Job &J, Tick Now) {
   MetaMetrics::get().Reallocations.add();
+  obs::TimeSeries::global().sampleEvent(Now, "reallocate");
   obs::Span ReallocSpan("flow", "meta.reallocate", "job",
                         static_cast<int64_t>(J.id()));
   obs::Journal &Jn = obs::Journal::global();

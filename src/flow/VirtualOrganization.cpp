@@ -8,12 +8,15 @@
 #include "flow/VirtualOrganization.h"
 #include "flow/Economy.h"
 #include "flow/Metascheduler.h"
+#include "obs/Metrics.h"
+#include "obs/TimeSeries.h"
 #include "resource/Network.h"
 #include "sim/Simulator.h"
 #include "support/Check.h"
 
 #include <algorithm>
 #include <array>
+#include <limits>
 #include <memory>
 
 using namespace cws;
@@ -71,6 +74,55 @@ cws::runMultiFlowVo(const VoConfig &Config,
   });
   Background.start(BackgroundUntil);
 
+  // Wire the telemetry sampler to this run's grid and managers. Flow
+  // labels mirror publishMultiFlowAggregates (strategy name, with a
+  // `#<index>` suffix distinguishing duplicate kinds).
+  obs::TimeSeries &Ts = obs::TimeSeries::global();
+  const bool Sampling = Ts.enabled();
+  if (Sampling) {
+    Ts.addDefaultProbes(obs::Registry::global());
+    std::vector<std::string> FlowNames;
+    for (size_t I = 0; I < Kinds.size(); ++I) {
+      std::string Label = strategyName(Kinds[I]);
+      for (size_t P = 0; P < I; ++P)
+        if (Kinds[P] == Kinds[I]) {
+          Label += "#" + std::to_string(I);
+          break;
+        }
+      FlowNames.push_back(std::move(Label));
+    }
+    Ts.setFlowProvider(std::move(FlowNames), [&Managers] {
+      std::vector<obs::FlowSample> Out;
+      Out.reserve(Managers.size());
+      for (const auto &M : Managers)
+        Out.push_back({static_cast<int64_t>(M->queuedCount()),
+                       static_cast<int64_t>(M->inFlightCount())});
+      return Out;
+    });
+    const Tick Lookahead = Ts.config().ReservedLookahead;
+    Ts.setOccupancyProvider([&Env, Lookahead](Tick Prev, Tick Now) {
+      std::vector<obs::NodeOccupancy> Out;
+      Out.reserve(Env.size());
+      for (const auto &N : Env.nodes()) {
+        const Timeline &L = N.timeline();
+        obs::NodeOccupancy O;
+        if (Now > Prev) {
+          double W = static_cast<double>(Now - Prev);
+          O.Busy = static_cast<double>(L.busyTicksOf(
+                       Prev, Now, JobOwnerBase,
+                       std::numeric_limits<OwnerId>::max())) /
+                   W;
+          O.Background = static_cast<double>(L.busyTicksOf(
+                             Prev, Now, BackgroundOwner, BackgroundOwner)) /
+                         W;
+        }
+        O.Reserved = L.utilization(Now, Now + Lookahead);
+        Out.push_back(O);
+      }
+      return Out;
+    });
+  }
+
   // Deal jobs to the flows round-robin.
   std::vector<size_t> FlowOf(Config.JobCount, 0);
   for (size_t I = 0; I < Flow.size(); ++I) {
@@ -96,6 +148,21 @@ cws::runMultiFlowVo(const VoConfig &Config,
   }
 
   Sim.run();
+
+  if (Sampling) {
+    // A final frame, then the per-node occupancy tracks: every surviving
+    // reservation becomes a slice in the merged trace, classed by owner.
+    Ts.sampleEvent(Sim.now(), "run.end");
+    Env.forEachInterval([&Ts](unsigned Node, const Interval &I) {
+      const char *Kind = I.Owner >= JobOwnerBase      ? "job"
+                         : I.Owner == BackgroundOwner ? "background"
+                                                      : "other";
+      Ts.addOccupancySlice(Node, I.Begin, I.End, Kind, I.Owner);
+    });
+    // The providers capture this frame's grid and managers; drop them
+    // before those go out of scope. Recorded frames stay exportable.
+    Ts.clearProviders();
+  }
 
   std::vector<VoRunResult> Results(Kinds.size());
   Tick Horizon = Sim.now();

@@ -130,8 +130,9 @@ void cws::publishVoAggregates(const VoAggregates &A, obs::Registry &R) {
 void cws::publishFlowAggregates(const VoAggregates &A,
                                 const std::string &Flow, obs::Registry &R) {
   // Labeled series: the registry stores the full name and the exporter
-  // splits the family at '{' for the HELP/TYPE headers.
-  std::string Label = "{flow=\"" + Flow + "\"}";
+  // splits the family at '{' for the HELP/TYPE headers. The flow name
+  // is user-controlled, so it is escaped per the exposition format.
+  std::string Label = "{flow=\"" + obs::escapeLabelValue(Flow) + "\"}";
   auto Set = [&R, &Label](const char *Name, const char *Help,
                           double Value) {
     R.realGauge(std::string(Name) + Label, Help).set(Value);

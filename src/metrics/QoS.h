@@ -71,7 +71,7 @@ void publishVoAggregates(const VoAggregates &A,
 /// Publishes \p A as one flow's labeled series: every `cws_vo_<x>`
 /// metric becomes a `cws_flow_<x>{flow="<Flow>"}` gauge. \p Flow is
 /// the flow's label (a strategy name like "S1", or any caller-chosen
-/// tag); it must not contain '"' or '\'.
+/// tag); '"', '\' and newlines are escaped per the exposition format.
 void publishFlowAggregates(const VoAggregates &A, const std::string &Flow,
                            obs::Registry &R = obs::Registry::global());
 

@@ -196,10 +196,7 @@ Histogram &Registry::histogram(const std::string &Name,
   return *Entries.back()->H;
 }
 
-/// Renders \p X the way Prometheus clients do: integral values without
-/// a fractional part, others with the fewest digits that round-trip
-/// (so 6.4 renders as "6.4", not "6.4000000000000004").
-static std::string renderNumber(double X) {
+std::string cws::obs::renderNumber(double X) {
   char Buf[64];
   if (X == static_cast<double>(static_cast<long long>(X))) {
     std::snprintf(Buf, sizeof(Buf), "%lld", static_cast<long long>(X));
@@ -211,6 +208,27 @@ static std::string renderNumber(double X) {
       break;
   }
   return Buf;
+}
+
+std::string cws::obs::escapeLabelValue(const std::string &Raw) {
+  std::string Out;
+  Out.reserve(Raw.size());
+  for (char C : Raw) {
+    switch (C) {
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    default:
+      Out += C;
+    }
+  }
+  return Out;
 }
 
 /// Metric family of a (possibly labeled) series name: everything

@@ -34,6 +34,16 @@
 namespace cws {
 namespace obs {
 
+/// Renders \p X the way Prometheus clients do: integral values without
+/// a fractional part, others with the fewest digits that round-trip
+/// (so 6.4 renders as "6.4", not "6.4000000000000004").
+std::string renderNumber(double X);
+
+/// Escapes \p Raw for use inside a Prometheus label value per the text
+/// exposition format: `\` -> `\\`, `"` -> `\"`, newline -> `\n`. The
+/// result is safe to splice between the quotes of `{label="..."}`.
+std::string escapeLabelValue(const std::string &Raw);
+
 /// Monotone event counter.
 class Counter {
 public:

@@ -1,0 +1,506 @@
+//===-- obs/Report.cpp - Run reports and SLO evaluation -------------------===//
+//
+// Part of CWS, a reproduction of Toporkov, "Application-Level and Job-Flow
+// Scheduling" (PaCT 2009). Distributed without any warranty.
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/Report.h"
+#include "obs/Metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+
+using namespace cws;
+using namespace cws::obs;
+
+//===----------------------------------------------------------------------===//
+// Parsing
+//===----------------------------------------------------------------------===//
+
+static const char TimeSeriesHeader[] = "seq,tick,reason,series,node,flow,value";
+
+bool cws::obs::parseTimeSeriesCsv(const std::string &Text,
+                                  ParsedTimeSeries &Out,
+                                  std::string &Error) {
+  Out.Rows.clear();
+  size_t Pos = 0, LineNo = 0;
+  bool SawHeader = false;
+  while (Pos < Text.size()) {
+    size_t Eol = Text.find('\n', Pos);
+    if (Eol == std::string::npos)
+      Eol = Text.size();
+    std::string Line = Text.substr(Pos, Eol - Pos);
+    Pos = Eol + 1;
+    ++LineNo;
+    if (Line.empty())
+      continue;
+    if (!SawHeader) {
+      if (Line != TimeSeriesHeader) {
+        Error = "line 1: expected header '" + std::string(TimeSeriesHeader) +
+                "'";
+        return false;
+      }
+      SawHeader = true;
+      continue;
+    }
+    // Values never contain commas (series/reason names are literals,
+    // flow labels are strategy names), so a plain split suffices.
+    std::vector<std::string> Fields;
+    size_t Start = 0;
+    while (true) {
+      size_t Comma = Line.find(',', Start);
+      if (Comma == std::string::npos) {
+        Fields.push_back(Line.substr(Start));
+        break;
+      }
+      Fields.push_back(Line.substr(Start, Comma - Start));
+      Start = Comma + 1;
+    }
+    if (Fields.size() != 7) {
+      Error = "line " + std::to_string(LineNo) + ": expected 7 fields, got " +
+              std::to_string(Fields.size());
+      return false;
+    }
+    TimeSeriesRow R;
+    char *End = nullptr;
+    R.Seq = std::strtoull(Fields[0].c_str(), &End, 10);
+    if (End == Fields[0].c_str() || *End) {
+      Error = "line " + std::to_string(LineNo) + ": bad seq '" + Fields[0] +
+              "'";
+      return false;
+    }
+    R.At = std::strtoll(Fields[1].c_str(), &End, 10);
+    if (End == Fields[1].c_str() || *End) {
+      Error = "line " + std::to_string(LineNo) + ": bad tick '" + Fields[1] +
+              "'";
+      return false;
+    }
+    R.Reason = Fields[2];
+    R.Series = Fields[3];
+    if (!Fields[4].empty()) {
+      R.Node = std::strtoll(Fields[4].c_str(), &End, 10);
+      if (End == Fields[4].c_str() || *End) {
+        Error = "line " + std::to_string(LineNo) + ": bad node '" +
+                Fields[4] + "'";
+        return false;
+      }
+    }
+    R.Flow = Fields[5];
+    R.Value = std::strtod(Fields[6].c_str(), &End);
+    if (End == Fields[6].c_str() || *End) {
+      Error = "line " + std::to_string(LineNo) + ": bad value '" +
+              Fields[6] + "'";
+      return false;
+    }
+    Out.Rows.push_back(std::move(R));
+  }
+  if (!SawHeader) {
+    Error = "empty file";
+    return false;
+  }
+  return true;
+}
+
+bool cws::obs::parseSloFile(const std::string &Text,
+                            std::vector<SloRule> &Out, std::string &Error) {
+  Out.clear();
+  size_t Pos = 0, LineNo = 0;
+  while (Pos < Text.size()) {
+    size_t Eol = Text.find('\n', Pos);
+    if (Eol == std::string::npos)
+      Eol = Text.size();
+    std::string Line = Text.substr(Pos, Eol - Pos);
+    Pos = Eol + 1;
+    ++LineNo;
+    if (size_t Hash = Line.find('#'); Hash != std::string::npos)
+      Line = Line.substr(0, Hash);
+    // Trim.
+    size_t B = Line.find_first_not_of(" \t\r");
+    if (B == std::string::npos)
+      continue;
+    size_t E = Line.find_last_not_of(" \t\r");
+    Line = Line.substr(B, E - B + 1);
+    SloRule R;
+    size_t Op = Line.find("<=");
+    if (Op != std::string::npos) {
+      R.IsUpper = true;
+    } else {
+      Op = Line.find(">=");
+      if (Op == std::string::npos) {
+        Error = "line " + std::to_string(LineNo) +
+                ": expected 'indicator <= bound' or 'indicator >= bound'";
+        return false;
+      }
+      R.IsUpper = false;
+    }
+    std::string Name = Line.substr(0, Op);
+    if (size_t NE = Name.find_last_not_of(" \t"); NE != std::string::npos)
+      Name = Name.substr(0, NE + 1);
+    if (Name.empty()) {
+      Error = "line " + std::to_string(LineNo) + ": missing indicator name";
+      return false;
+    }
+    R.Indicator = Name;
+    std::string Bound = Line.substr(Op + 2);
+    char *End = nullptr;
+    R.Bound = std::strtod(Bound.c_str(), &End);
+    if (End == Bound.c_str()) {
+      Error = "line " + std::to_string(LineNo) + ": bad bound '" + Bound +
+              "'";
+      return false;
+    }
+    while (*End == ' ' || *End == '\t')
+      ++End;
+    if (*End) {
+      Error = "line " + std::to_string(LineNo) + ": trailing junk '" +
+              std::string(End) + "'";
+      return false;
+    }
+    Out.push_back(std::move(R));
+  }
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// Indicators
+//===----------------------------------------------------------------------===//
+
+std::map<std::string, double>
+cws::obs::computeIndicators(const ParsedJournal &J,
+                            const ParsedTimeSeries &Ts) {
+  std::map<std::string, double> Ind;
+
+  // Journal-side counts and the per-job completion/deadline join.
+  struct JobOutcome {
+    int64_t Deadline = 0;
+    bool HaveDeadline = false;
+    int64_t Completion = 0;
+    bool HaveCompletion = false;
+    bool Committed = false;
+  };
+  std::map<int64_t, JobOutcome> Jobs;
+  double Submitted = 0, Committed = 0, Rejected = 0, Reallocations = 0,
+         Invalidations = 0, EnvChanges = 0;
+  for (const ParsedJournalEvent &E : J.Events) {
+    if (E.Kind == "arrival") {
+      ++Submitted;
+      if (const int64_t *D = E.arg("deadline")) {
+        Jobs[E.JobId].Deadline = *D;
+        Jobs[E.JobId].HaveDeadline = true;
+      }
+    } else if (E.Kind == "commit") {
+      ++Committed;
+      JobOutcome &O = Jobs[E.JobId];
+      O.Committed = true;
+      // The journal's "makespan" is Distribution::makespan(), the
+      // absolute completion tick the deadline check compares against.
+      const int64_t *Makespan = E.arg("makespan");
+      if (Makespan && !O.HaveCompletion)
+        O.Completion = *Makespan;
+    } else if (E.Kind == "execution") {
+      // Actual completion under deviations overrides the committed
+      // forecast.
+      if (const int64_t *C = E.arg("completion")) {
+        Jobs[E.JobId].Completion = *C;
+        Jobs[E.JobId].HaveCompletion = true;
+      }
+    } else if (E.Kind == "reject") {
+      ++Rejected;
+    } else if (E.Kind == "reallocate") {
+      ++Reallocations;
+    } else if (E.Kind == "invalidate") {
+      ++Invalidations;
+    } else if (E.Kind == "env.change") {
+      ++EnvChanges;
+    }
+  }
+  double Missed = 0, Judged = 0;
+  for (const auto &[JobId, O] : Jobs) {
+    if (!O.Committed || !O.HaveDeadline)
+      continue;
+    ++Judged;
+    if (O.Completion > O.Deadline)
+      ++Missed;
+  }
+  Ind["jobs_submitted"] = Submitted;
+  Ind["jobs_committed"] = Committed;
+  Ind["jobs_rejected"] = Rejected;
+  Ind["commit_rate"] = Submitted > 0 ? Committed / Submitted : 0.0;
+  Ind["reject_rate"] = Submitted > 0 ? Rejected / Submitted : 0.0;
+  Ind["deadline_miss_rate"] = Judged > 0 ? Missed / Judged : 0.0;
+  Ind["reallocations"] = Reallocations;
+  Ind["invalidations"] = Invalidations;
+  Ind["env_changes"] = EnvChanges;
+  Ind["reallocations_per_commit"] =
+      Reallocations / (Committed > 0 ? Committed : 1.0);
+
+  // Time-series side: per-node mean contention (busy + background).
+  if (!Ts.empty()) {
+    std::map<int64_t, std::pair<double, double>> NodeSum; // sum, count
+    for (const TimeSeriesRow &R : Ts.Rows) {
+      if (R.Node < 0 ||
+          (R.Series != "util_busy" && R.Series != "util_background"))
+        continue;
+      NodeSum[R.Node].first += R.Value;
+      NodeSum[R.Node].second += 1.0;
+    }
+    if (!NodeSum.empty()) {
+      double Mean = 0, Max = 0;
+      for (const auto &[Node, SC] : NodeSum) {
+        // Busy and background rows of one node count separately, so
+        // the per-node mean of their sum is 2 * (sum / rows).
+        double NodeMean = SC.second > 0 ? 2.0 * SC.first / SC.second : 0.0;
+        Mean += NodeMean;
+        Max = std::max(Max, NodeMean);
+      }
+      Mean /= static_cast<double>(NodeSum.size());
+      Ind["mean_node_busy"] = Mean;
+      Ind["max_node_busy"] = Max;
+    }
+  }
+  return Ind;
+}
+
+std::vector<SloResult>
+cws::obs::evaluateSlo(const std::vector<SloRule> &Rules,
+                      const std::map<std::string, double> &Ind) {
+  std::vector<SloResult> Out;
+  for (const SloRule &R : Rules) {
+    SloResult Res;
+    Res.Rule = R;
+    auto It = Ind.find(R.Indicator);
+    if (It == Ind.end()) {
+      // Unknown indicators fail closed: a typo must not silently pass.
+      Res.Known = false;
+      Res.Pass = false;
+    } else {
+      Res.Known = true;
+      Res.Actual = It->second;
+      Res.Pass = R.IsUpper ? Res.Actual <= R.Bound : Res.Actual >= R.Bound;
+    }
+    Out.push_back(std::move(Res));
+  }
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// Rendering
+//===----------------------------------------------------------------------===//
+
+/// Fixed-precision rendering for rates and fractions; counts render
+/// through renderNumber (no trailing ".000").
+static std::string renderRate(double X) {
+  char Buf[32];
+  std::snprintf(Buf, sizeof(Buf), "%.3f", X);
+  return Buf;
+}
+
+static std::string renderPercent(double Fraction) {
+  char Buf[32];
+  std::snprintf(Buf, sizeof(Buf), "%.1f%%", 100.0 * Fraction);
+  return Buf;
+}
+
+std::string cws::obs::renderRunReport(const ParsedJournal &J,
+                                      const ParsedTimeSeries &Ts,
+                                      const std::vector<SloResult> &Slo) {
+  std::map<std::string, double> Ind = computeIndicators(J, Ts);
+  auto Get = [&Ind](const char *Name) {
+    auto It = Ind.find(Name);
+    return It == Ind.end() ? 0.0 : It->second;
+  };
+  Tick Horizon = 0;
+  for (const ParsedJournalEvent &E : J.Events)
+    Horizon = std::max(Horizon, static_cast<Tick>(E.At));
+  for (const TimeSeriesRow &R : Ts.Rows)
+    Horizon = std::max(Horizon, R.At);
+
+  std::string Out = "# CWS run report\n\n";
+
+  //===--- Overview -------------------------------------------------------===//
+  Out += "## Overview\n\n";
+  Out += "| indicator | value |\n|---|---|\n";
+  auto Row = [&Out](const std::string &K, const std::string &V) {
+    Out += "| " + K + " | " + V + " |\n";
+  };
+  Row("run horizon (ticks)", std::to_string(Horizon));
+  Row("jobs submitted", renderNumber(Get("jobs_submitted")));
+  Row("jobs committed", renderNumber(Get("jobs_committed")));
+  Row("jobs rejected", renderNumber(Get("jobs_rejected")));
+  Row("commit rate", renderPercent(Get("commit_rate")));
+  Row("deadline miss rate", renderPercent(Get("deadline_miss_rate")));
+  Row("environment changes", renderNumber(Get("env_changes")));
+  Row("invalidations", renderNumber(Get("invalidations")));
+  Row("reallocations", renderNumber(Get("reallocations")));
+  Row("reallocations per commit",
+      renderRate(Get("reallocations_per_commit")));
+  Out += "\n";
+
+  //===--- Utilization ----------------------------------------------------===//
+  Out += "## Utilization\n\n";
+  // Per-node means over every frame that carried occupancy rows.
+  struct NodeUtil {
+    double Busy = 0, Background = 0, Reserved = 0;
+    double BusyN = 0, BackgroundN = 0, ReservedN = 0;
+    double meanBusy() const { return BusyN > 0 ? Busy / BusyN : 0; }
+    double meanBackground() const {
+      return BackgroundN > 0 ? Background / BackgroundN : 0;
+    }
+    double meanReserved() const {
+      return ReservedN > 0 ? Reserved / ReservedN : 0;
+    }
+    double contention() const { return meanBusy() + meanBackground(); }
+  };
+  std::map<int64_t, NodeUtil> Nodes;
+  for (const TimeSeriesRow &R : Ts.Rows) {
+    if (R.Node < 0)
+      continue;
+    NodeUtil &N = Nodes[R.Node];
+    if (R.Series == "util_busy") {
+      N.Busy += R.Value;
+      N.BusyN += 1;
+    } else if (R.Series == "util_background") {
+      N.Background += R.Value;
+      N.BackgroundN += 1;
+    } else if (R.Series == "util_reserved") {
+      N.Reserved += R.Value;
+      N.ReservedN += 1;
+    }
+  }
+  if (Nodes.empty()) {
+    Out += "No per-node series in the input (run with `--timeseries`).\n\n";
+  } else {
+    double MeanBusy = 0, MeanBackground = 0;
+    for (const auto &[Id, N] : Nodes) {
+      MeanBusy += N.meanBusy();
+      MeanBackground += N.meanBackground();
+    }
+    MeanBusy /= static_cast<double>(Nodes.size());
+    MeanBackground /= static_cast<double>(Nodes.size());
+    Out += "Grid of " + std::to_string(Nodes.size()) +
+           " nodes: mean busy (jobs) " + renderPercent(MeanBusy) +
+           ", mean background " + renderPercent(MeanBackground) + ".\n\n";
+    // Top-5 most contended: mean busy + background, ties to the lower
+    // node id so the report is deterministic.
+    std::vector<std::pair<int64_t, const NodeUtil *>> Ranked;
+    for (const auto &[Id, N] : Nodes)
+      Ranked.push_back({Id, &N});
+    std::sort(Ranked.begin(), Ranked.end(),
+              [](const auto &A, const auto &B) {
+                if (A.second->contention() != B.second->contention())
+                  return A.second->contention() > B.second->contention();
+                return A.first < B.first;
+              });
+    if (Ranked.size() > 5)
+      Ranked.resize(5);
+    Out += "Most contended nodes:\n\n";
+    Out += "| node | busy (jobs) | background | reserved (lookahead) |\n";
+    Out += "|---|---|---|---|\n";
+    for (const auto &[Id, N] : Ranked)
+      Out += "| " + std::to_string(Id) + " | " +
+             renderPercent(N->meanBusy()) + " | " +
+             renderPercent(N->meanBackground()) + " | " +
+             renderPercent(N->meanReserved()) + " |\n";
+    Out += "\n";
+  }
+
+  //===--- Reallocation / invalidation timeline ---------------------------===//
+  Out += "## Reallocation / invalidation timeline\n\n";
+  double TotalChurn = Get("reallocations") + Get("invalidations");
+  if (TotalChurn == 0) {
+    Out += "No reallocations or invalidations recorded.\n\n";
+  } else {
+    // ~12 equal tick buckets across the run.
+    const Tick Buckets = 12;
+    Tick Width = Horizon / Buckets + 1;
+    struct Bucket {
+      int64_t Realloc = 0, Invalid = 0, Env = 0;
+    };
+    std::vector<Bucket> Hist(static_cast<size_t>(Buckets));
+    for (const ParsedJournalEvent &E : J.Events) {
+      auto Idx = static_cast<size_t>(E.At / Width);
+      if (Idx >= Hist.size())
+        Idx = Hist.size() - 1;
+      if (E.Kind == "reallocate")
+        ++Hist[Idx].Realloc;
+      else if (E.Kind == "invalidate")
+        ++Hist[Idx].Invalid;
+      else if (E.Kind == "env.change")
+        ++Hist[Idx].Env;
+    }
+    Out += "| ticks | env.changes | invalidations | reallocations |\n";
+    Out += "|---|---|---|---|\n";
+    for (size_t I = 0; I < Hist.size(); ++I) {
+      Tick Lo = static_cast<Tick>(I) * Width;
+      Tick Hi = Lo + Width - 1;
+      Out += "| " + std::to_string(Lo) + "–" + std::to_string(Hi) +
+             " | " + std::to_string(Hist[I].Env) + " | " +
+             std::to_string(Hist[I].Invalid) + " | " +
+             std::to_string(Hist[I].Realloc) + " |\n";
+    }
+    Out += "\n";
+  }
+
+  //===--- Per-flow QoS ---------------------------------------------------===//
+  Out += "## Per-flow QoS\n\n";
+  struct FlowCounts {
+    int64_t Arrivals = 0, Commits = 0, Rejects = 0, Invalidations = 0,
+            Reallocations = 0;
+  };
+  // std::map: flows render in ascending id order, independent of event
+  // order.
+  std::map<int64_t, FlowCounts> Flows;
+  for (const ParsedJournalEvent &E : J.Events) {
+    if (E.FlowId < 0 && E.JobId < 0)
+      continue; // flowless marker events
+    if (E.Kind == "arrival")
+      ++Flows[E.FlowId].Arrivals;
+    else if (E.Kind == "commit")
+      ++Flows[E.FlowId].Commits;
+    else if (E.Kind == "reject")
+      ++Flows[E.FlowId].Rejects;
+    else if (E.Kind == "invalidate")
+      ++Flows[E.FlowId].Invalidations;
+    else if (E.Kind == "reallocate")
+      ++Flows[E.FlowId].Reallocations;
+  }
+  if (Flows.empty()) {
+    Out += "No per-flow events in the journal.\n\n";
+  } else {
+    Out += "| flow | arrivals | commits | rejects | invalidations | "
+           "reallocations | commit rate |\n";
+    Out += "|---|---|---|---|---|---|---|\n";
+    for (const auto &[Flow, C] : Flows) {
+      double Rate = C.Arrivals > 0 ? static_cast<double>(C.Commits) /
+                                         static_cast<double>(C.Arrivals)
+                                   : 0.0;
+      Out += "| " + (Flow < 0 ? std::string("-") : std::to_string(Flow)) +
+             " | " + std::to_string(C.Arrivals) + " | " +
+             std::to_string(C.Commits) + " | " + std::to_string(C.Rejects) +
+             " | " + std::to_string(C.Invalidations) + " | " +
+             std::to_string(C.Reallocations) + " | " + renderPercent(Rate) +
+             " |\n";
+    }
+    Out += "\n";
+  }
+
+  //===--- SLO verdict ----------------------------------------------------===//
+  if (!Slo.empty()) {
+    Out += "## SLO\n\n";
+    Out += "| indicator | rule | actual | status |\n|---|---|---|---|\n";
+    bool AllPass = true;
+    for (const SloResult &R : Slo) {
+      AllPass = AllPass && R.Pass;
+      Out += "| " + R.Rule.Indicator + " | " +
+             (R.Rule.IsUpper ? "<= " : ">= ") + renderNumber(R.Rule.Bound) +
+             " | " + (R.Known ? renderRate(R.Actual) : "unknown") + " | " +
+             (R.Pass ? "ok" : "**BREACH**") + " |\n";
+    }
+    Out += "\nSLO: " + std::string(AllPass ? "**PASS**" : "**FAIL**") +
+           "\n";
+  }
+  return Out;
+}

@@ -1,0 +1,123 @@
+//===-- obs/Report.h - Run reports and SLO evaluation -----------*- C++ -*-===//
+//
+// Part of CWS, a reproduction of Toporkov, "Application-Level and Job-Flow
+// Scheduling" (PaCT 2009). Distributed without any warranty.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The analysis layer behind `tools/cws-report`: it joins a decision
+/// journal (`--journal`) with a telemetry time series (`--timeseries`,
+/// CSV form) into one Markdown run report — utilization summary with
+/// the most-contended nodes, a reallocation/invalidation timeline,
+/// and a per-flow QoS table — and evaluates service-level objectives
+/// from a plain-text SLO file:
+///
+///   # lines are comments; each rule is `indicator <= bound` (or >=)
+///   deadline_miss_rate    <= 0.05
+///   reallocations_per_commit <= 0.5
+///
+/// Indicators are derived from the journal and series (see
+/// `computeIndicators`); a rule naming an unknown indicator fails
+/// closed. `cws-report --slo` exits nonzero on any breach, making the
+/// report a CI-gateable alerting analog.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CWS_OBS_REPORT_H
+#define CWS_OBS_REPORT_H
+
+#include "obs/Journal.h"
+#include "sim/Time.h"
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace cws {
+namespace obs {
+
+/// One row of a tidy time-series CSV (`TimeSeries::csv()` schema:
+/// `seq,tick,reason,series,node,flow,value`).
+struct TimeSeriesRow {
+  uint64_t Seq = 0;
+  Tick At = 0;
+  std::string Reason;
+  std::string Series;
+  /// Node id of per-node rows, -1 otherwise.
+  int64_t Node = -1;
+  /// Flow label of per-flow rows, empty otherwise.
+  std::string Flow;
+  double Value = 0.0;
+};
+
+/// A parsed time-series file.
+struct ParsedTimeSeries {
+  std::vector<TimeSeriesRow> Rows;
+  bool empty() const { return Rows.empty(); }
+};
+
+/// Parses CSV text written by `TimeSeries::csv()`. Returns false and
+/// sets \p Error (with a 1-based line number) on malformed input.
+bool parseTimeSeriesCsv(const std::string &Text, ParsedTimeSeries &Out,
+                        std::string &Error);
+
+/// One SLO rule: `Indicator <= Bound` (IsUpper) or `Indicator >=
+/// Bound`.
+struct SloRule {
+  std::string Indicator;
+  bool IsUpper = true;
+  double Bound = 0.0;
+};
+
+/// Parses an SLO file: one rule per line (`indicator <= bound`,
+/// `indicator >= bound`), `#` comments and blank lines ignored.
+/// Returns false and sets \p Error on a malformed line.
+bool parseSloFile(const std::string &Text, std::vector<SloRule> &Out,
+                  std::string &Error);
+
+/// Derives the gateable indicators from \p J joined with \p Ts:
+///
+///  - `jobs_submitted` / `jobs_committed` / `jobs_rejected` — journal
+///    arrival / commit / reject event counts;
+///  - `commit_rate` / `reject_rate` — of submitted jobs (0 when none);
+///  - `deadline_miss_rate` — committed jobs whose completion (actual
+///    execution completion when recorded, else the committed makespan,
+///    an absolute tick) exceeds their arrival deadline, over committed
+///    jobs;
+///  - `reallocations` / `invalidations` / `env_changes` — event counts;
+///  - `reallocations_per_commit` — reallocations over committed jobs
+///    (over 1 when nothing committed);
+///  - `mean_node_busy` / `max_node_busy` — grid mean / per-node max of
+///    the mean `util_busy` + `util_background` fraction (time-series
+///    only; absent without one).
+std::map<std::string, double> computeIndicators(const ParsedJournal &J,
+                                                const ParsedTimeSeries &Ts);
+
+/// Outcome of one rule against the computed indicators.
+struct SloResult {
+  SloRule Rule;
+  /// The indicator's value; 0 when unknown.
+  double Actual = 0.0;
+  /// False when the rule names no computed indicator (fails closed).
+  bool Known = false;
+  bool Pass = false;
+};
+
+std::vector<SloResult> evaluateSlo(const std::vector<SloRule> &Rules,
+                                   const std::map<std::string, double> &Ind);
+
+/// Renders the Markdown run report: overview, utilization summary with
+/// the top-5 most-contended nodes, the reallocation / invalidation
+/// timeline, the per-flow QoS table (flows in ascending id order), and
+/// the SLO verdict when \p Slo is non-empty. Deterministic for fixed
+/// inputs.
+std::string renderRunReport(const ParsedJournal &J,
+                            const ParsedTimeSeries &Ts,
+                            const std::vector<SloResult> &Slo);
+
+} // namespace obs
+} // namespace cws
+
+#endif // CWS_OBS_REPORT_H

@@ -179,7 +179,7 @@ static void appendJsonString(std::string &Out, const char *S) {
   Out += '"';
 }
 
-std::string Tracer::chromeJson() const {
+std::string Tracer::chromeJson(const std::string &Extra) const {
   std::vector<TraceEvent> Events = snapshot();
   std::string Out = "{\"traceEvents\":[";
   char Buf[96];
@@ -213,15 +213,21 @@ std::string Tracer::chromeJson() const {
     }
     Out += "}";
   }
+  if (!Extra.empty()) {
+    if (!First)
+      Out += ",";
+    Out += Extra;
+  }
   Out += "],\"displayTimeUnit\":\"ms\"}";
   return Out;
 }
 
-bool Tracer::writeJson(const std::string &Path) const {
+bool Tracer::writeJson(const std::string &Path,
+                       const std::string &Extra) const {
   std::FILE *F = std::fopen(Path.c_str(), "w");
   if (!F)
     return false;
-  std::string Json = chromeJson();
+  std::string Json = chromeJson(Extra);
   size_t Written = std::fwrite(Json.data(), 1, Json.size(), F);
   bool Ok = Written == Json.size();
   Ok = std::fclose(F) == 0 && Ok;

@@ -124,11 +124,16 @@ public:
   /// Copies the surviving events out in record order.
   std::vector<TraceEvent> snapshot() const;
 
-  /// Renders the surviving events as Chrome trace-event JSON.
-  std::string chromeJson() const;
+  /// Renders the surviving events as Chrome trace-event JSON. \p Extra
+  /// is a pre-rendered comma-separated fragment of additional trace
+  /// events (e.g. `TimeSeries::chromeTraceEvents()`) spliced into the
+  /// same `traceEvents` array; empty merges nothing.
+  std::string chromeJson(const std::string &Extra = "") const;
 
-  /// Writes chromeJson() to \p Path; returns false on I/O failure.
-  bool writeJson(const std::string &Path) const;
+  /// Writes chromeJson(\p Extra) to \p Path; returns false on I/O
+  /// failure.
+  bool writeJson(const std::string &Path,
+                 const std::string &Extra = "") const;
 
   /// Drops all recorded events and disables the tracer.
   void reset();

@@ -110,6 +110,13 @@ double Grid::groupUtilization(PerfGroup Group, Tick From, Tick To) const {
   return Count ? Sum / static_cast<double>(Count) : 0.0;
 }
 
+void Grid::forEachInterval(
+    const std::function<void(unsigned, const Interval &)> &Fn) const {
+  for (unsigned Id = 0; Id < Nodes.size(); ++Id)
+    for (const Interval &I : Nodes[Id].timeline().intervals())
+      Fn(Id, I);
+}
+
 void Grid::releaseOwner(OwnerId Owner) {
   for (auto &N : Nodes)
     N.timeline().releaseOwner(Owner);

@@ -19,6 +19,7 @@
 #include "support/Prng.h"
 
 #include <cstddef>
+#include <functional>
 #include <vector>
 
 namespace cws {
@@ -86,6 +87,12 @@ public:
 
   /// Mean utilization of the band over [From, To).
   double groupUtilization(PerfGroup Group, Tick From, Tick To) const;
+
+  /// Calls \p Fn for every reservation interval of every node, node by
+  /// node in id order (intervals ordered by Begin within a node) — the
+  /// telemetry exporter walks this to build per-node occupancy tracks.
+  void forEachInterval(
+      const std::function<void(unsigned Node, const Interval &I)> &Fn) const;
 
   /// Releases every reservation held by \p Owner across all nodes.
   void releaseOwner(OwnerId Owner);

@@ -99,6 +99,19 @@ Tick Timeline::busyTicks(Tick From, Tick To) const {
   return Sum;
 }
 
+Tick Timeline::busyTicksOf(Tick From, Tick To, OwnerId MinOwner,
+                           OwnerId MaxOwner) const {
+  Tick Sum = 0;
+  for (size_t Idx = lowerBound(From); Idx < Busy.size(); ++Idx) {
+    if (Busy[Idx].Begin >= To)
+      break;
+    if (Busy[Idx].Owner < MinOwner || Busy[Idx].Owner > MaxOwner)
+      continue;
+    Sum += std::min(To, Busy[Idx].End) - std::max(From, Busy[Idx].Begin);
+  }
+  return Sum;
+}
+
 double Timeline::utilization(Tick From, Tick To) const {
   if (From >= To)
     return 0.0;

@@ -66,6 +66,12 @@ public:
   /// Busy ticks within [From, To).
   Tick busyTicks(Tick From, Tick To) const;
 
+  /// Busy ticks within [From, To) counting only intervals whose owner
+  /// lies in [MinOwner, MaxOwner] — splits utilization by owner class
+  /// (background load vs jobs) for the telemetry sampler.
+  Tick busyTicksOf(Tick From, Tick To, OwnerId MinOwner,
+                   OwnerId MaxOwner) const;
+
   /// Busy fraction of [From, To); 0 for an empty window.
   double utilization(Tick From, Tick To) const;
 

@@ -8,6 +8,7 @@
 #include "sim/Simulator.h"
 #include "obs/Journal.h"
 #include "obs/Metrics.h"
+#include "obs/TimeSeries.h"
 #include "obs/Trace.h"
 #include "support/Check.h"
 
@@ -50,11 +51,15 @@ size_t Simulator::run(Tick Until) {
   auto T0 = std::chrono::steady_clock::now();
   size_t Executed = 0;
   obs::Tracer &Tr = obs::Tracer::global();
+  obs::TimeSeries &Ts = obs::TimeSeries::global();
   while (!Events.empty() && Events.nextTime() <= Until) {
     // Advance the clock before dispatching so handlers scheduling
     // relative work (after()) see the firing time as now().
     Now = Events.nextTime();
     Tr.instant("sim", "sim.event", "vt", Now);
+    // Periodic telemetry frames are taken at the tick boundary, before
+    // the event dispatches, so they see the state the tick starts from.
+    Ts.onTick(Now);
     Events.runNext();
     ++Executed;
     M.Events.add();
@@ -83,6 +88,7 @@ bool Simulator::step() {
     return false;
   Now = Events.nextTime();
   obs::Tracer::global().instant("sim", "sim.event", "vt", Now);
+  obs::TimeSeries::global().onTick(Now);
   Events.runNext();
   SimMetrics &M = SimMetrics::get();
   M.Events.add();

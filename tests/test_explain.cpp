@@ -133,6 +133,32 @@ TEST_F(ExplainTest, SummaryCountsFlowsAndEnvChanges) {
   EXPECT_NE(Out.find("commits"), std::string::npos) << Out;
 }
 
+TEST_F(ExplainTest, SummaryListsFlowsInAscendingIdOrder) {
+  // Arrivals recorded out of order (flows 2, 0, 1); the summary table
+  // must render ascending ids no matter how events interleave.
+  Journal &Jn = Journal::global();
+  Jn.enable(64);
+  Jn.append(JournalKind::Arrival, 1, 0, {{"deadline", 9}, {"tasks", 1}},
+            "S3", /*FlowId=*/2);
+  Jn.append(JournalKind::Arrival, 2, 1, {{"deadline", 9}, {"tasks", 1}},
+            "S1", /*FlowId=*/0);
+  Jn.append(JournalKind::Arrival, 3, 2, {{"deadline", 9}, {"tasks", 1}},
+            "S2", /*FlowId=*/1);
+  Jn.disable();
+  ParsedJournal J;
+  std::string Error;
+  ASSERT_TRUE(parseJournalJsonl(Jn.jsonl(), J, Error)) << Error;
+  std::string Out = journalSummary(J);
+  size_t Flow0 = Out.find("\n| 0 ");
+  size_t Flow1 = Out.find("\n| 1 ");
+  size_t Flow2 = Out.find("\n| 2 ");
+  ASSERT_NE(Flow0, std::string::npos) << Out;
+  ASSERT_NE(Flow1, std::string::npos) << Out;
+  ASSERT_NE(Flow2, std::string::npos) << Out;
+  EXPECT_LT(Flow0, Flow1);
+  EXPECT_LT(Flow1, Flow2);
+}
+
 /// Builds the canonical broken-strategy story by hand: an arrival, the
 /// background placement that broke the schedule, the invalidation
 /// naming the broken slot, the reallocation and the recovery commit.

@@ -6,6 +6,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "metrics/Export.h"
+#include "metrics/QoS.h"
 #include "obs/Metrics.h"
 #include "obs/Trace.h"
 
@@ -275,6 +276,35 @@ TEST(MetricsRegistry, LabeledSeriesShareOneFamilyHeader) {
             std::string::npos);
   EXPECT_NE(Text.find("cws_flow_mean_cost{flow=\"S2\"} 20\n"),
             std::string::npos);
+}
+
+TEST(MetricsRegistry, EscapeLabelValueCoversTheExpositionEscapes) {
+  // Prometheus exposition label values escape backslash, double quote
+  // and newline — one pass, so the added backslashes are not
+  // re-escaped.
+  EXPECT_EQ(escapeLabelValue("plain"), "plain");
+  EXPECT_EQ(escapeLabelValue("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+  EXPECT_EQ(escapeLabelValue("\\n"), "\\\\n");
+}
+
+TEST(MetricsRegistry, FlowLabelValuesAreEscapedInTheExposition) {
+  // A hostile flow name ('"', '\' and a newline) must neither break
+  // the series name nor split the exposition line.
+  Registry R;
+  VoAggregates A;
+  A.Jobs = 2;
+  publishFlowAggregates(A, "ev\"il\\flow\nname", R);
+  std::string Text = R.prometheusText();
+  EXPECT_NE(
+      Text.find("cws_flow_jobs{flow=\"ev\\\"il\\\\flow\\nname\"} 2\n"),
+      std::string::npos)
+      << Text;
+  // The family header still splits at '{' despite the decorations.
+  EXPECT_NE(Text.find("# TYPE cws_flow_jobs gauge\n"), std::string::npos)
+      << Text;
+  // No exposition line may contain a raw (unescaped) newline: every
+  // line holds either a comment or exactly one sample.
+  EXPECT_EQ(Text.find("\nname\"}"), std::string::npos) << Text;
 }
 
 TEST(MetricsRegistry, PublishTraceStatsExportsTracerCounters) {

@@ -1,0 +1,290 @@
+//===-- tests/test_report.cpp - Run-report and SLO gate tests -------------===//
+//
+// Part of CWS, a reproduction of Toporkov, "Application-Level and Job-Flow
+// Scheduling" (PaCT 2009). Distributed without any warranty.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tests of the cws-report building blocks: the tidy-CSV time-series
+/// parser, the SLO rule grammar, the indicator join of journal and
+/// time series, the fail-closed SLO evaluation, and the Markdown
+/// rendering (with the per-flow table pinned to sorted flow order).
+///
+//===----------------------------------------------------------------------===//
+
+#include "obs/Journal.h"
+#include "obs/Report.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+using namespace cws;
+using namespace cws::obs;
+
+namespace {
+
+class ReportTest : public ::testing::Test {
+protected:
+  void SetUp() override { Journal::global().reset(); }
+  void TearDown() override { Journal::global().reset(); }
+};
+
+//===----------------------------------------------------------------------===//
+// Time-series CSV parser
+//===----------------------------------------------------------------------===//
+
+TEST_F(ReportTest, ParsesTidyCsvRows) {
+  ParsedTimeSeries Ts;
+  std::string Error;
+  ASSERT_TRUE(parseTimeSeriesCsv("seq,tick,reason,series,node,flow,value\n"
+                                 "0,25,sample,jobs_committed,,,3\n"
+                                 "0,25,sample,util_busy,4,,0.25\n"
+                                 "1,30,commit,queued,,S1,2\n",
+                                 Ts, Error))
+      << Error;
+  ASSERT_EQ(Ts.Rows.size(), 3u);
+  EXPECT_EQ(Ts.Rows[0].Seq, 0u);
+  EXPECT_EQ(Ts.Rows[0].At, 25);
+  EXPECT_EQ(Ts.Rows[0].Reason, "sample");
+  EXPECT_EQ(Ts.Rows[0].Series, "jobs_committed");
+  EXPECT_EQ(Ts.Rows[0].Node, -1);
+  EXPECT_DOUBLE_EQ(Ts.Rows[0].Value, 3.0);
+  EXPECT_EQ(Ts.Rows[1].Node, 4);
+  EXPECT_EQ(Ts.Rows[2].Flow, "S1");
+}
+
+TEST_F(ReportTest, RejectsMalformedCsv) {
+  ParsedTimeSeries Ts;
+  std::string Error;
+  EXPECT_FALSE(parseTimeSeriesCsv("tick,series,value\n", Ts, Error));
+  EXPECT_NE(Error.find("header"), std::string::npos) << Error;
+  EXPECT_FALSE(
+      parseTimeSeriesCsv("seq,tick,reason,series,node,flow,value\n"
+                         "0,25,sample\n",
+                         Ts, Error));
+  EXPECT_NE(Error.find("line 2"), std::string::npos) << Error;
+}
+
+//===----------------------------------------------------------------------===//
+// SLO rule grammar
+//===----------------------------------------------------------------------===//
+
+TEST_F(ReportTest, ParsesSloRulesWithCommentsAndBothDirections) {
+  std::vector<SloRule> Rules;
+  std::string Error;
+  ASSERT_TRUE(parseSloFile("# quality gate\n"
+                           "\n"
+                           "deadline_miss_rate <= 0.05\n"
+                           "commit_rate>=0.3  # inline comment\n",
+                           Rules, Error))
+      << Error;
+  ASSERT_EQ(Rules.size(), 2u);
+  EXPECT_EQ(Rules[0].Indicator, "deadline_miss_rate");
+  EXPECT_TRUE(Rules[0].IsUpper);
+  EXPECT_DOUBLE_EQ(Rules[0].Bound, 0.05);
+  EXPECT_EQ(Rules[1].Indicator, "commit_rate");
+  EXPECT_FALSE(Rules[1].IsUpper);
+  EXPECT_DOUBLE_EQ(Rules[1].Bound, 0.3);
+}
+
+TEST_F(ReportTest, RejectsMalformedSloRules) {
+  std::vector<SloRule> Rules;
+  std::string Error;
+  EXPECT_FALSE(parseSloFile("deadline_miss_rate\n", Rules, Error));
+  EXPECT_FALSE(parseSloFile("x <= not_a_number\n", Rules, Error));
+  EXPECT_FALSE(parseSloFile("x <= 1 trailing junk\n", Rules, Error));
+  EXPECT_FALSE(parseSloFile("<= 1\n", Rules, Error));
+}
+
+//===----------------------------------------------------------------------===//
+// Indicators
+//===----------------------------------------------------------------------===//
+
+/// Three arrivals on two flows; one on-time commit, one deadline miss,
+/// one reject; one reallocation after an environment change.
+ParsedJournal syntheticJournal() {
+  Journal &Jn = Journal::global();
+  Jn.reset();
+  Jn.enable(64);
+  Jn.append(JournalKind::Arrival, 1, 10, {{"deadline", 100}, {"tasks", 2}},
+            "S1", /*FlowId=*/0);
+  Jn.append(JournalKind::Arrival, 2, 12, {{"deadline", 150}, {"tasks", 2}},
+            "S2", /*FlowId=*/1);
+  Jn.append(JournalKind::Arrival, 3, 14, {{"deadline", 50}, {"tasks", 2}},
+            "S1", /*FlowId=*/0);
+  // "makespan" is the absolute completion tick: 90 <= 100 meets.
+  Jn.append(JournalKind::Commit, 1, 20,
+            {{"variant", 0}, {"start", 30}, {"makespan", 90}}, "ok",
+            /*FlowId=*/0);
+  Jn.append(JournalKind::EnvChange, -1, 25,
+            {{"node", 1}, {"start", 30}, {"end", 60}}, "background");
+  Jn.append(JournalKind::Reallocate, 2, 26, {}, "stale-strategy",
+            /*FlowId=*/1);
+  // 200 > 150 misses its deadline.
+  Jn.append(JournalKind::Commit, 2, 28,
+            {{"variant", 1}, {"start", 40}, {"makespan", 200}},
+            "reallocated", /*FlowId=*/1);
+  Jn.append(JournalKind::Reject, 3, 30, {}, "inadmissible", /*FlowId=*/0);
+  Jn.disable();
+  ParsedJournal J;
+  std::string Error;
+  EXPECT_TRUE(parseJournalJsonl(Jn.jsonl(), J, Error)) << Error;
+  Jn.reset();
+  return J;
+}
+
+TEST_F(ReportTest, ComputesJournalIndicators) {
+  std::map<std::string, double> Ind =
+      computeIndicators(syntheticJournal(), ParsedTimeSeries());
+  EXPECT_DOUBLE_EQ(Ind["jobs_submitted"], 3.0);
+  EXPECT_DOUBLE_EQ(Ind["jobs_committed"], 2.0);
+  EXPECT_DOUBLE_EQ(Ind["jobs_rejected"], 1.0);
+  EXPECT_DOUBLE_EQ(Ind["commit_rate"], 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(Ind["deadline_miss_rate"], 0.5);
+  EXPECT_DOUBLE_EQ(Ind["env_changes"], 1.0);
+  EXPECT_DOUBLE_EQ(Ind["reallocations"], 1.0);
+  EXPECT_DOUBLE_EQ(Ind["reallocations_per_commit"], 0.5);
+  // No time series joined: the utilization indicators stay absent.
+  EXPECT_EQ(Ind.count("mean_node_busy"), 0u);
+}
+
+TEST_F(ReportTest, ExecutionCompletionOverridesTheCommitForecast) {
+  Journal &Jn = Journal::global();
+  Jn.enable(64);
+  Jn.append(JournalKind::Arrival, 1, 0, {{"deadline", 100}, {"tasks", 1}},
+            "S1", /*FlowId=*/0);
+  // The commit forecasts a miss, but the actual execution finished in
+  // time — the execution record wins.
+  Jn.append(JournalKind::Commit, 1, 5,
+            {{"variant", 0}, {"start", 10}, {"makespan", 120}}, "ok",
+            /*FlowId=*/0);
+  Jn.append(JournalKind::Execution, 1, 95, {{"completion", 95}, {"killed", 0}},
+            "ok", /*FlowId=*/0);
+  Jn.disable();
+  ParsedJournal J;
+  std::string Error;
+  ASSERT_TRUE(parseJournalJsonl(Jn.jsonl(), J, Error)) << Error;
+  std::map<std::string, double> Ind =
+      computeIndicators(J, ParsedTimeSeries());
+  EXPECT_DOUBLE_EQ(Ind["deadline_miss_rate"], 0.0);
+}
+
+TEST_F(ReportTest, JoinsUtilizationFromTheTimeSeries) {
+  ParsedTimeSeries Ts;
+  std::string Error;
+  // Node 0 averages 0.5 busy + 0.1 background, node 1 zero.
+  ASSERT_TRUE(parseTimeSeriesCsv("seq,tick,reason,series,node,flow,value\n"
+                                 "0,10,sample,util_busy,0,,0.4\n"
+                                 "0,10,sample,util_background,0,,0.2\n"
+                                 "0,10,sample,util_busy,1,,0\n"
+                                 "0,10,sample,util_background,1,,0\n"
+                                 "1,20,sample,util_busy,0,,0.6\n"
+                                 "1,20,sample,util_background,0,,0\n"
+                                 "1,20,sample,util_busy,1,,0\n"
+                                 "1,20,sample,util_background,1,,0\n",
+                                 Ts, Error))
+      << Error;
+  std::map<std::string, double> Ind =
+      computeIndicators(ParsedJournal(), Ts);
+  EXPECT_DOUBLE_EQ(Ind["max_node_busy"], 0.6);
+  EXPECT_DOUBLE_EQ(Ind["mean_node_busy"], 0.3);
+}
+
+//===----------------------------------------------------------------------===//
+// SLO evaluation
+//===----------------------------------------------------------------------===//
+
+TEST_F(ReportTest, EvaluatesRulesAndFailsClosedOnUnknownIndicators) {
+  std::map<std::string, double> Ind{{"commit_rate", 0.6},
+                                    {"deadline_miss_rate", 0.1}};
+  std::vector<SloRule> Rules{{"commit_rate", /*IsUpper=*/false, 0.5},
+                             {"deadline_miss_rate", /*IsUpper=*/true, 0.05},
+                             {"made_up_indicator", /*IsUpper=*/true, 1.0}};
+  std::vector<SloResult> Results = evaluateSlo(Rules, Ind);
+  ASSERT_EQ(Results.size(), 3u);
+  EXPECT_TRUE(Results[0].Pass);
+  EXPECT_DOUBLE_EQ(Results[0].Actual, 0.6);
+  EXPECT_FALSE(Results[1].Pass); // 0.1 > 0.05
+  EXPECT_TRUE(Results[1].Known);
+  EXPECT_FALSE(Results[2].Pass); // unknown fails closed
+  EXPECT_FALSE(Results[2].Known);
+}
+
+//===----------------------------------------------------------------------===//
+// Markdown rendering
+//===----------------------------------------------------------------------===//
+
+TEST_F(ReportTest, ReportRendersOverviewFlowsAndSloVerdict) {
+  ParsedJournal J = syntheticJournal();
+  std::map<std::string, double> Ind =
+      computeIndicators(J, ParsedTimeSeries());
+  std::vector<SloRule> Rules{{"deadline_miss_rate", /*IsUpper=*/true, 0.05}};
+  std::string Report =
+      renderRunReport(J, ParsedTimeSeries(), evaluateSlo(Rules, Ind));
+  EXPECT_EQ(Report.rfind("# CWS run report\n", 0), 0u);
+  EXPECT_NE(Report.find("| jobs submitted | 3 |"), std::string::npos)
+      << Report;
+  EXPECT_NE(Report.find("| commit rate | 66.7% |"), std::string::npos)
+      << Report;
+  EXPECT_NE(Report.find("## Per-flow QoS"), std::string::npos);
+  // The miss rate (50%) breaches the 5% rule.
+  EXPECT_NE(Report.find("**BREACH**"), std::string::npos) << Report;
+  EXPECT_NE(Report.find("SLO: **FAIL**"), std::string::npos) << Report;
+
+  std::string Passing = renderRunReport(
+      J, ParsedTimeSeries(),
+      evaluateSlo({{"commit_rate", /*IsUpper=*/false, 0.5}}, Ind));
+  EXPECT_NE(Passing.find("SLO: **PASS**"), std::string::npos) << Passing;
+}
+
+TEST_F(ReportTest, PerFlowTableIsSortedByFlowId) {
+  // Arrivals recorded in flow order 2, 0, 1; the table must come out
+  // ascending regardless of event order.
+  Journal &Jn = Journal::global();
+  Jn.enable(64);
+  Jn.append(JournalKind::Arrival, 1, 0, {{"deadline", 9}, {"tasks", 1}},
+            "S3", /*FlowId=*/2);
+  Jn.append(JournalKind::Arrival, 2, 1, {{"deadline", 9}, {"tasks", 1}},
+            "S1", /*FlowId=*/0);
+  Jn.append(JournalKind::Arrival, 3, 2, {{"deadline", 9}, {"tasks", 1}},
+            "S2", /*FlowId=*/1);
+  Jn.disable();
+  ParsedJournal J;
+  std::string Error;
+  ASSERT_TRUE(parseJournalJsonl(Jn.jsonl(), J, Error)) << Error;
+  std::string Report = renderRunReport(J, ParsedTimeSeries(), {});
+  size_t Flow0 = Report.find("\n| 0 | 1 |");
+  size_t Flow1 = Report.find("\n| 1 | 1 |");
+  size_t Flow2 = Report.find("\n| 2 | 1 |");
+  ASSERT_NE(Flow0, std::string::npos) << Report;
+  ASSERT_NE(Flow1, std::string::npos) << Report;
+  ASSERT_NE(Flow2, std::string::npos) << Report;
+  EXPECT_LT(Flow0, Flow1);
+  EXPECT_LT(Flow1, Flow2);
+}
+
+TEST_F(ReportTest, UtilizationSectionRanksContendedNodes) {
+  ParsedTimeSeries Ts;
+  std::string Error;
+  ASSERT_TRUE(parseTimeSeriesCsv("seq,tick,reason,series,node,flow,value\n"
+                                 "0,10,sample,util_busy,0,,0.1\n"
+                                 "0,10,sample,util_background,0,,0.1\n"
+                                 "0,10,sample,util_busy,1,,0.5\n"
+                                 "0,10,sample,util_background,1,,0.3\n"
+                                 "0,10,sample,util_reserved,1,,0.9\n",
+                                 Ts, Error))
+      << Error;
+  std::string Report = renderRunReport(ParsedJournal(), Ts, {});
+  EXPECT_NE(Report.find("## Utilization"), std::string::npos) << Report;
+  // Node 1 (80% contended) outranks node 0 (20%).
+  size_t Node1 = Report.find("\n| 1 | 50.0% | 30.0% |");
+  size_t Node0 = Report.find("\n| 0 | 10.0% | 10.0% |");
+  ASSERT_NE(Node1, std::string::npos) << Report;
+  ASSERT_NE(Node0, std::string::npos) << Report;
+  EXPECT_LT(Node1, Node0);
+}
+
+} // namespace

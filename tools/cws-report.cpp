@@ -1,0 +1,151 @@
+//===-- tools/cws-report.cpp - Markdown run reporter + SLO gate -----------===//
+//
+// Part of CWS, a reproduction of Toporkov, "Application-Level and Job-Flow
+// Scheduling" (PaCT 2009). Distributed without any warranty.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// cws-report: join a decision journal with a telemetry time series
+/// into one Markdown run report, and gate on service-level objectives.
+/// Usage:
+///
+///   cws-sim --jobs 200 --journal=run.jsonl --timeseries=ts.csv
+///   cws-report --journal=run.jsonl --timeseries=ts.csv
+///              [--slo=run.slo] [--out report.md]
+///
+/// The report renders an overview, the utilization summary with the
+/// top-5 most-contended nodes, the reallocation/invalidation timeline,
+/// and the per-flow QoS table. With `--slo` each rule of the file
+/// (`indicator <= bound`, `#` comments) is evaluated against the run's
+/// indicators and any breach makes the tool exit 1 — a CI-gateable
+/// alerting analog. Exit codes: 0 ok, 1 SLO breach or invalid journal,
+/// 2 usage / I/O error.
+///
+//===----------------------------------------------------------------------===//
+
+#include "obs/Explain.h"
+#include "obs/Journal.h"
+#include "obs/Report.h"
+#include "support/Flags.h"
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+using namespace cws;
+
+static bool readFile(const std::string &Path, std::string &Out) {
+  std::ifstream In(Path);
+  if (!In)
+    return false;
+  std::ostringstream Buffer;
+  Buffer << In.rdbuf();
+  Out = Buffer.str();
+  return true;
+}
+
+int main(int Argc, char **Argv) {
+  std::string JournalFile;
+  std::string TimeSeriesFile;
+  std::string SloFile;
+  std::string OutFile;
+  Flags F;
+  F.addString("journal", &JournalFile,
+              "decision journal written by cws-sim --journal (required)");
+  F.addString("timeseries", &TimeSeriesFile,
+              "telemetry CSV written by cws-sim --timeseries");
+  F.addString("slo", &SloFile,
+              "SLO rules ('indicator <= bound' lines); any breach makes "
+              "the exit code 1");
+  F.addString("out", &OutFile,
+              "write the Markdown report here instead of stdout");
+  if (!F.parse(Argc, Argv))
+    return 0;
+
+  if (JournalFile.empty()) {
+    std::fprintf(stderr, "cws-report: --journal is required (try --help)\n");
+    return 2;
+  }
+
+  std::string Text;
+  if (!readFile(JournalFile, Text)) {
+    std::fprintf(stderr, "cws-report: cannot open '%s'\n",
+                 JournalFile.c_str());
+    return 2;
+  }
+  obs::ParsedJournal J;
+  std::string Error;
+  if (!obs::parseJournalJsonl(Text, J, Error)) {
+    std::fprintf(stderr, "cws-report: %s: %s\n", JournalFile.c_str(),
+                 Error.c_str());
+    return 1;
+  }
+  std::vector<std::string> Violations = obs::validateJournal(J);
+  if (!Violations.empty()) {
+    std::fprintf(stderr, "cws-report: %s: journal fails validation:\n",
+                 JournalFile.c_str());
+    for (const std::string &V : Violations)
+      std::fprintf(stderr, "  %s\n", V.c_str());
+    return 1;
+  }
+
+  obs::ParsedTimeSeries Ts;
+  if (!TimeSeriesFile.empty()) {
+    if (!readFile(TimeSeriesFile, Text)) {
+      std::fprintf(stderr, "cws-report: cannot open '%s'\n",
+                   TimeSeriesFile.c_str());
+      return 2;
+    }
+    if (!obs::parseTimeSeriesCsv(Text, Ts, Error)) {
+      std::fprintf(stderr, "cws-report: %s: %s\n", TimeSeriesFile.c_str(),
+                   Error.c_str());
+      return 2;
+    }
+  }
+
+  std::vector<obs::SloResult> Slo;
+  bool Breached = false;
+  if (!SloFile.empty()) {
+    if (!readFile(SloFile, Text)) {
+      std::fprintf(stderr, "cws-report: cannot open '%s'\n",
+                   SloFile.c_str());
+      return 2;
+    }
+    std::vector<obs::SloRule> Rules;
+    if (!obs::parseSloFile(Text, Rules, Error)) {
+      std::fprintf(stderr, "cws-report: %s: %s\n", SloFile.c_str(),
+                   Error.c_str());
+      return 2;
+    }
+    Slo = obs::evaluateSlo(Rules, obs::computeIndicators(J, Ts));
+    for (const obs::SloResult &R : Slo) {
+      if (R.Pass)
+        continue;
+      Breached = true;
+      if (!R.Known)
+        std::fprintf(stderr,
+                     "cws-report: SLO breach: unknown indicator '%s'\n",
+                     R.Rule.Indicator.c_str());
+      else
+        std::fprintf(stderr,
+                     "cws-report: SLO breach: %s = %g violates %s %g\n",
+                     R.Rule.Indicator.c_str(), R.Actual,
+                     R.Rule.IsUpper ? "<=" : ">=", R.Rule.Bound);
+    }
+  }
+
+  std::string Report = obs::renderRunReport(J, Ts, Slo);
+  if (OutFile.empty()) {
+    std::cout << Report;
+  } else {
+    std::ofstream Out(OutFile);
+    if (!Out || !(Out << Report)) {
+      std::fprintf(stderr, "cws-report: cannot write '%s'\n",
+                   OutFile.c_str());
+      return 2;
+    }
+  }
+  return Breached ? 1 : 0;
+}

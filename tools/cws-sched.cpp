@@ -13,6 +13,7 @@
 ///             [--now T] [--gantt 1] [--csv 1] [--build-threads N]
 ///             [--trace out.json] [--trace-categories core]
 ///             [--metrics out.prom] [--journal run.jsonl]
+///             [--timeseries ts.csv]
 ///
 /// The description must declare nodes (or pass --fig2grid 1 to use the
 /// paper's four-type environment).
@@ -25,6 +26,8 @@
 #include "lang/Parser.h"
 #include "metrics/Export.h"
 #include "obs/Journal.h"
+#include "obs/Metrics.h"
+#include "obs/TimeSeries.h"
 #include "obs/Trace.h"
 #include "resource/Network.h"
 #include "support/Flags.h"
@@ -49,6 +52,7 @@ int main(int Argc, char **Argv) {
   std::string TraceCategories;
   std::string MetricsFile;
   std::string JournalFile;
+  std::string TimeSeriesFile;
   Flags F;
   F.addString("file", &File, "job description file ('-' for stdin)");
   F.addString("strategy", &StrategyName, "S1 | S2 | S3 | MS1");
@@ -71,6 +75,9 @@ int main(int Argc, char **Argv) {
   F.addString("journal", &JournalFile,
               "write the per-job decision journal as JSONL "
               "(inspect with cws-explain)");
+  F.addString("timeseries", &TimeSeriesFile,
+              "write the telemetry frames of the build (tidy CSV, JSONL "
+              "if *.jsonl)");
   if (!F.parse(Argc, Argv))
     return 0;
 
@@ -80,6 +87,10 @@ int main(int Argc, char **Argv) {
   }
   if (!JournalFile.empty())
     obs::Journal::global().enable();
+  if (!TimeSeriesFile.empty()) {
+    obs::TimeSeries::global().enable();
+    obs::TimeSeries::global().addDefaultProbes(obs::Registry::global());
+  }
 
   if (File.empty()) {
     std::fprintf(stderr, "cws-sched: --file is required (try --help)\n");
@@ -131,9 +142,19 @@ int main(int Argc, char **Argv) {
   Strategy S = Strategy::build(R.TheJob, Env, Net, Config, /*Owner=*/1,
                                Now);
 
+  // A one-shot build has no simulator clock driving periodic frames;
+  // record a single post-build frame so the probes still export.
+  std::string TsExtra;
+  if (!TimeSeriesFile.empty()) {
+    obs::TimeSeries &Ts = obs::TimeSeries::global();
+    Ts.sampleEvent(Now, "build");
+    Ts.disable();
+    TsExtra = Ts.chromeTraceEvents();
+  }
+
   if (!TraceFile.empty()) {
     obs::Tracer::global().disable();
-    if (!obs::Tracer::global().writeJson(TraceFile)) {
+    if (!obs::Tracer::global().writeJson(TraceFile, TsExtra)) {
       std::fprintf(stderr, "cws-sched: cannot write trace '%s'\n",
                    TraceFile.c_str());
       return 2;
@@ -146,6 +167,15 @@ int main(int Argc, char **Argv) {
                    JournalFile.c_str());
       return 2;
     }
+  }
+  if (!TimeSeriesFile.empty()) {
+    obs::TimeSeries &Ts = obs::TimeSeries::global();
+    if (!Ts.writeFile(TimeSeriesFile)) {
+      std::fprintf(stderr, "cws-sched: cannot write time series '%s'\n",
+                   TimeSeriesFile.c_str());
+      return 2;
+    }
+    publishTimeSeriesStats(obs::Registry::global());
   }
   if (!MetricsFile.empty() && !writeMetricsSnapshot(MetricsFile)) {
     std::fprintf(stderr, "cws-sched: cannot write metrics '%s'\n",

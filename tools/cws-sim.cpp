@@ -13,12 +13,14 @@
 ///           [--slack X] [--csv 1] [--build-threads N]
 ///           [--trace out.json] [--trace-categories core,flow]
 ///           [--metrics out.prom] [--journal run.jsonl]
+///           [--timeseries ts.csv] [--sample-every N]
 ///
 //===----------------------------------------------------------------------===//
 
 #include "metrics/Export.h"
 #include "metrics/QoS.h"
 #include "obs/Journal.h"
+#include "obs/TimeSeries.h"
 #include "obs/Trace.h"
 #include "support/Flags.h"
 #include "support/Table.h"
@@ -39,6 +41,8 @@ int main(int Argc, char **Argv) {
   std::string TraceCategories;
   std::string MetricsFile;
   std::string JournalFile;
+  std::string TimeSeriesFile;
+  int64_t SampleEvery = 25;
   Flags F;
   F.addString("strategy", &StrategyName, "S1 | S2 | S3 | MS1");
   F.addInt("jobs", &Jobs, "compound jobs in the flow");
@@ -60,6 +64,11 @@ int main(int Argc, char **Argv) {
   F.addString("journal", &JournalFile,
               "write the per-job decision journal as JSONL "
               "(inspect with cws-explain)");
+  F.addString("timeseries", &TimeSeriesFile,
+              "write the sim-time telemetry series (tidy CSV, JSONL if "
+              "*.jsonl; inspect with cws-report)");
+  F.addInt("sample-every", &SampleEvery,
+           "periodic telemetry frame cadence in simulation ticks");
   if (!F.parse(Argc, Argv))
     return 0;
 
@@ -69,6 +78,12 @@ int main(int Argc, char **Argv) {
   }
   if (!JournalFile.empty())
     obs::Journal::global().enable();
+  if (!TimeSeriesFile.empty()) {
+    obs::TimeSeriesConfig TsConfig;
+    if (SampleEvery > 0)
+      TsConfig.SampleEvery = SampleEvery;
+    obs::TimeSeries::global().enable(TsConfig);
+  }
 
   StrategyKind Kind = StrategyKind::S1;
   for (StrategyKind K : {StrategyKind::S1, StrategyKind::S2,
@@ -93,10 +108,18 @@ int main(int Argc, char **Argv) {
   publishVoAggregates(A);
   publishFlowAggregates(A, strategyName(Kind));
 
+  // Stop sampling before any export; the counter tracks and occupancy
+  // slices merge into the trace file next to the wall-clock spans.
+  std::string TsExtra;
+  if (!TimeSeriesFile.empty()) {
+    obs::TimeSeries::global().disable();
+    TsExtra = obs::TimeSeries::global().chromeTraceEvents();
+  }
+
   if (!TraceFile.empty()) {
     obs::Tracer &Tr = obs::Tracer::global();
     Tr.disable();
-    if (!Tr.writeJson(TraceFile)) {
+    if (!Tr.writeJson(TraceFile, TsExtra)) {
       std::fprintf(stderr, "cws-sim: cannot write trace '%s'\n",
                    TraceFile.c_str());
       return 2;
@@ -128,6 +151,23 @@ int main(int Argc, char **Argv) {
     if (Jn.dropped() > 0)
       std::fprintf(stderr, " (%llu older events dropped by the ring)",
                    static_cast<unsigned long long>(Jn.dropped()));
+    std::fprintf(stderr, "\n");
+  }
+  if (!TimeSeriesFile.empty()) {
+    obs::TimeSeries &Ts = obs::TimeSeries::global();
+    if (!Ts.writeFile(TimeSeriesFile)) {
+      std::fprintf(stderr, "cws-sim: cannot write time series '%s'\n",
+                   TimeSeriesFile.c_str());
+      return 2;
+    }
+    publishTimeSeriesStats(obs::Registry::global());
+    std::fprintf(stderr, "cws-sim: wrote %llu telemetry frames to %s",
+                 static_cast<unsigned long long>(Ts.recorded() -
+                                                 Ts.dropped()),
+                 TimeSeriesFile.c_str());
+    if (Ts.dropped() > 0)
+      std::fprintf(stderr, " (%llu older frames dropped by the ring)",
+                   static_cast<unsigned long long>(Ts.dropped()));
     std::fprintf(stderr, "\n");
   }
   if (!MetricsFile.empty() && !writeMetricsSnapshot(MetricsFile)) {
