@@ -1,0 +1,106 @@
+//===-- bench/env_invalidation.cpp - Env-change invalidation cost ---------===//
+//
+// Part of CWS, a reproduction of Toporkov, "Application-Level and Job-Flow
+// Scheduling" (PaCT 2009). Distributed without any warranty.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Measures what one environment change costs the job-flow level under
+/// both invalidation modes: the full re-validation scan (the
+/// differential-testing oracle behind `--invalidation=scan`) and the
+/// event-driven reserved-slot index pass (the default). Both runs use
+/// the same workload and seed, so they process the identical stream of
+/// environment changes and reach the identical invalidation decisions;
+/// only the work per change differs. Aborts when the index stops
+/// re-validating an order of magnitude fewer placements than the scan —
+/// the contract the event-driven pass exists for.
+///
+//===----------------------------------------------------------------------===//
+
+#include "flow/VirtualOrganization.h"
+#include "obs/Metrics.h"
+#include "support/Check.h"
+#include "support/Table.h"
+
+#include <chrono>
+#include <cstdio>
+#include <iostream>
+
+using namespace cws;
+
+namespace {
+
+struct ModeCost {
+  double WallMs = 0;
+  uint64_t Changes = 0;
+  uint64_t Placements = 0;
+  uint64_t Invalidated = 0;
+};
+
+ModeCost runMode(InvalidationMode Mode, size_t Jobs, uint64_t Seed) {
+  obs::Registry &R = obs::Registry::global();
+  obs::Counter &Changes = R.counter("cws_env_changes_total");
+  obs::Counter &ScanPlacements = R.counter("cws_env_scan_placements_total");
+  obs::Counter &IndexPlacements = R.counter("cws_env_index_placements_total");
+  obs::Counter &Invalidated = R.counter("cws_jobs_invalidated_total");
+
+  // Counters are global and cumulative, so cost = delta across the run.
+  uint64_t C0 = Changes.value();
+  uint64_t P0 = ScanPlacements.value() + IndexPlacements.value();
+  uint64_t I0 = Invalidated.value();
+
+  VoConfig Config;
+  Config.JobCount = Jobs;
+  Config.Invalidation = Mode;
+  auto T0 = std::chrono::steady_clock::now();
+  runVirtualOrganization(Config, StrategyKind::S1, Seed);
+  auto T1 = std::chrono::steady_clock::now();
+
+  ModeCost Cost;
+  Cost.WallMs =
+      std::chrono::duration_cast<std::chrono::microseconds>(T1 - T0).count() /
+      1000.0;
+  Cost.Changes = Changes.value() - C0;
+  Cost.Placements = ScanPlacements.value() + IndexPlacements.value() - P0;
+  Cost.Invalidated = Invalidated.value() - I0;
+  return Cost;
+}
+
+} // namespace
+
+int main() {
+  constexpr size_t Jobs = 60;
+  constexpr uint64_t Seed = 7;
+
+  ModeCost Scan = runMode(InvalidationMode::Scan, Jobs, Seed);
+  ModeCost Index = runMode(InvalidationMode::Index, Jobs, Seed);
+
+  CWS_CHECK(Scan.Changes == Index.Changes,
+            "same seed must produce the same environment-change stream");
+  CWS_CHECK(Scan.Invalidated == Index.Invalidated,
+            "both modes must reach the same invalidation decisions");
+
+  double Changes = static_cast<double>(Scan.Changes ? Scan.Changes : 1);
+  Table T({"invalidation mode", "placements re-validated",
+           "placements / change", "run wall ms"});
+  T.addRow({"scan (oracle)", Table::num(double(Scan.Placements), 0),
+            Table::num(Scan.Placements / Changes, 2),
+            Table::num(Scan.WallMs, 1)});
+  T.addRow({"index (event-driven)", Table::num(double(Index.Placements), 0),
+            Table::num(Index.Placements / Changes, 2),
+            Table::num(Index.WallMs, 1)});
+  T.print(std::cout);
+
+  double Ratio = static_cast<double>(Scan.Placements) /
+                 static_cast<double>(Index.Placements ? Index.Placements : 1);
+  std::printf("\nenvironment changes: %llu, invalidations: %llu\n",
+              static_cast<unsigned long long>(Scan.Changes),
+              static_cast<unsigned long long>(Scan.Invalidated));
+  std::printf("scan / index re-validation ratio: %.1fx\n", Ratio);
+
+  CWS_CHECK(Ratio >= 10.0,
+            "the slot index must re-validate >= 10x fewer placements");
+  std::printf("\nOK: event-driven invalidation holds the >= 10x bar\n");
+  return 0;
+}

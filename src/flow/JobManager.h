@@ -22,6 +22,7 @@
 #include "flow/Execution.h"
 #include "flow/Metascheduler.h"
 #include "job/Job.h"
+#include "resource/SlotIndex.h"
 #include "sim/Time.h"
 
 #include <cstddef>
@@ -30,6 +31,17 @@
 #include <vector>
 
 namespace cws {
+
+/// How a job manager finds the strategies an environment change broke.
+enum class InvalidationMode {
+  /// Re-validate every open strategy placement by placement (the
+  /// original full scan; kept as the differential-testing oracle).
+  Scan,
+  /// Re-validate only the jobs whose indexed slots intersect the
+  /// ranges the change actually touched (needs the metascheduler's
+  /// env-change log; falls back to the scan without one).
+  Index,
+};
 
 /// Per-job QoS record of one virtual-organization run.
 struct VoJobStats {
@@ -102,6 +114,12 @@ public:
   /// the completion time on success.
   std::optional<Tick> onNegotiation(unsigned JobId, Tick Now);
 
+  /// Selects how onEnvironmentChange finds broken strategies. Must be
+  /// set before the first arrival (the slot index is maintained from
+  /// admission on). Default: Index.
+  void setInvalidationMode(InvalidationMode M) { Mode = M; }
+  InvalidationMode invalidationMode() const { return Mode; }
+
   /// The environment changed: close the TTL of strategies that no
   /// longer hold any fitting variant.
   void onEnvironmentChange(Tick Now);
@@ -132,10 +150,26 @@ private:
     size_t ForecastVariant;
     bool Committed = false;
     bool Done = false;
+    /// Feasible variants not yet confirmed broken by an environment
+    /// change (index mode; the strategy is stale when this hits 0).
+    size_t LiveFeasible = 0;
   };
 
   VoJobStats &statsOf(ActiveJob &A) { return Stats[A.StatsIdx]; }
   void maybeRetire(unsigned JobId);
+
+  /// Registers every feasible placement of \p A's strategy under
+  /// \p JobId in the slot index and seeds its live-variant count
+  /// (index mode only).
+  void indexJob(unsigned JobId, ActiveJob &A);
+  /// Drops \p JobId from the slot index (no-op when untracked).
+  void deindexJob(unsigned JobId);
+  /// The invalidation tail shared by both passes: closes the TTL,
+  /// counts, journals and de-indexes.
+  void invalidateJob(unsigned JobId, ActiveJob &A, Tick Now);
+  /// Scan-mode re-validation of one TTL-open strategy. Returns the
+  /// placements examined.
+  uint64_t revalidate(unsigned JobId, ActiveJob &A, Tick Now);
 
   /// Runs the committed distribution when execution is enabled.
   void runExecution(ActiveJob &A, const Distribution &D, Tick Now);
@@ -148,6 +182,12 @@ private:
   Prng ExecRng{0};
   std::unordered_map<unsigned, ActiveJob> Active;
   std::vector<VoJobStats> Stats;
+  InvalidationMode Mode = InvalidationMode::Index;
+  /// Reserved slots of this flow's open (uncommitted, TTL-open)
+  /// strategies, for intersection with environment changes.
+  SlotIndex Index;
+  /// This manager's cursor into the metascheduler's env-change log.
+  size_t LogCursor = 0;
 };
 
 } // namespace cws

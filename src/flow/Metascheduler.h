@@ -22,6 +22,7 @@
 #include "job/Job.h"
 #include "resource/Grid.h"
 #include "resource/Network.h"
+#include "resource/SlotIndex.h"
 
 namespace cws {
 
@@ -63,11 +64,19 @@ public:
   const Grid &grid() const { return Env; }
   const StrategyConfig &strategyConfig() const { return Config; }
 
+  /// When set, every successfully committed placement is appended to
+  /// \p Log: a commit occupies slots other flows' open strategies may
+  /// have planned on, so index-mode managers treat it like any other
+  /// environment change at their next intersection pass.
+  void setEnvChangeLog(EnvChangeLog *Log) { ChangeLog = Log; }
+  EnvChangeLog *envChangeLog() const { return ChangeLog; }
+
 private:
   Grid &Env;
   const Network &Net;
   Economy &Econ;
   StrategyConfig Config;
+  EnvChangeLog *ChangeLog = nullptr;
 };
 
 } // namespace cws

@@ -31,7 +31,11 @@ cws::runMultiFlowVo(const VoConfig &Config,
   Economy Econ;
 
   // One metascheduler strategy profile, one job manager and one quota
-  // account per flow.
+  // account per flow. The env-change log is shared: commits by any
+  // flow and background placements both occupy slots that other flows'
+  // open strategies may have planned on, and each manager drains the
+  // log with its own cursor.
+  EnvChangeLog ChangeLog;
   std::vector<std::unique_ptr<Metascheduler>> Metas;
   std::vector<std::unique_ptr<JobManager>> Managers;
   for (StrategyKind Kind : Kinds) {
@@ -39,8 +43,10 @@ cws::runMultiFlowVo(const VoConfig &Config,
     SC.Kind = Kind;
     unsigned User = Econ.addUser(Config.UserQuota);
     Metas.push_back(std::make_unique<Metascheduler>(Env, Net, Econ, SC));
+    Metas.back()->setEnvChangeLog(&ChangeLog);
     Managers.push_back(std::make_unique<JobManager>(
         *Metas.back(), User, static_cast<int>(Managers.size())));
+    Managers.back()->setInvalidationMode(Config.Invalidation);
   }
 
   Simulator Sim;
@@ -68,6 +74,7 @@ cws::runMultiFlowVo(const VoConfig &Config,
   // has a chance to close.
   Tick BackgroundUntil = LastArrival + 600;
   BackgroundLoad Background(Env, Sim, Config.Background, BackgroundRng);
+  Background.setEnvChangeLog(&ChangeLog);
   Background.setObserver([&Managers](Tick Now) {
     for (auto &M : Managers)
       M->onEnvironmentChange(Now);

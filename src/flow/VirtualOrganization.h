@@ -51,6 +51,10 @@ struct VoConfig {
   /// are recorded in the per-job stats.
   bool ExecuteWithDeviations = false;
   ExecutionConfig Execution;
+  /// How the job managers find strategies an environment change broke:
+  /// the event-driven slot-index pass (default) or the full scan (the
+  /// differential-testing oracle behind --invalidation=scan).
+  InvalidationMode Invalidation = InvalidationMode::Index;
 };
 
 /// Result of one run.

@@ -230,7 +230,12 @@ cws::obs::computeIndicators(const ParsedJournal &J,
   Ind["jobs_rejected"] = Rejected;
   Ind["commit_rate"] = Submitted > 0 ? Committed / Submitted : 0.0;
   Ind["reject_rate"] = Submitted > 0 ? Rejected / Submitted : 0.0;
-  Ind["deadline_miss_rate"] = Judged > 0 ? Missed / Judged : 0.0;
+  // With no committed job carrying a deadline the rate is undefined:
+  // leaving it out (instead of a reassuring 0.0) makes an SLO rule on
+  // it fail closed through the unknown-indicator path, and the report
+  // renders n/a.
+  if (Judged > 0)
+    Ind["deadline_miss_rate"] = Missed / Judged;
   Ind["reallocations"] = Reallocations;
   Ind["invalidations"] = Invalidations;
   Ind["env_changes"] = EnvChanges;
@@ -260,6 +265,18 @@ cws::obs::computeIndicators(const ParsedJournal &J,
       Ind["mean_node_busy"] = Mean;
       Ind["max_node_busy"] = Max;
     }
+  }
+  // Invalidation-pass sizing, when the sampler ran: probe values are
+  // deltas since enable, so the last frame's value is the run total.
+  for (const TimeSeriesRow &R : Ts.Rows) {
+    if (R.Node >= 0)
+      continue;
+    if (R.Series == "env_scan_placements")
+      Ind["env_scan_placements"] = R.Value;
+    else if (R.Series == "env_index_placements")
+      Ind["env_index_placements"] = R.Value;
+    else if (R.Series == "env_index_candidates")
+      Ind["env_index_candidates"] = R.Value;
   }
   return Ind;
 }
@@ -331,12 +348,26 @@ std::string cws::obs::renderRunReport(const ParsedJournal &J,
   Row("jobs committed", renderNumber(Get("jobs_committed")));
   Row("jobs rejected", renderNumber(Get("jobs_rejected")));
   Row("commit rate", renderPercent(Get("commit_rate")));
-  Row("deadline miss rate", renderPercent(Get("deadline_miss_rate")));
+  Row("deadline miss rate", Ind.count("deadline_miss_rate")
+                                ? renderPercent(Get("deadline_miss_rate"))
+                                : "n/a");
   Row("environment changes", renderNumber(Get("env_changes")));
   Row("invalidations", renderNumber(Get("invalidations")));
   Row("reallocations", renderNumber(Get("reallocations")));
   Row("reallocations per commit",
       renderRate(Get("reallocations_per_commit")));
+  // Scan-vs-index comparison, present only when the run sampled the
+  // invalidation probes (a scan run shows the first, an index run the
+  // others — two runs of cws-report give the before/after).
+  if (Ind.count("env_scan_placements"))
+    Row("placements re-validated (scan)",
+        renderNumber(Get("env_scan_placements")));
+  if (Ind.count("env_index_candidates"))
+    Row("index candidates re-validated",
+        renderNumber(Get("env_index_candidates")));
+  if (Ind.count("env_index_placements"))
+    Row("placements re-validated (index)",
+        renderNumber(Get("env_index_placements")));
   Out += "\n";
 
   //===--- Utilization ----------------------------------------------------===//

@@ -172,6 +172,33 @@ TEST_F(ReportTest, ExecutionCompletionOverridesTheCommitForecast) {
   EXPECT_DOUBLE_EQ(Ind["deadline_miss_rate"], 0.0);
 }
 
+TEST_F(ReportTest, UnjudgedDeadlineMissRateIsUndefinedAndFailsClosed) {
+  Journal &Jn = Journal::global();
+  Jn.enable(64);
+  Jn.append(JournalKind::Arrival, 1, 0, {{"deadline", 100}, {"tasks", 1}},
+            "S1", /*FlowId=*/0);
+  Jn.append(JournalKind::Reject, 1, 2, {}, "inadmissible", /*FlowId=*/0);
+  Jn.disable();
+  ParsedJournal J;
+  std::string Error;
+  ASSERT_TRUE(parseJournalJsonl(Jn.jsonl(), J, Error)) << Error;
+  std::map<std::string, double> Ind =
+      computeIndicators(J, ParsedTimeSeries());
+  // Nothing committed means nothing could be judged: the miss rate
+  // stays undefined, not a reassuring 0.0.
+  EXPECT_EQ(Ind.count("deadline_miss_rate"), 0u);
+
+  std::vector<SloResult> Results = evaluateSlo(
+      {{"deadline_miss_rate", /*IsUpper=*/true, 0.05}}, Ind);
+  ASSERT_EQ(Results.size(), 1u);
+  EXPECT_FALSE(Results[0].Pass); // undefined fails closed
+  EXPECT_FALSE(Results[0].Known);
+  std::string Report = renderRunReport(J, ParsedTimeSeries(), Results);
+  EXPECT_NE(Report.find("| deadline miss rate | n/a |"), std::string::npos)
+      << Report;
+  EXPECT_NE(Report.find("SLO: **FAIL**"), std::string::npos) << Report;
+}
+
 TEST_F(ReportTest, JoinsUtilizationFromTheTimeSeries) {
   ParsedTimeSeries Ts;
   std::string Error;

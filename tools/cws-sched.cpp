@@ -13,7 +13,7 @@
 ///             [--now T] [--gantt 1] [--csv 1] [--build-threads N]
 ///             [--trace out.json] [--trace-categories core]
 ///             [--metrics out.prom] [--journal run.jsonl]
-///             [--timeseries ts.csv]
+///             [--timeseries ts.csv] [--invalidation scan|index]
 ///
 /// The description must declare nodes (or pass --fig2grid 1 to use the
 /// paper's four-type environment).
@@ -78,8 +78,23 @@ int main(int Argc, char **Argv) {
   F.addString("timeseries", &TimeSeriesFile,
               "write the telemetry frames of the build (tidy CSV, JSONL "
               "if *.jsonl)");
+  // A single build has no environment changes to invalidate against;
+  // the flag is validated here so scripts can pass one uniform command
+  // line to both tools.
+  std::string Invalidation = "index";
+  F.addString("invalidation", &Invalidation,
+              "how env changes find broken strategies: index or scan "
+              "(no-op for a one-shot build; accepted for tool-flag "
+              "uniformity with cws-sim)");
   if (!F.parse(Argc, Argv))
     return 0;
+  if (Invalidation != "scan" && Invalidation != "index") {
+    std::fprintf(stderr,
+                 "cws-sched: --invalidation must be scan or index, got "
+                 "'%s'\n",
+                 Invalidation.c_str());
+    return 2;
+  }
 
   if (!TraceFile.empty()) {
     obs::Tracer::global().setCategoryFilter(TraceCategories);

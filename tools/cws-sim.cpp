@@ -14,6 +14,7 @@
 ///           [--trace out.json] [--trace-categories core,flow]
 ///           [--metrics out.prom] [--journal run.jsonl]
 ///           [--timeseries ts.csv] [--sample-every N]
+///           [--invalidation scan|index]
 ///
 //===----------------------------------------------------------------------===//
 
@@ -69,8 +70,20 @@ int main(int Argc, char **Argv) {
               "*.jsonl; inspect with cws-report)");
   F.addInt("sample-every", &SampleEvery,
            "periodic telemetry frame cadence in simulation ticks");
+  std::string Invalidation = "index";
+  F.addString("invalidation", &Invalidation,
+              "how env changes find broken strategies: index "
+              "(event-driven slot index) or scan (full re-validation "
+              "oracle)");
   if (!F.parse(Argc, Argv))
     return 0;
+  if (Invalidation != "scan" && Invalidation != "index") {
+    std::fprintf(stderr,
+                 "cws-sim: --invalidation must be scan or index, got "
+                 "'%s'\n",
+                 Invalidation.c_str());
+    return 2;
+  }
 
   if (!TraceFile.empty()) {
     obs::Tracer::global().setCategoryFilter(TraceCategories);
@@ -97,6 +110,8 @@ int main(int Argc, char **Argv) {
   Config.ExecuteWithDeviations = Exec != 0;
   Config.Strategy.BuildThreads = static_cast<size_t>(
       BuildThreads > 0 ? BuildThreads : 0);
+  Config.Invalidation = Invalidation == "scan" ? InvalidationMode::Scan
+                                               : InvalidationMode::Index;
   VoRunResult Run =
       runVirtualOrganization(Config, Kind, static_cast<uint64_t>(Seed));
 
