@@ -16,6 +16,7 @@
 
 #include <algorithm>
 #include <array>
+#include <cstdio>
 #include <limits>
 #include <memory>
 
@@ -221,4 +222,82 @@ VoRunResult cws::runVirtualOrganization(const VoConfig &Config,
                                         StrategyKind Kind, uint64_t Seed) {
   std::vector<VoRunResult> Results = runMultiFlowVo(Config, {Kind}, Seed);
   return std::move(Results.front());
+}
+
+std::string cws::voConfigCanonical(const VoConfig &Config, StrategyKind Kind) {
+  // Fixed `key=value` order; every field that changes scheduling
+  // decisions appears. %g keeps the text stable across locales and
+  // trailing-zero noise.
+  std::string Out;
+  char Buf[64];
+  auto Num = [&](const char *Key, double Value) {
+    std::snprintf(Buf, sizeof(Buf), "%s=%g ", Key, Value);
+    Out += Buf;
+  };
+  auto Int = [&](const char *Key, long long Value) {
+    std::snprintf(Buf, sizeof(Buf), "%s=%lld ", Key, Value);
+    Out += Buf;
+  };
+  Out += std::string("strategy=") + strategyName(Kind) + " ";
+
+  const GridConfig &G = Config.GridCfg;
+  Int("grid.min_nodes", G.MinNodes);
+  Int("grid.max_nodes", G.MaxNodes);
+  Num("grid.fast_share", G.FastShare);
+  Num("grid.medium_share", G.MediumShare);
+  Num("grid.fast_lo", G.FastLo);
+  Num("grid.fast_hi", G.FastHi);
+  Num("grid.medium_lo", G.MediumLo);
+  Num("grid.medium_hi", G.MediumHi);
+  Num("grid.slow_perf", G.SlowPerf);
+  Num("grid.price_base", G.PriceBase);
+  Num("grid.price_exponent", G.PriceExponent);
+
+  const WorkloadConfig &W = Config.Workload;
+  Int("work.min_tasks", W.MinTasks);
+  Int("work.max_tasks", W.MaxTasks);
+  Int("work.max_width", W.MaxWidth);
+  Int("work.ref_lo", W.RefTicksLo);
+  Int("work.ref_hi", W.RefTicksHi);
+  Num("work.volume_per_ref", W.VolumePerRefTick);
+  Int("work.transfer_lo", W.TransferLo);
+  Int("work.transfer_hi", W.TransferHi);
+  Num("work.edge_density", W.EdgeDensity);
+  Num("work.deadline_slack", W.DeadlineSlack);
+
+  const StrategyConfig &S = Config.Strategy;
+  Int("strat.max_levels", static_cast<long long>(S.MaxLevels));
+  Num("strat.coarse_penalty", S.CoarsePenalty);
+  Int("strat.coarsen_rounds", S.CoarsenSiblingRounds);
+  Int("strat.coarsen_max_ref", S.CoarsenMaxRef);
+  Num("strat.replication_factor", S.DataConfig.ReplicationFactor);
+  Num("strat.static_penalty", S.DataConfig.StaticPenalty);
+  Num("strat.replication_billing", S.DataConfig.ReplicationBilling);
+  Num("strat.transfer_cost", S.Costs.TransferCostPerTick);
+  Int("strat.max_front", static_cast<long long>(S.MaxFrontSize));
+  // BuildThreads and AllowedNodes are deliberately absent: thread count
+  // never changes results (pinned by determinism tests), and the tools
+  // never restrict node domains at the VO level.
+
+  const BackgroundConfig &B = Config.Background;
+  Int("bg.gap_fast", B.MeanGapFast);
+  Int("bg.gap_medium", B.MeanGapMedium);
+  Int("bg.gap_slow", B.MeanGapSlow);
+  Int("bg.dur_lo", B.DurLo);
+  Int("bg.dur_hi", B.DurHi);
+  Int("bg.lookahead", B.MaxLookahead);
+
+  Int("vo.jobs", static_cast<long long>(Config.JobCount));
+  Int("vo.arrive_lo", Config.InterarrivalLo);
+  Int("vo.arrive_hi", Config.InterarrivalHi);
+  Int("vo.negotiate_lo", Config.NegotiationLo);
+  Int("vo.negotiate_hi", Config.NegotiationHi);
+  Num("vo.quota", Config.UserQuota);
+  Int("vo.execute", Config.ExecuteWithDeviations ? 1 : 0);
+  Num("vo.exec_factor_lo", Config.Execution.FactorLo);
+  Num("vo.exec_factor_hi", Config.Execution.FactorHi);
+  Int("vo.exec_extension", Config.Execution.MaxExtension);
+  Out += std::string("vo.invalidation=") +
+         (Config.Invalidation == InvalidationMode::Index ? "index" : "scan");
+  return Out;
 }

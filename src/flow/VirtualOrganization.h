@@ -24,6 +24,7 @@
 #include "resource/Grid.h"
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 namespace cws {
@@ -73,6 +74,15 @@ struct VoRunResult {
 /// Runs the whole simulation for one strategy type.
 VoRunResult runVirtualOrganization(const VoConfig &Config, StrategyKind Kind,
                                    uint64_t Seed);
+
+/// Canonical one-line text of every scheduling-relevant field of
+/// \p Config plus the strategy \p Kind, `key=value` pairs in a fixed
+/// order. Two runs with equal canonical text simulate the same
+/// configuration; `cws-sim` and `cws-sweep` hash this text (see
+/// `obs::configHashOf`) to verify that pooled runs really belong to one
+/// scenario. The seed is deliberately excluded — seed replicas of a
+/// scenario share the hash.
+std::string voConfigCanonical(const VoConfig &Config, StrategyKind Kind);
 
 /// Runs several *competing* flows in one virtual organization: jobs of
 /// the shared arrival stream are dealt round-robin to one flow per

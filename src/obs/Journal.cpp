@@ -51,10 +51,21 @@ void Journal::enable(size_t Capacity) {
   LastEnvChangeId = 0;
   LastOf.clear();
   FlowOf.clear();
+  Prov = RunProvenance{};
   On.store(true, std::memory_order_relaxed);
 }
 
 void Journal::disable() { On.store(false, std::memory_order_relaxed); }
+
+void Journal::setProvenance(RunProvenance P) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  Prov = std::move(P);
+}
+
+RunProvenance Journal::provenance() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Prov;
+}
 
 void Journal::reset() {
   disable();
@@ -64,6 +75,7 @@ void Journal::reset() {
   LastEnvChangeId = 0;
   LastOf.clear();
   FlowOf.clear();
+  Prov = RunProvenance{};
 }
 
 uint64_t Journal::append(JournalKind Kind, int64_t JobId, int64_t At,
@@ -177,16 +189,28 @@ static void appendInt(std::string &Out, int64_t V) {
 
 std::string Journal::jsonl() const {
   uint64_t Recorded, Dropped;
+  RunProvenance P;
   std::vector<JournalEvent> Events = snapshot();
   {
     std::lock_guard<std::mutex> Lock(Mu);
     Recorded = Head;
     Dropped = Head > Ring.size() ? Head - Ring.size() : 0;
+    P = Prov;
   }
   std::string Out = "{\"kind\":\"journal.meta\",\"schema\":1,\"recorded\":";
   appendInt(Out, static_cast<int64_t>(Recorded));
   Out += ",\"dropped\":";
   appendInt(Out, static_cast<int64_t>(Dropped));
+  if (P.Stamped) {
+    Out += ",\"seed\":";
+    appendInt(Out, static_cast<int64_t>(P.Seed));
+    Out += ",\"config_hash\":";
+    appendJsonString(Out, P.ConfigHash.c_str());
+    Out += ",\"scenario\":";
+    appendJsonString(Out, P.ScenarioId.c_str());
+    Out += ",\"cli\":";
+    appendJsonString(Out, P.Cli.c_str());
+  }
   Out += "}\n";
   for (const JournalEvent &E : Events) {
     Out += "{\"id\":";
@@ -379,7 +403,7 @@ private:
 
 bool parseLine(const std::string &Line, ParsedJournalEvent &E,
                std::string &MetaKind, uint64_t &Recorded, uint64_t &Dropped,
-               bool &IsMeta, std::string &Error) {
+               RunProvenance &Prov, bool &IsMeta, std::string &Error) {
   LineParser P(Line);
   IsMeta = false;
   if (!P.consume('{')) {
@@ -389,6 +413,8 @@ bool parseLine(const std::string &Line, ParsedJournalEvent &E,
   bool First = true;
   int64_t Schema = -1;
   int64_t MetaRecorded = -1, MetaDropped = -1;
+  RunProvenance MetaProv;
+  bool SawSeed = false, SawProvString = false;
   bool SawId = false, SawKind = false, SawTick = false;
   while (!P.consume('}')) {
     if (!First && !P.consume(',')) {
@@ -415,6 +441,19 @@ bool parseLine(const std::string &Line, ParsedJournalEvent &E,
         Error = P.error();
         return false;
       }
+    } else if (Key == "config_hash" || Key == "scenario" || Key == "cli") {
+      std::string V;
+      if (!P.parseString(V)) {
+        Error = P.error();
+        return false;
+      }
+      if (Key == "config_hash")
+        MetaProv.ConfigHash = std::move(V);
+      else if (Key == "scenario")
+        MetaProv.ScenarioId = std::move(V);
+      else
+        MetaProv.Cli = std::move(V);
+      SawProvString = true;
     } else if (Key == "args") {
       if (!P.consume('{')) {
         Error = "expected args object";
@@ -461,6 +500,9 @@ bool parseLine(const std::string &Line, ParsedJournalEvent &E,
         MetaRecorded = V;
       } else if (Key == "dropped") {
         MetaDropped = V;
+      } else if (Key == "seed") {
+        MetaProv.Seed = static_cast<uint64_t>(V);
+        SawSeed = true;
       } else {
         Error = "unknown field '" + Key + "'";
         return false;
@@ -483,6 +525,15 @@ bool parseLine(const std::string &Line, ParsedJournalEvent &E,
     }
     Recorded = static_cast<uint64_t>(MetaRecorded);
     Dropped = static_cast<uint64_t>(MetaDropped);
+    // A stamped header carries the seed; the string fields may be
+    // empty but must accompany it (a partial stamp is malformed).
+    if (SawSeed) {
+      MetaProv.Stamped = true;
+      Prov = std::move(MetaProv);
+    } else if (SawProvString) {
+      Error = "provenance stamp missing seed";
+      return false;
+    }
     return true;
   }
   if (!SawId || !SawKind || !SawTick) {
@@ -513,8 +564,8 @@ bool cws::obs::parseJournalJsonl(const std::string &Text, ParsedJournal &Out,
     std::string MetaKind;
     bool IsMeta = false;
     std::string Why;
-    if (!parseLine(Line, E, MetaKind, Out.Recorded, Out.Dropped, IsMeta,
-                   Why)) {
+    if (!parseLine(Line, E, MetaKind, Out.Recorded, Out.Dropped, Out.Prov,
+                   IsMeta, Why)) {
       Error = "line " + std::to_string(LineNo) + ": " + Why;
       return false;
     }

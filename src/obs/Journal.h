@@ -44,6 +44,8 @@
 #ifndef CWS_OBS_JOURNAL_H
 #define CWS_OBS_JOURNAL_H
 
+#include "obs/Provenance.h"
+
 #include <atomic>
 #include <cstdint>
 #include <initializer_list>
@@ -159,6 +161,13 @@ public:
   /// Stops recording. Already recorded events stay exportable.
   void disable();
 
+  /// Stamps the run provenance (seed, config hash, CLI, scenario id)
+  /// into the `journal.meta` header of every later export, so
+  /// aggregators can verify which run a journal belongs to. Cleared by
+  /// enable() and reset().
+  void setProvenance(RunProvenance P);
+  RunProvenance provenance() const;
+
   bool enabled() const {
 #if CWS_OBS_ENABLED
     return On.load(std::memory_order_relaxed);
@@ -201,6 +210,7 @@ public:
 private:
   std::atomic<bool> On{false};
   mutable std::mutex Mu;
+  RunProvenance Prov;
   std::vector<JournalEvent> Ring;
   /// Total events appended; Head % Ring.size() is the next slot.
   uint64_t Head = 0;
@@ -240,6 +250,9 @@ struct ParsedJournalEvent {
 struct ParsedJournal {
   uint64_t Recorded = 0;
   uint64_t Dropped = 0;
+  /// Provenance stamp of the meta header; `!Prov.valid()` for files
+  /// written before stamping existed (or by unstamped tools).
+  RunProvenance Prov;
   std::vector<ParsedJournalEvent> Events;
 
   /// Event with \p Id (binary search; ids are ascending), or nullptr.

@@ -99,6 +99,32 @@ double Histogram::quantile(double Q) const {
   return Bounds.back();
 }
 
+void Histogram::merge(const Histogram &Other) {
+  CWS_CHECK(Bounds == Other.Bounds,
+            "histogram merge requires identical bucket bounds");
+  uint64_t Added = 0;
+  for (size_t I = 0; I <= Bounds.size(); ++I) {
+    uint64_t Cnt = Other.bucketCount(I);
+    if (Cnt == 0)
+      continue;
+    Buckets[I].fetch_add(Cnt, std::memory_order_relaxed);
+    Added += Cnt;
+  }
+  N.fetch_add(Added, std::memory_order_relaxed);
+  double OtherSum = Other.sum();
+  uint64_t Old = SumBits.load(std::memory_order_relaxed);
+  do {
+    double OldSum;
+    std::memcpy(&OldSum, &Old, sizeof(OldSum));
+    double New = OldSum + OtherSum;
+    uint64_t NewBits;
+    std::memcpy(&NewBits, &New, sizeof(NewBits));
+    if (SumBits.compare_exchange_weak(Old, NewBits,
+                                      std::memory_order_relaxed))
+      break;
+  } while (true);
+}
+
 void Histogram::reset() {
   for (size_t I = 0; I <= Bounds.size(); ++I)
     Buckets[I].store(0, std::memory_order_relaxed);

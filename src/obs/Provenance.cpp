@@ -1,0 +1,89 @@
+//===-- obs/Provenance.cpp - Run provenance stamps ------------------------===//
+//
+// Part of CWS, a reproduction of Toporkov, "Application-Level and Job-Flow
+// Scheduling" (PaCT 2009). Distributed without any warranty.
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/Provenance.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+using namespace cws;
+using namespace cws::obs;
+
+uint64_t cws::obs::fnv1a64(const std::string &Text) {
+  uint64_t Hash = 0xcbf29ce484222325ULL;
+  for (unsigned char C : Text) {
+    Hash ^= C;
+    Hash *= 0x100000001b3ULL;
+  }
+  return Hash;
+}
+
+std::string cws::obs::configHashOf(const std::string &CanonicalText) {
+  char Buf[32];
+  std::snprintf(Buf, sizeof(Buf), "0x%016llx",
+                static_cast<unsigned long long>(fnv1a64(CanonicalText)));
+  return Buf;
+}
+
+std::string cws::obs::cliStringOf(int Argc, char **Argv) {
+  std::string Out;
+  for (int I = 0; I < Argc; ++I) {
+    if (I)
+      Out += ' ';
+    Out += Argv[I];
+  }
+  return Out;
+}
+
+std::string cws::obs::provenanceCsvComment(const RunProvenance &P) {
+  if (!P.Stamped)
+    return std::string();
+  // `cli` comes last so it may contain spaces; `scenario` ids are
+  // token-shaped (the grid parser rejects whitespace in them).
+  return "# provenance seed=" + std::to_string(P.Seed) +
+         " config=" + P.ConfigHash + " scenario=" + P.ScenarioId +
+         " cli=" + P.Cli + "\n";
+}
+
+bool cws::obs::parseProvenanceCsvComment(const std::string &Line,
+                                         RunProvenance &Out) {
+  const std::string Prefix = "# provenance ";
+  if (Line.compare(0, Prefix.size(), Prefix) != 0)
+    return false;
+  std::string Rest = Line.substr(Prefix.size());
+  auto takeField = [&Rest](const std::string &Key,
+                           std::string &Value) -> bool {
+    if (Rest.compare(0, Key.size(), Key) != 0)
+      return false;
+    Rest = Rest.substr(Key.size());
+    size_t End = Rest.find(' ');
+    if (End == std::string::npos)
+      End = Rest.size();
+    Value = Rest.substr(0, End);
+    Rest = End == Rest.size() ? std::string() : Rest.substr(End + 1);
+    return true;
+  };
+  std::string SeedText;
+  RunProvenance P;
+  if (!takeField("seed=", SeedText) || !takeField("config=", P.ConfigHash) ||
+      !takeField("scenario=", P.ScenarioId))
+    return false;
+  char *End = nullptr;
+  P.Seed = std::strtoull(SeedText.c_str(), &End, 10);
+  if (End == SeedText.c_str() || *End)
+    return false;
+  // Everything after `cli=` (spaces included) is the command line.
+  const std::string CliKey = "cli=";
+  if (Rest.compare(0, CliKey.size(), CliKey) != 0)
+    return false;
+  P.Cli = Rest.substr(CliKey.size());
+  if (!P.Cli.empty() && P.Cli.back() == '\r')
+    P.Cli.pop_back();
+  P.Stamped = true;
+  Out = P;
+  return true;
+}

@@ -1,0 +1,80 @@
+//===-- obs/Provenance.h - Run provenance stamps ----------------*- C++ -*-===//
+//
+// Part of CWS, a reproduction of Toporkov, "Application-Level and Job-Flow
+// Scheduling" (PaCT 2009). Distributed without any warranty.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Run provenance: the (seed, config hash, CLI args, scenario id)
+/// quadruple a tool stamps into the headers of every artifact it writes
+/// — the `journal.meta` / `timeseries.meta` JSONL lines and a leading
+/// `# provenance ...` comment of the time-series CSV. Aggregators
+/// (`cws-sweep`) verify the stamp before pooling, so statistics can
+/// never silently mix runs of different scenarios, configs or seeds.
+///
+/// The config hash is FNV-1a over a canonical key=value rendering of
+/// the effective run configuration (`voConfigCanonical`), so two
+/// processes that build the same configuration through different code
+/// paths (a direct `cws-sim` invocation vs. a sweep-spawned one) agree
+/// on the hash, while any divergent knob changes it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CWS_OBS_PROVENANCE_H
+#define CWS_OBS_PROVENANCE_H
+
+#include <cstdint>
+#include <string>
+
+namespace cws {
+namespace obs {
+
+/// The provenance stamp of one run's artifacts.
+struct RunProvenance {
+  /// True once a tool stamped the run; default-constructed artifacts
+  /// carry no provenance (older files parse fine and report !valid()).
+  bool Stamped = false;
+  /// The run seed.
+  uint64_t Seed = 0;
+  /// Hex FNV-1a hash of the canonical configuration text.
+  std::string ConfigHash;
+  /// Scenario id the run belongs to ("single" for direct invocations).
+  std::string ScenarioId;
+  /// The invoking command line, flags joined with single spaces.
+  std::string Cli;
+
+  bool valid() const { return Stamped; }
+
+  /// Scenario-compatibility check used by sweep pooling: same scenario
+  /// id and the same config hash. Seeds and CLI text (which carries
+  /// per-run file paths) may differ between replicas.
+  bool sameScenario(const RunProvenance &Other) const {
+    return Stamped && Other.Stamped && ScenarioId == Other.ScenarioId &&
+           ConfigHash == Other.ConfigHash;
+  }
+};
+
+/// 64-bit FNV-1a of \p Text.
+uint64_t fnv1a64(const std::string &Text);
+
+/// `fnv1a64` rendered as the canonical `0x%016llx` hash string.
+std::string configHashOf(const std::string &CanonicalText);
+
+/// Joins argv into the `Cli` field: arguments separated by single
+/// spaces, no quoting (the journal/CSV escapers handle the rest).
+std::string cliStringOf(int Argc, char **Argv);
+
+/// Renders the CSV comment form:
+/// `# provenance seed=S config=H scenario=ID cli=...` (cli last, it may
+/// contain spaces). Empty string when \p P is not stamped.
+std::string provenanceCsvComment(const RunProvenance &P);
+
+/// Parses a `# provenance ...` comment line back. Returns false when
+/// \p Line is not a provenance comment or is malformed.
+bool parseProvenanceCsvComment(const std::string &Line, RunProvenance &Out);
+
+} // namespace obs
+} // namespace cws
+
+#endif // CWS_OBS_PROVENANCE_H

@@ -7,11 +7,15 @@
 
 #include "obs/Report.h"
 #include "obs/Metrics.h"
+#include "support/Stats.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <limits>
 #include <map>
+#include <set>
 
 using namespace cws;
 using namespace cws::obs;
@@ -25,7 +29,7 @@ static const char TimeSeriesHeader[] = "seq,tick,reason,series,node,flow,value";
 bool cws::obs::parseTimeSeriesCsv(const std::string &Text,
                                   ParsedTimeSeries &Out,
                                   std::string &Error) {
-  Out.Rows.clear();
+  Out = ParsedTimeSeries{};
   size_t Pos = 0, LineNo = 0;
   bool SawHeader = false;
   while (Pos < Text.size()) {
@@ -38,9 +42,15 @@ bool cws::obs::parseTimeSeriesCsv(const std::string &Text,
     if (Line.empty())
       continue;
     if (!SawHeader) {
+      // Comment lines may precede the header; the provenance stamp is
+      // one of them.
+      if (!Line.empty() && Line[0] == '#') {
+        parseProvenanceCsvComment(Line, Out.Prov);
+        continue;
+      }
       if (Line != TimeSeriesHeader) {
-        Error = "line 1: expected header '" + std::string(TimeSeriesHeader) +
-                "'";
+        Error = "line " + std::to_string(LineNo) + ": expected header '" +
+                std::string(TimeSeriesHeader) + "'";
         return false;
       }
       SawHeader = true;
@@ -143,6 +153,27 @@ bool cws::obs::parseSloFile(const std::string &Text,
       Error = "line " + std::to_string(LineNo) + ": missing indicator name";
       return false;
     }
+    // Sweep grammar: a `.stat` suffix selects the pooled statistic the
+    // rule gates on ("deadline_miss_rate.p90").
+    if (size_t Dot = Name.rfind('.'); Dot != std::string::npos) {
+      static const char *Stats[] = {"mean", "ci95", "p50", "p90",
+                                    "p99",  "min",  "max"};
+      std::string Suffix = Name.substr(Dot + 1);
+      bool KnownStat = false;
+      for (const char *S : Stats)
+        KnownStat = KnownStat || Suffix == S;
+      if (!KnownStat) {
+        Error = "line " + std::to_string(LineNo) + ": unknown statistic '" +
+                Suffix + "' (mean, ci95, p50, p90, p99, min, max)";
+        return false;
+      }
+      R.Stat = Suffix;
+      Name = Name.substr(0, Dot);
+      if (Name.empty()) {
+        Error = "line " + std::to_string(LineNo) + ": missing indicator name";
+        return false;
+      }
+    }
     R.Indicator = Name;
     std::string Bound = Line.substr(Op + 2);
     char *End = nullptr;
@@ -154,10 +185,20 @@ bool cws::obs::parseSloFile(const std::string &Text,
     }
     while (*End == ' ' || *End == '\t')
       ++End;
+    // Optional `across seeds` trailer: the rule explicitly scopes to
+    // sweep evaluation (and fails closed in single-run evaluation).
     if (*End) {
-      Error = "line " + std::to_string(LineNo) + ": trailing junk '" +
-              std::string(End) + "'";
-      return false;
+      std::string Trailer(End);
+      if (size_t TE = Trailer.find_last_not_of(" \t");
+          TE != std::string::npos)
+        Trailer = Trailer.substr(0, TE + 1);
+      if (Trailer == "across seeds") {
+        R.AcrossSeeds = true;
+      } else {
+        Error = "line " + std::to_string(LineNo) + ": trailing junk '" +
+                Trailer + "'";
+        return false;
+      }
     }
     Out.push_back(std::move(R));
   }
@@ -184,6 +225,8 @@ cws::obs::computeIndicators(const ParsedJournal &J,
   std::map<int64_t, JobOutcome> Jobs;
   double Submitted = 0, Committed = 0, Rejected = 0, Reallocations = 0,
          Invalidations = 0, EnvChanges = 0;
+  double CommitCostSum = 0, CommitCfSum = 0;
+  uint64_t CommitCostN = 0, CommitCfN = 0;
   for (const ParsedJournalEvent &E : J.Events) {
     if (E.Kind == "arrival") {
       ++Submitted;
@@ -200,6 +243,14 @@ cws::obs::computeIndicators(const ParsedJournal &J,
       const int64_t *Makespan = E.arg("makespan");
       if (Makespan && !O.HaveCompletion)
         O.Completion = *Makespan;
+      if (const int64_t *Cost = E.arg("cost")) {
+        CommitCostSum += static_cast<double>(*Cost);
+        ++CommitCostN;
+      }
+      if (const int64_t *Cf = E.arg("cf")) {
+        CommitCfSum += static_cast<double>(*Cf);
+        ++CommitCfN;
+      }
     } else if (E.Kind == "execution") {
       // Actual completion under deviations overrides the committed
       // forecast.
@@ -241,6 +292,13 @@ cws::obs::computeIndicators(const ParsedJournal &J,
   Ind["env_changes"] = EnvChanges;
   Ind["reallocations_per_commit"] =
       Reallocations / (Committed > 0 ? Committed : 1.0);
+  // Cost / cost-function means over committed schedules: the sweep's
+  // cost-vs-time QoS axes. Undefined (absent) with no commits, same
+  // convention as deadline_miss_rate.
+  if (CommitCostN > 0)
+    Ind["mean_commit_cost"] = CommitCostSum / static_cast<double>(CommitCostN);
+  if (CommitCfN > 0)
+    Ind["mean_commit_cf"] = CommitCfSum / static_cast<double>(CommitCfN);
 
   // Time-series side: per-node mean contention (busy + background).
   if (!Ts.empty()) {
@@ -289,7 +347,13 @@ cws::obs::evaluateSlo(const std::vector<SloRule> &Rules,
     SloResult Res;
     Res.Rule = R;
     auto It = Ind.find(R.Indicator);
-    if (It == Ind.end()) {
+    if (!R.Stat.empty() || R.AcrossSeeds) {
+      // Distribution rules need the pooled statistics of a sweep; a
+      // single run has none, so they fail closed here instead of
+      // silently gating on the point value.
+      Res.Known = false;
+      Res.Pass = false;
+    } else if (It == Ind.end()) {
       // Unknown indicators fail closed: a typo must not silently pass.
       Res.Known = false;
       Res.Pass = false;
@@ -528,6 +592,505 @@ std::string cws::obs::renderRunReport(const ParsedJournal &J,
       Out += "| " + R.Rule.Indicator + " | " +
              (R.Rule.IsUpper ? "<= " : ">= ") + renderNumber(R.Rule.Bound) +
              " | " + (R.Known ? renderRate(R.Actual) : "unknown") + " | " +
+             (R.Pass ? "ok" : "**BREACH**") + " |\n";
+    }
+    Out += "\nSLO: " + std::string(AllPass ? "**PASS**" : "**FAIL**") +
+           "\n";
+  }
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// Sweep statistics store
+//===----------------------------------------------------------------------===//
+
+double SweepIndicatorStats::stat(const std::string &Name,
+                                 bool &Known) const {
+  Known = true;
+  if (Name.empty() || Name == "mean")
+    return Mean;
+  if (Name == "ci95")
+    return Ci95;
+  if (Name == "p50")
+    return P50;
+  if (Name == "p90")
+    return P90;
+  if (Name == "p99")
+    return P99;
+  if (Name == "min")
+    return Min;
+  if (Name == "max")
+    return Max;
+  Known = false;
+  return std::numeric_limits<double>::quiet_NaN();
+}
+
+const SweepIndicatorStats *
+SweepScenario::indicator(const std::string &Name) const {
+  auto It = Indicators.find(Name);
+  return It == Indicators.end() ? nullptr : &It->second;
+}
+
+std::string SweepScenario::axisValue(const std::string &Name) const {
+  for (const auto &[Axis, Value] : Axes)
+    if (Axis == Name)
+      return Value;
+  return std::string();
+}
+
+/// NaN-aware CSV / table cell rendering: undefined statistics read
+/// "n/a", never a fake number.
+static std::string renderStat(double X) {
+  return std::isnan(X) ? "n/a" : renderNumber(X);
+}
+
+static const char SweepHeader[] =
+    "scenario,axes,indicator,n,mean,stddev,ci95,p50,p90,p99,min,max";
+
+std::string cws::obs::sweepCsv(const SweepStore &S) {
+  std::string Out = "# cws-sweep statistics\n# sweep runs=" +
+                    std::to_string(S.Runs) +
+                    " seeds=" + std::to_string(S.Seeds) + "\n";
+  Out += SweepHeader;
+  Out += "\n";
+  for (const SweepScenario &Sc : S.Scenarios) {
+    std::string Axes;
+    for (const auto &[Axis, Value] : Sc.Axes) {
+      if (!Axes.empty())
+        Axes += ';';
+      Axes += Axis + "=" + Value;
+    }
+    // std::map order: indicators render sorted by name.
+    for (const auto &[Name, St] : Sc.Indicators) {
+      Out += Sc.Id + "," + Axes + "," + Name + "," + std::to_string(St.N) +
+             "," + renderStat(St.Mean) + "," + renderStat(St.Stddev) + "," +
+             renderStat(St.Ci95) + "," + renderStat(St.P50) + "," +
+             renderStat(St.P90) + "," + renderStat(St.P99) + "," +
+             renderStat(St.Min) + "," + renderStat(St.Max) + "\n";
+    }
+  }
+  return Out;
+}
+
+/// Parses a CSV statistic cell: "n/a" -> NaN, else a double.
+static bool parseStatField(const std::string &Field, double &Out) {
+  if (Field == "n/a") {
+    Out = std::numeric_limits<double>::quiet_NaN();
+    return true;
+  }
+  char *End = nullptr;
+  Out = std::strtod(Field.c_str(), &End);
+  return End != Field.c_str() && !*End;
+}
+
+bool cws::obs::parseSweepCsv(const std::string &Text, SweepStore &Out,
+                             std::string &Error) {
+  Out = SweepStore{};
+  size_t Pos = 0, LineNo = 0;
+  bool SawHeader = false;
+  // Scenario rows arrive grouped; remember the index of each id so
+  // out-of-order files still pool correctly.
+  std::map<std::string, size_t> Index;
+  while (Pos < Text.size()) {
+    size_t Eol = Text.find('\n', Pos);
+    if (Eol == std::string::npos)
+      Eol = Text.size();
+    std::string Line = Text.substr(Pos, Eol - Pos);
+    Pos = Eol + 1;
+    ++LineNo;
+    if (!Line.empty() && Line.back() == '\r')
+      Line.pop_back();
+    if (Line.empty())
+      continue;
+    if (Line[0] == '#') {
+      const std::string Meta = "# sweep ";
+      if (Line.compare(0, Meta.size(), Meta) == 0) {
+        std::string Rest = Line.substr(Meta.size());
+        size_t RunsAt = Rest.find("runs=");
+        size_t SeedsAt = Rest.find("seeds=");
+        if (RunsAt != std::string::npos)
+          Out.Runs = std::strtoull(Rest.c_str() + RunsAt + 5, nullptr, 10);
+        if (SeedsAt != std::string::npos)
+          Out.Seeds = std::strtoull(Rest.c_str() + SeedsAt + 6, nullptr, 10);
+      }
+      continue;
+    }
+    if (!SawHeader) {
+      if (Line != SweepHeader) {
+        Error = "line " + std::to_string(LineNo) + ": expected header '" +
+                std::string(SweepHeader) + "'";
+        return false;
+      }
+      SawHeader = true;
+      continue;
+    }
+    std::vector<std::string> Fields;
+    size_t Start = 0;
+    while (true) {
+      size_t Comma = Line.find(',', Start);
+      if (Comma == std::string::npos) {
+        Fields.push_back(Line.substr(Start));
+        break;
+      }
+      Fields.push_back(Line.substr(Start, Comma - Start));
+      Start = Comma + 1;
+    }
+    if (Fields.size() != 12) {
+      Error = "line " + std::to_string(LineNo) + ": expected 12 fields, got " +
+              std::to_string(Fields.size());
+      return false;
+    }
+    size_t ScIdx;
+    if (auto It = Index.find(Fields[0]); It != Index.end()) {
+      ScIdx = It->second;
+    } else {
+      ScIdx = Out.Scenarios.size();
+      Index.emplace(Fields[0], ScIdx);
+      SweepScenario Sc;
+      Sc.Id = Fields[0];
+      // axes: `name=value` pairs joined by ';'.
+      const std::string &Axes = Fields[1];
+      size_t APos = 0;
+      while (APos < Axes.size()) {
+        size_t Semi = Axes.find(';', APos);
+        if (Semi == std::string::npos)
+          Semi = Axes.size();
+        std::string Pair = Axes.substr(APos, Semi - APos);
+        APos = Semi + 1;
+        size_t Eq = Pair.find('=');
+        if (Eq == std::string::npos || Eq == 0) {
+          Error = "line " + std::to_string(LineNo) + ": bad axes entry '" +
+                  Pair + "'";
+          return false;
+        }
+        Sc.Axes.emplace_back(Pair.substr(0, Eq), Pair.substr(Eq + 1));
+      }
+      Out.Scenarios.push_back(std::move(Sc));
+    }
+    SweepIndicatorStats St;
+    char *End = nullptr;
+    St.N = std::strtoull(Fields[3].c_str(), &End, 10);
+    if (End == Fields[3].c_str() || *End) {
+      Error = "line " + std::to_string(LineNo) + ": bad n '" + Fields[3] +
+              "'";
+      return false;
+    }
+    double *Slots[] = {&St.Mean, &St.Stddev, &St.Ci95, &St.P50,
+                       &St.P90,  &St.P99,    &St.Min,  &St.Max};
+    for (size_t I = 0; I < 8; ++I) {
+      if (!parseStatField(Fields[4 + I], *Slots[I])) {
+        Error = "line " + std::to_string(LineNo) + ": bad value '" +
+                Fields[4 + I] + "'";
+        return false;
+      }
+    }
+    if (Fields[2].empty()) {
+      Error = "line " + std::to_string(LineNo) + ": missing indicator name";
+      return false;
+    }
+    Out.Scenarios[ScIdx].Indicators[Fields[2]] = St;
+  }
+  if (!SawHeader) {
+    Error = "empty file";
+    return false;
+  }
+  return true;
+}
+
+std::vector<SweepSloResult>
+cws::obs::evaluateSweepSlo(const std::vector<SloRule> &Rules,
+                           const SweepStore &S) {
+  std::vector<SweepSloResult> Out;
+  for (const SloRule &R : Rules) {
+    SweepSloResult Res;
+    Res.Rule = R;
+    Res.Worst = std::numeric_limits<double>::quiet_NaN();
+    bool StatKnown = true;
+    for (const SweepScenario &Sc : S.Scenarios) {
+      const SweepIndicatorStats *St = Sc.indicator(R.Indicator);
+      if (!St || St->N == 0) {
+        ++Res.Skipped;
+        continue;
+      }
+      double Value = St->stat(R.Stat, StatKnown);
+      if (!StatKnown)
+        break;
+      ++Res.Evaluated;
+      // Track the scenario closest to (or deepest past) the bound.
+      bool Worse = std::isnan(Res.Worst) ||
+                   (R.IsUpper ? Value > Res.Worst : Value < Res.Worst);
+      if (Worse) {
+        Res.Worst = Value;
+        Res.WorstScenario = Sc.Id;
+      }
+    }
+    // Fail closed: unknown statistic, or an indicator no scenario
+    // produced (a typo or a degenerate grid must not pass the gate).
+    Res.Known = StatKnown && Res.Evaluated > 0;
+    if (Res.Known) {
+      // NaN comparisons are false, so an undefined worst value breaches.
+      Res.Pass = R.IsUpper ? Res.Worst <= R.Bound : Res.Worst >= R.Bound;
+    }
+    Out.push_back(std::move(Res));
+  }
+  return Out;
+}
+
+namespace {
+/// A scenario's position along one numeric axis, with the context key
+/// formed by every *other* axis value.
+struct AxisPoint {
+  double Axis = 0.0;
+  double Value = 0.0;
+  std::string Context;
+};
+} // namespace
+
+std::vector<SweepCrossing>
+cws::obs::estimateSweepCrossings(const SweepStore &S,
+                                 const std::string &Indicator,
+                                 const std::string &Stat, double Bound) {
+  std::vector<SweepCrossing> Out;
+  if (S.Scenarios.empty())
+    return Out;
+  // Numeric axes: every scenario value parses as a double and at least
+  // two distinct values exist.
+  std::vector<std::string> AxisNames;
+  for (const auto &[Axis, Value] : S.Scenarios.front().Axes)
+    AxisNames.push_back(Axis);
+  for (const std::string &Axis : AxisNames) {
+    std::set<std::string> Distinct;
+    bool Numeric = true;
+    for (const SweepScenario &Sc : S.Scenarios) {
+      std::string V = Sc.axisValue(Axis);
+      if (V.empty()) {
+        Numeric = false;
+        break;
+      }
+      char *End = nullptr;
+      std::strtod(V.c_str(), &End);
+      if (End == V.c_str() || *End) {
+        Numeric = false;
+        break;
+      }
+      Distinct.insert(V);
+    }
+    if (!Numeric || Distinct.size() < 2)
+      continue;
+    // Group scenarios by the other axes (std::map: deterministic group
+    // order), then walk each group along this axis.
+    std::map<std::string, std::vector<AxisPoint>> Groups;
+    for (const SweepScenario &Sc : S.Scenarios) {
+      const SweepIndicatorStats *St = Sc.indicator(Indicator);
+      if (!St || St->N == 0)
+        continue;
+      bool Known = true;
+      double Value = St->stat(Stat, Known);
+      if (!Known || std::isnan(Value))
+        continue;
+      AxisPoint P;
+      P.Axis = std::strtod(Sc.axisValue(Axis).c_str(), nullptr);
+      P.Value = Value;
+      for (const auto &[Other, OtherValue] : Sc.Axes) {
+        if (Other == Axis)
+          continue;
+        if (!P.Context.empty())
+          P.Context += ", ";
+        P.Context += Other + "=" + OtherValue;
+      }
+      Groups[P.Context].push_back(P);
+    }
+    for (auto &[Context, Points] : Groups) {
+      std::sort(Points.begin(), Points.end(),
+                [](const AxisPoint &A, const AxisPoint &B) {
+                  return A.Axis < B.Axis;
+                });
+      for (size_t I = 1; I < Points.size(); ++I) {
+        const AxisPoint &Lo = Points[I - 1];
+        const AxisPoint &Hi = Points[I];
+        double DLo = Lo.Value - Bound;
+        double DHi = Hi.Value - Bound;
+        // A crossing needs a sign change; a segment whose endpoint sits
+        // exactly on the bound counts (interpolation lands on it).
+        if ((DLo > 0) == (DHi > 0) && DLo != 0 && DHi != 0)
+          continue;
+        if (Hi.Axis == Lo.Axis)
+          continue;
+        SweepCrossing C;
+        C.Axis = Axis;
+        C.Indicator = Stat.empty() || Stat == "mean"
+                          ? Indicator
+                          : Indicator + "." + Stat;
+        C.Bound = Bound;
+        C.LoAxis = Lo.Axis;
+        C.HiAxis = Hi.Axis;
+        C.LoValue = Lo.Value;
+        C.HiValue = Hi.Value;
+        C.At = DHi == DLo ? Lo.Axis
+                          : Lo.Axis + (Bound - Lo.Value) *
+                                          (Hi.Axis - Lo.Axis) /
+                                          (Hi.Value - Lo.Value);
+        C.Context = Context;
+        Out.push_back(std::move(C));
+      }
+    }
+  }
+  return Out;
+}
+
+/// "0.042 ± 0.011" (mean ± CI95), or "n/a" without samples.
+static std::string renderMeanCi(const SweepIndicatorStats *St) {
+  if (!St || St->N == 0 || std::isnan(St->Mean))
+    return "n/a";
+  std::string Out = renderRate(St->Mean);
+  if (St->N > 1 && !std::isnan(St->Ci95))
+    Out += " ± " + renderRate(St->Ci95);
+  return Out;
+}
+
+static std::string renderStatCell(const SweepIndicatorStats *St,
+                                  const char *Stat) {
+  if (!St || St->N == 0)
+    return "n/a";
+  bool Known = true;
+  double V = St->stat(Stat, Known);
+  return !Known || std::isnan(V) ? "n/a" : renderRate(V);
+}
+
+std::string cws::obs::renderSweepReport(const SweepStore &S,
+                                        const std::vector<SweepSloResult> &Slo) {
+  std::string Out = "# CWS sweep report\n\n";
+
+  //===--- Overview -------------------------------------------------------===//
+  std::set<std::string> IndicatorNames;
+  for (const SweepScenario &Sc : S.Scenarios)
+    for (const auto &[Name, St] : Sc.Indicators)
+      IndicatorNames.insert(Name);
+  Out += "## Overview\n\n";
+  Out += "| | |\n|---|---|\n";
+  Out += "| scenarios | " + std::to_string(S.Scenarios.size()) + " |\n";
+  Out += "| seed replicas per scenario | " + std::to_string(S.Seeds) + " |\n";
+  Out += "| runs pooled | " + std::to_string(S.Runs) + " |\n";
+  Out += "| indicators | " + std::to_string(IndicatorNames.size()) + " |\n\n";
+
+  //===--- Per-scenario QoS -----------------------------------------------===//
+  // The curated columns; the CSV store carries every indicator.
+  static const char *KeyIndicators[] = {"deadline_miss_rate", "commit_rate",
+                                        "reallocations_per_commit",
+                                        "mean_node_busy"};
+  Out += "## Per-scenario QoS (mean ± 95% CI across seeds)\n\n";
+  Out += "| scenario | n | miss rate | miss p90 | commit rate | "
+         "realloc/commit | node busy |\n";
+  Out += "|---|---|---|---|---|---|---|\n";
+  for (const SweepScenario &Sc : S.Scenarios) {
+    uint64_t N = 0;
+    for (const char *Key : KeyIndicators)
+      if (const SweepIndicatorStats *St = Sc.indicator(Key))
+        N = std::max(N, St->N);
+    const SweepIndicatorStats *Miss = Sc.indicator("deadline_miss_rate");
+    Out += "| " + Sc.Id + " | " + std::to_string(N) + " | " +
+           renderMeanCi(Miss) + " | " + renderStatCell(Miss, "p90") + " | " +
+           renderMeanCi(Sc.indicator("commit_rate")) + " | " +
+           renderMeanCi(Sc.indicator("reallocations_per_commit")) + " | " +
+           renderMeanCi(Sc.indicator("mean_node_busy")) + " |\n";
+  }
+  Out += "\nFull per-indicator statistics (p50/p90/p99, min/max) are in "
+         "the sweep CSV store.\n\n";
+
+  //===--- Per-axis trends ------------------------------------------------===//
+  // Marginal means: scenarios sharing one axis value averaged together
+  // (each scenario weighted equally).
+  if (!S.Scenarios.empty()) {
+    for (const auto &[Axis, FirstValue] : S.Scenarios.front().Axes) {
+      std::set<std::string> Distinct;
+      for (const SweepScenario &Sc : S.Scenarios)
+        Distinct.insert(Sc.axisValue(Axis));
+      if (Distinct.size() < 2)
+        continue;
+      // Axis values in grid order (first-seen across scenarios), so
+      // numeric axes render in sweep order, not lexicographic.
+      std::vector<std::string> Ordered;
+      for (const SweepScenario &Sc : S.Scenarios) {
+        std::string V = Sc.axisValue(Axis);
+        if (std::find(Ordered.begin(), Ordered.end(), V) == Ordered.end())
+          Ordered.push_back(V);
+      }
+      Out += "## Trend along " + Axis + "\n\n";
+      Out += "| " + Axis + " | scenarios | miss rate | commit rate | "
+             "realloc/commit | node busy |\n";
+      Out += "|---|---|---|---|---|---|\n";
+      for (const std::string &V : Ordered) {
+        double Sums[4] = {0, 0, 0, 0};
+        uint64_t Counts[4] = {0, 0, 0, 0};
+        uint64_t Members = 0;
+        for (const SweepScenario &Sc : S.Scenarios) {
+          if (Sc.axisValue(Axis) != V)
+            continue;
+          ++Members;
+          for (size_t K = 0; K < 4; ++K) {
+            const SweepIndicatorStats *St = Sc.indicator(KeyIndicators[K]);
+            if (St && St->N > 0 && !std::isnan(St->Mean)) {
+              Sums[K] += St->Mean;
+              ++Counts[K];
+            }
+          }
+        }
+        Out += "| " + V + " | " + std::to_string(Members) + " |";
+        for (size_t K = 0; K < 4; ++K)
+          Out += std::string(" ") +
+                 (Counts[K] ? renderRate(Sums[K] /
+                                         static_cast<double>(Counts[K]))
+                            : "n/a") +
+                 " |";
+        Out += "\n";
+      }
+      Out += "\n";
+    }
+  }
+
+  //===--- Crossing points ------------------------------------------------===//
+  // Where each SLO rule's statistic crosses its bound along numeric
+  // axes — the capacity-question answers ("at what arrival rate does
+  // the miss rate cross 5%?").
+  std::vector<SweepCrossing> Crossings;
+  for (const SweepSloResult &R : Slo) {
+    std::vector<SweepCrossing> C = estimateSweepCrossings(
+        S, R.Rule.Indicator, R.Rule.Stat, R.Rule.Bound);
+    Crossings.insert(Crossings.end(), C.begin(), C.end());
+  }
+  if (!Slo.empty()) {
+    Out += "## Crossing points\n\n";
+    if (Crossings.empty()) {
+      Out += "No SLO bound is crossed along any numeric axis.\n\n";
+    } else {
+      for (const SweepCrossing &C : Crossings) {
+        char Buf[64];
+        std::snprintf(Buf, sizeof(Buf), "%.3g", C.At);
+        Out += "- `" + C.Indicator + "` crosses " + renderNumber(C.Bound) +
+               " between " + C.Axis + "=" + renderNumber(C.LoAxis) + " (" +
+               renderRate(C.LoValue) + ") and " + C.Axis + "=" +
+               renderNumber(C.HiAxis) + " (" + renderRate(C.HiValue) +
+               ") at ≈ " + Buf;
+        if (!C.Context.empty())
+          Out += " (" + C.Context + ")";
+        Out += "\n";
+      }
+      Out += "\n";
+    }
+  }
+
+  //===--- SLO verdict ----------------------------------------------------===//
+  if (!Slo.empty()) {
+    Out += "## SLO (gating pooled statistics across seeds)\n\n";
+    Out += "| rule | bound | worst scenario | actual | status |\n";
+    Out += "|---|---|---|---|---|\n";
+    bool AllPass = true;
+    for (const SweepSloResult &R : Slo) {
+      AllPass = AllPass && R.Pass;
+      Out += "| " + R.Rule.fullName() + " | " +
+             (R.Rule.IsUpper ? "<= " : ">= ") + renderNumber(R.Rule.Bound) +
+             " | " + (R.Known ? R.WorstScenario : "-") + " | " +
+             (R.Known ? renderRate(R.Worst) : "unknown") + " | " +
              (R.Pass ? "ok" : "**BREACH**") + " |\n";
     }
     Out += "\nSLO: " + std::string(AllPass ? "**PASS**" : "**FAIL**") +

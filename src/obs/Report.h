@@ -54,26 +54,49 @@ struct TimeSeriesRow {
 
 /// A parsed time-series file.
 struct ParsedTimeSeries {
+  /// Provenance stamp of the leading `# provenance ...` comment;
+  /// `!Prov.valid()` for unstamped files.
+  RunProvenance Prov;
   std::vector<TimeSeriesRow> Rows;
   bool empty() const { return Rows.empty(); }
 };
 
-/// Parses CSV text written by `TimeSeries::csv()`. Returns false and
-/// sets \p Error (with a 1-based line number) on malformed input.
+/// Parses CSV text written by `TimeSeries::csv()`. Leading `#` comment
+/// lines are allowed before the header; a `# provenance ...` comment
+/// fills `Out.Prov`. Returns false and sets \p Error (with a 1-based
+/// line number) on malformed input.
 bool parseTimeSeriesCsv(const std::string &Text, ParsedTimeSeries &Out,
                         std::string &Error);
 
 /// One SLO rule: `Indicator <= Bound` (IsUpper) or `Indicator >=
-/// Bound`.
+/// Bound`. The sweep grammar adds a pooled-statistic suffix and scope:
+///
+///   deadline_miss_rate.p90 <= 0.05 across seeds
+///
+/// parses to Indicator="deadline_miss_rate", Stat="p90",
+/// AcrossSeeds=true. Stat rules gate per-scenario pooled distributions
+/// (`evaluateSweepSlo`); in single-run evaluation they are unknown and
+/// fail closed.
 struct SloRule {
   std::string Indicator;
   bool IsUpper = true;
   double Bound = 0.0;
+  /// Pooled statistic: "" (run value; scenario mean in sweep mode) or
+  /// one of "mean", "p50", "p90", "p99", "min", "max", "ci95".
+  std::string Stat;
+  /// True for rules suffixed `across seeds` — explicit sweep scope.
+  bool AcrossSeeds = false;
+
+  /// The rule's full spelled name ("deadline_miss_rate.p90").
+  std::string fullName() const {
+    return Stat.empty() ? Indicator : Indicator + "." + Stat;
+  }
 };
 
 /// Parses an SLO file: one rule per line (`indicator <= bound`,
-/// `indicator >= bound`), `#` comments and blank lines ignored.
-/// Returns false and sets \p Error on a malformed line.
+/// `indicator >= bound`, optional `.stat` suffix on the indicator and
+/// `across seeds` trailer after the bound), `#` comments and blank
+/// lines ignored. Returns false and sets \p Error on a malformed line.
 bool parseSloFile(const std::string &Text, std::vector<SloRule> &Out,
                   std::string &Error);
 
@@ -89,6 +112,8 @@ bool parseSloFile(const std::string &Text, std::vector<SloRule> &Out,
 ///  - `reallocations` / `invalidations` / `env_changes` — event counts;
 ///  - `reallocations_per_commit` — reallocations over committed jobs
 ///    (over 1 when nothing committed);
+///  - `mean_commit_cost` / `mean_commit_cf` — mean committed schedule
+///    cost / cost-function value (absent with no commits);
 ///  - `mean_node_busy` / `max_node_busy` — grid mean / per-node max of
 ///    the mean `util_busy` + `util_background` fraction (time-series
 ///    only; absent without one).
@@ -116,6 +141,133 @@ std::vector<SloResult> evaluateSlo(const std::vector<SloRule> &Rules,
 std::string renderRunReport(const ParsedJournal &J,
                             const ParsedTimeSeries &Ts,
                             const std::vector<SloResult> &Slo);
+
+//===----------------------------------------------------------------------===//
+// Sweep statistics store (cws-sweep output, cws-report --sweep input)
+//===----------------------------------------------------------------------===//
+
+/// Pooled statistics of one QoS indicator across the seed replicas of
+/// one scenario. All fields are NaN when `N == 0` (rendered "n/a"; SLO
+/// comparisons against NaN fail closed).
+struct SweepIndicatorStats {
+  /// Runs of the scenario that produced the indicator (an indicator
+  /// like `deadline_miss_rate` is undefined for runs with no judged
+  /// jobs, so N may be below the scenario's run count).
+  uint64_t N = 0;
+  double Mean = 0.0;
+  /// Sample standard deviation (0 for N == 1).
+  double Stddev = 0.0;
+  /// Half-width of the two-sided 95% confidence interval of the mean,
+  /// `tCritical95(N-1) * Stddev / sqrt(N)` (0 for N == 1).
+  double Ci95 = 0.0;
+  double P50 = 0.0;
+  double P90 = 0.0;
+  double P99 = 0.0;
+  double Min = 0.0;
+  double Max = 0.0;
+
+  /// Value of the named statistic ("mean", "ci95", "p50", "p90",
+  /// "p99", "min", "max"); sets \p Known false on an unknown name.
+  double stat(const std::string &Name, bool &Known) const;
+};
+
+/// One scenario of a sweep: its id, axis assignment, and pooled
+/// per-indicator statistics.
+struct SweepScenario {
+  /// Token-shaped id ("arrival_scale=0.5+strategy=S2"); never contains
+  /// whitespace or commas.
+  std::string Id;
+  /// Axis name -> value text, in grid declaration order.
+  std::vector<std::pair<std::string, std::string>> Axes;
+  std::map<std::string, SweepIndicatorStats> Indicators;
+
+  const SweepIndicatorStats *indicator(const std::string &Name) const;
+  /// Value of axis \p Name, empty when the scenario has no such axis.
+  std::string axisValue(const std::string &Name) const;
+};
+
+/// The sweep statistics store: everything `cws-sweep` pools out of a
+/// scenario grid run, in grid expansion order.
+struct SweepStore {
+  /// Seed replicas per scenario.
+  uint64_t Seeds = 0;
+  /// Total runs pooled.
+  uint64_t Runs = 0;
+  std::vector<SweepScenario> Scenarios;
+};
+
+/// Serializes \p S as the sweep statistics CSV:
+///
+///   # cws-sweep statistics
+///   # sweep runs=<N> seeds=<K>
+///   scenario,axes,indicator,n,mean,stddev,ci95,p50,p90,p99,min,max
+///
+/// one row per (scenario, indicator); the `axes` column is
+/// `;`-separated `name=value` pairs; NaN fields render "n/a".
+/// Deterministic for a fixed store.
+std::string sweepCsv(const SweepStore &S);
+
+/// Parses text written by `sweepCsv`. Returns false and sets \p Error
+/// (with a 1-based line number) on malformed input.
+bool parseSweepCsv(const std::string &Text, SweepStore &Out,
+                   std::string &Error);
+
+/// Outcome of one SLO rule against a sweep store. A rule gates every
+/// scenario: it passes only when each scenario that defines the
+/// indicator satisfies the bound, and at least one does (an indicator
+/// no scenario produced fails closed, like unknown indicators).
+struct SweepSloResult {
+  SloRule Rule;
+  bool Known = false;
+  bool Pass = false;
+  /// The worst value across scenarios (largest for `<=` rules,
+  /// smallest for `>=`); NaN when unknown.
+  double Worst = 0.0;
+  /// Id of the scenario holding the worst value.
+  std::string WorstScenario;
+  /// Scenarios evaluated / skipped for lacking the indicator.
+  uint64_t Evaluated = 0;
+  uint64_t Skipped = 0;
+};
+
+/// Evaluates sweep SLO rules: a rule's statistic defaults to the
+/// scenario mean when no `.stat` suffix is given.
+std::vector<SweepSloResult> evaluateSweepSlo(const std::vector<SloRule> &Rules,
+                                             const SweepStore &S);
+
+/// One estimated threshold crossing along a numeric scenario axis: the
+/// indicator's pooled statistic moves across \p Bound between two
+/// adjacent axis values (all other axes held fixed), located by linear
+/// interpolation.
+struct SweepCrossing {
+  std::string Axis;
+  /// Spelled indicator ("deadline_miss_rate.p90").
+  std::string Indicator;
+  double Bound = 0.0;
+  /// Bracketing axis values and the statistic there.
+  double LoAxis = 0.0, HiAxis = 0.0;
+  double LoValue = 0.0, HiValue = 0.0;
+  /// Interpolated axis position of the crossing.
+  double At = 0.0;
+  /// The held-fixed other axes, "name=value, name=value" (empty for a
+  /// one-axis sweep).
+  std::string Context;
+};
+
+/// Estimates where \p Indicator's \p Stat ("" = mean) crosses \p Bound
+/// along each numeric axis of the sweep. Scenario groups that never
+/// straddle the bound contribute no crossing.
+std::vector<SweepCrossing> estimateSweepCrossings(const SweepStore &S,
+                                                  const std::string &Indicator,
+                                                  const std::string &Stat,
+                                                  double Bound);
+
+/// Renders the Markdown sweep report: overview, the per-scenario QoS
+/// table (mean ± CI95 and p90 of the key indicators), per-axis trend
+/// tables of marginal means, crossing-point estimates for each SLO
+/// rule, and the SLO verdict. Deterministic for fixed inputs.
+std::string renderSweepReport(const SweepStore &S,
+                              const std::vector<SweepSloResult> &Slo);
 
 } // namespace obs
 } // namespace cws

@@ -37,10 +37,21 @@ void TimeSeries::enable(TimeSeriesConfig C) {
   NextSampleAt = 0;
   LastFrameAt = 0;
   LastReason = nullptr;
+  Prov = RunProvenance{};
   On.store(true, std::memory_order_relaxed);
 }
 
 void TimeSeries::disable() { On.store(false, std::memory_order_relaxed); }
+
+void TimeSeries::setProvenance(RunProvenance P) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  Prov = std::move(P);
+}
+
+RunProvenance TimeSeries::provenance() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Prov;
+}
 
 void TimeSeries::reset() {
   disable();
@@ -56,6 +67,7 @@ void TimeSeries::reset() {
   NextSampleAt = 0;
   LastFrameAt = 0;
   LastReason = nullptr;
+  Prov = RunProvenance{};
 }
 
 void TimeSeries::addProbe(const char *Name, std::function<double()> Fn) {
@@ -293,7 +305,8 @@ std::string TimeSeries::csv() const {
   std::vector<TimeSeriesFrame> Frames = snapshot();
   std::vector<std::string> Metrics = metricNames();
   std::vector<std::string> Flows = flowNames();
-  std::string Out = "seq,tick,reason,series,node,flow,value\n";
+  std::string Out = provenanceCsvComment(provenance());
+  Out += "seq,tick,reason,series,node,flow,value\n";
   for (const TimeSeriesFrame &F : Frames) {
     std::string Prefix = std::to_string(F.Seq) + "," +
                          std::to_string(F.At) + "," +
@@ -331,6 +344,14 @@ std::string TimeSeries::jsonl() const {
   {
     std::lock_guard<std::mutex> Lock(Mu);
     Out += ",\"sample_every\":" + std::to_string(Config.SampleEvery);
+    if (Prov.Stamped) {
+      Out += ",\"seed\":" + std::to_string(Prov.Seed) + ",\"config_hash\":";
+      appendJsonString(Out, Prov.ConfigHash);
+      Out += ",\"scenario\":";
+      appendJsonString(Out, Prov.ScenarioId);
+      Out += ",\"cli\":";
+      appendJsonString(Out, Prov.Cli);
+    }
   }
   Out += ",\"recorded\":" + std::to_string(recorded()) +
          ",\"dropped\":" + std::to_string(dropped()) + ",\"metrics\":[";

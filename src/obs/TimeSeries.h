@@ -37,6 +37,7 @@
 #ifndef CWS_OBS_TIMESERIES_H
 #define CWS_OBS_TIMESERIES_H
 
+#include "obs/Provenance.h"
 #include "sim/Time.h"
 
 #include <atomic>
@@ -135,6 +136,12 @@ public:
 
   /// Stops sampling. Recorded frames stay exportable.
   void disable();
+
+  /// Stamps the run provenance into every later export: a leading
+  /// `# provenance ...` comment of the CSV form and extra fields of the
+  /// `timeseries.meta` JSONL header. Cleared by enable() and reset().
+  void setProvenance(RunProvenance P);
+  RunProvenance provenance() const;
 
   /// The active configuration (as passed to enable()).
   TimeSeriesConfig config() const {
@@ -273,6 +280,7 @@ private:
 
   std::atomic<bool> On{false};
   mutable std::mutex Mu;
+  RunProvenance Prov;
   TimeSeriesConfig Config;
   std::vector<Probe> Probes;
   std::function<std::vector<NodeOccupancy>(Tick, Tick)> OccupancyProvider;

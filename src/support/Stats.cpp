@@ -10,6 +10,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 using namespace cws;
 
@@ -87,9 +88,26 @@ double Histogram::fraction(size_t Bin) const {
   return static_cast<double>(binCount(Bin)) / static_cast<double>(Total);
 }
 
+double cws::tCritical95(size_t Df) {
+  // Standard two-sided 95% quantiles of Student's t distribution.
+  static const double Table[] = {
+      12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262,
+      2.228,  2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101,
+      2.093,  2.086, 2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052,
+      2.048,  2.045, 2.042};
+  if (Df == 0)
+    return std::numeric_limits<double>::quiet_NaN();
+  if (Df <= 30)
+    return Table[Df - 1];
+  return 1.96;
+}
+
 double cws::quantile(std::vector<double> Samples, double Q) {
+  // An empty sample set has no quantiles: NaN propagates into report
+  // renderers (which show "n/a") and SLO comparisons (which fail
+  // closed), instead of a reassuring 0 that reads as a perfect score.
   if (Samples.empty())
-    return 0.0;
+    return std::numeric_limits<double>::quiet_NaN();
   Q = std::clamp(Q, 0.0, 1.0);
   std::sort(Samples.begin(), Samples.end());
   double Pos = Q * static_cast<double>(Samples.size() - 1);

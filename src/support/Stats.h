@@ -68,8 +68,16 @@ private:
 };
 
 /// Returns the \p Q quantile (0..1) of \p Samples. Sorts a copy; intended
-/// for end-of-experiment reporting, not hot paths. Returns 0 when empty.
+/// for end-of-experiment reporting, not hot paths. Returns NaN when
+/// empty (no samples have no quantiles; reports render "n/a" and SLO
+/// rules fail closed, the same convention as `deadline_miss_rate`).
 double quantile(std::vector<double> Samples, double Q);
+
+/// Two-sided 95% Student-t critical value for \p Df degrees of freedom:
+/// an exact table for 1..30, the normal 1.96 beyond. Used for the
+/// confidence intervals of sweep-pooled QoS indicators. Returns NaN for
+/// Df == 0 (one sample bounds nothing).
+double tCritical95(size_t Df);
 
 /// Ratio accumulator for percentage reporting (e.g. "38% admissible").
 class RatioCounter {

@@ -1,0 +1,91 @@
+#!/bin/sh
+#===-- tests/sweep_smoke.sh - End-to-end sweep harness smoke test --------===#
+#
+# Part of CWS, a reproduction of Toporkov, "Application-Level and Job-Flow
+# Scheduling" (PaCT 2009). Distributed without any warranty.
+#
+# Usage: sweep_smoke.sh <cws-sim> <cws-sweep> <cws-report>
+#
+# Pins the sweep harness acceptance properties end to end:
+#  1. a 1-scenario 1-seed sweep reproduces the direct single-run report
+#     byte for byte;
+#  2. pooled statistics are identical at any --workers value;
+#  3. quantile SLO rules gate the exit code: 0 on sane bounds, exactly 1
+#     on a forced breach (for cws-report --sweep and cws-sweep alike).
+#
+#===----------------------------------------------------------------------===#
+set -eu
+
+SIM=$1
+SWEEP=$2
+REPORT=$3
+TMP=$(mktemp -d)
+trap 'rm -rf "$TMP"' EXIT
+
+fail() {
+  echo "sweep_smoke: $1" >&2
+  exit 1
+}
+
+#=== 1. 1x1 sweep == direct run, byte for byte ===========================#
+cat > "$TMP/one.grid" <<EOF
+axis strategy S1
+seeds 1
+base_seed 42
+jobs 10
+EOF
+"$SWEEP" --grid "$TMP/one.grid" --workers 2 --out "$TMP/one.csv" \
+         --runs-dir "$TMP/onerun" --keep-runs 1 --quiet 1 > /dev/null \
+  || fail "1x1 sweep failed"
+# The exact invocation the sweep spawns for its single run.
+"$SIM" --strategy S1 --jobs 10 --scenario strategy=S1 --seed 42 \
+       --journal "$TMP/dj.jsonl" --timeseries "$TMP/dt.csv" \
+       > /dev/null 2>&1 || fail "direct cws-sim run failed"
+"$REPORT" --journal "$TMP/onerun/run-0.journal.jsonl" \
+          --timeseries "$TMP/onerun/run-0.ts.csv" \
+          --out "$TMP/sweeprep.md" || fail "report on sweep artifacts failed"
+"$REPORT" --journal "$TMP/dj.jsonl" --timeseries "$TMP/dt.csv" \
+          --out "$TMP/directrep.md" || fail "report on direct run failed"
+cmp "$TMP/sweeprep.md" "$TMP/directrep.md" \
+  || fail "1x1 sweep report differs from the direct single-run report"
+
+#=== 2. Worker-count independence ========================================#
+cat > "$TMP/mini.grid" <<EOF
+axis arrival_scale 1.0 2.0
+axis strategy S1 S2
+seeds 2
+base_seed 42
+jobs 8
+EOF
+"$SWEEP" --grid "$TMP/mini.grid" --workers 1 --out "$TMP/w1.csv" \
+         --runs-dir "$TMP/r1" --quiet 1 > /dev/null \
+  || fail "sweep with 1 worker failed"
+"$SWEEP" --grid "$TMP/mini.grid" --workers 4 --out "$TMP/w4.csv" \
+         --runs-dir "$TMP/r4" --quiet 1 > /dev/null \
+  || fail "sweep with 4 workers failed"
+cmp "$TMP/w1.csv" "$TMP/w4.csv" \
+  || fail "pooled statistics depend on the worker count"
+
+#=== 3. Quantile SLO gating ==============================================#
+cat > "$TMP/pass.slo" <<EOF
+deadline_miss_rate.p90 <= 1.0 across seeds
+commit_rate.max >= 0.0
+EOF
+"$REPORT" --sweep "$TMP/w1.csv" --slo "$TMP/pass.slo" > /dev/null \
+  || fail "sane quantile SLO did not pass"
+
+cat > "$TMP/breach.slo" <<EOF
+commit_rate.p50 >= 1.5 across seeds
+EOF
+STATUS=0
+"$REPORT" --sweep "$TMP/w1.csv" --slo "$TMP/breach.slo" > /dev/null \
+  || STATUS=$?
+[ "$STATUS" -eq 1 ] \
+  || fail "forced breach exited $STATUS via cws-report, expected 1"
+STATUS=0
+"$SWEEP" --grid "$TMP/mini.grid" --workers 2 --runs-dir "$TMP/r5" \
+         --slo "$TMP/breach.slo" --quiet 1 > /dev/null || STATUS=$?
+[ "$STATUS" -eq 1 ] \
+  || fail "forced breach exited $STATUS via cws-sweep, expected 1"
+
+echo "sweep smoke ok"

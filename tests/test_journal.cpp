@@ -179,6 +179,44 @@ TEST_F(JournalTest, JsonlRoundTripPreservesEveryField) {
   EXPECT_EQ(P.byId(99), nullptr);
 }
 
+TEST_F(JournalTest, ProvenanceStampRoundTripsThroughTheMetaLine) {
+  Journal &Jn = Journal::global();
+  Jn.enable(16);
+  RunProvenance Prov;
+  Prov.Stamped = true;
+  Prov.Seed = 42;
+  Prov.ConfigHash = configHashOf("canonical text");
+  Prov.ScenarioId = "arrival_scale=2.0+strategy=S1";
+  Prov.Cli = "cws-sim --seed 42 --scenario \"x\"";
+  Jn.setProvenance(Prov);
+  Jn.append(JournalKind::Note, 1, 5);
+  Jn.disable();
+
+  ParsedJournal P;
+  std::string Error;
+  ASSERT_TRUE(parseJournalJsonl(Jn.jsonl(), P, Error)) << Error;
+  ASSERT_TRUE(P.Prov.valid());
+  EXPECT_EQ(P.Prov.Seed, 42u);
+  EXPECT_EQ(P.Prov.ConfigHash, Prov.ConfigHash);
+  EXPECT_EQ(P.Prov.ScenarioId, Prov.ScenarioId);
+  EXPECT_EQ(P.Prov.Cli, Prov.Cli);
+  EXPECT_TRUE(P.Prov.sameScenario(Prov));
+
+  // An unstamped journal parses with no provenance; a partial stamp
+  // (provenance strings without a seed) is rejected.
+  Jn.reset();
+  Jn.enable(16);
+  Jn.append(JournalKind::Note, 1, 5);
+  Jn.disable();
+  ASSERT_TRUE(parseJournalJsonl(Jn.jsonl(), P, Error)) << Error;
+  EXPECT_FALSE(P.Prov.valid());
+  EXPECT_FALSE(parseJournalJsonl(
+      "{\"kind\":\"journal.meta\",\"schema\":1,\"recorded\":0,"
+      "\"dropped\":0,\"scenario\":\"s\"}\n",
+      P, Error));
+  EXPECT_NE(Error.find("seed"), std::string::npos) << Error;
+}
+
 TEST_F(JournalTest, JsonlMetaReportsRingLosses) {
   Journal &Jn = Journal::global();
   Jn.enable(4);

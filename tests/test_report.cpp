@@ -56,6 +56,28 @@ TEST_F(ReportTest, ParsesTidyCsvRows) {
   EXPECT_EQ(Ts.Rows[2].Flow, "S1");
 }
 
+TEST_F(ReportTest, CsvProvenanceCommentFillsTheStamp) {
+  ParsedTimeSeries Ts;
+  std::string Error;
+  ASSERT_TRUE(parseTimeSeriesCsv(
+      "# provenance seed=9 config=0xabc scenario=lam=2+s=S1 cli=cws-sim "
+      "--seed 9\n"
+      "seq,tick,reason,series,node,flow,value\n"
+      "0,25,sample,jobs_committed,,,3\n",
+      Ts, Error))
+      << Error;
+  ASSERT_TRUE(Ts.Prov.valid());
+  EXPECT_EQ(Ts.Prov.Seed, 9u);
+  EXPECT_EQ(Ts.Prov.ConfigHash, "0xabc");
+  EXPECT_EQ(Ts.Prov.ScenarioId, "lam=2+s=S1");
+  EXPECT_EQ(Ts.Prov.Cli, "cws-sim --seed 9");
+  // Unstamped files still parse and report no provenance.
+  ASSERT_TRUE(parseTimeSeriesCsv("seq,tick,reason,series,node,flow,value\n",
+                                 Ts, Error))
+      << Error;
+  EXPECT_FALSE(Ts.Prov.valid());
+}
+
 TEST_F(ReportTest, RejectsMalformedCsv) {
   ParsedTimeSeries Ts;
   std::string Error;
@@ -97,6 +119,48 @@ TEST_F(ReportTest, RejectsMalformedSloRules) {
   EXPECT_FALSE(parseSloFile("x <= not_a_number\n", Rules, Error));
   EXPECT_FALSE(parseSloFile("x <= 1 trailing junk\n", Rules, Error));
   EXPECT_FALSE(parseSloFile("<= 1\n", Rules, Error));
+}
+
+TEST_F(ReportTest, ParsesQuantileSloGrammar) {
+  std::vector<SloRule> Rules;
+  std::string Error;
+  ASSERT_TRUE(parseSloFile("deadline_miss_rate.p90 <= 0.05 across seeds\n"
+                           "commit_rate.min >= 0.2\n"
+                           "mean_node_busy <= 0.95\n",
+                           Rules, Error))
+      << Error;
+  ASSERT_EQ(Rules.size(), 3u);
+  EXPECT_EQ(Rules[0].Indicator, "deadline_miss_rate");
+  EXPECT_EQ(Rules[0].Stat, "p90");
+  EXPECT_TRUE(Rules[0].AcrossSeeds);
+  EXPECT_EQ(Rules[0].fullName(), "deadline_miss_rate.p90");
+  EXPECT_EQ(Rules[1].Stat, "min");
+  EXPECT_FALSE(Rules[1].AcrossSeeds);
+  EXPECT_EQ(Rules[2].Stat, "");
+  EXPECT_EQ(Rules[2].fullName(), "mean_node_busy");
+
+  EXPECT_FALSE(parseSloFile("x.p45 <= 1\n", Rules, Error));
+  EXPECT_NE(Error.find("unknown statistic"), std::string::npos) << Error;
+  EXPECT_FALSE(parseSloFile(".p90 <= 1\n", Rules, Error));
+  EXPECT_FALSE(parseSloFile("x <= 1 across the universe\n", Rules, Error));
+}
+
+TEST_F(ReportTest, DistributionRulesFailClosedInSingleRunEvaluation) {
+  // A `.stat` / `across seeds` rule gates a pooled distribution; a
+  // single run has none, so it must never pass here.
+  std::map<std::string, double> Ind{{"deadline_miss_rate", 0.0}};
+  std::vector<SloRule> Rules;
+  std::string Error;
+  ASSERT_TRUE(parseSloFile("deadline_miss_rate.p90 <= 0.5 across seeds\n"
+                           "deadline_miss_rate.max <= 0.5\n",
+                           Rules, Error))
+      << Error;
+  std::vector<SloResult> R = evaluateSlo(Rules, Ind);
+  ASSERT_EQ(R.size(), 2u);
+  EXPECT_FALSE(R[0].Known);
+  EXPECT_FALSE(R[0].Pass);
+  EXPECT_FALSE(R[1].Known);
+  EXPECT_FALSE(R[1].Pass);
 }
 
 //===----------------------------------------------------------------------===//

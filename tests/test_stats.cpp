@@ -9,6 +9,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <vector>
 
 using namespace cws;
@@ -108,7 +109,10 @@ TEST(Histogram, BinBoundaries) {
 }
 
 TEST(Quantile, EmptyAndSingle) {
-  EXPECT_EQ(quantile({}, 0.5), 0.0);
+  // No samples -> no quantiles: NaN (reports render "n/a", SLO rules
+  // fail closed), never a silent 0.
+  EXPECT_TRUE(std::isnan(quantile({}, 0.5)));
+  EXPECT_TRUE(std::isnan(quantile({}, 0.0)));
   EXPECT_EQ(quantile({7.0}, 0.0), 7.0);
   EXPECT_EQ(quantile({7.0}, 1.0), 7.0);
 }

@@ -13,14 +13,22 @@
 ///   cws-sim --jobs 200 --journal=run.jsonl --timeseries=ts.csv
 ///   cws-report --journal=run.jsonl --timeseries=ts.csv
 ///              [--slo=run.slo] [--out report.md]
+///   cws-report --sweep=sweep.csv [--slo=sweep.slo] [--out report.md]
 ///
 /// The report renders an overview, the utilization summary with the
 /// top-5 most-contended nodes, the reallocation/invalidation timeline,
 /// and the per-flow QoS table. With `--slo` each rule of the file
 /// (`indicator <= bound`, `#` comments) is evaluated against the run's
 /// indicators and any breach makes the tool exit 1 — a CI-gateable
-/// alerting analog. Exit codes: 0 ok, 1 SLO breach or invalid journal,
-/// 2 usage / I/O error.
+/// alerting analog.
+///
+/// With `--sweep` the tool reads a pooled statistics store written by
+/// `cws-sweep --out` and renders the sweep report instead: per-scenario
+/// distributions, per-axis trends, crossing-point estimates, and the
+/// SLO verdict. Sweep SLO rules may gate pooled statistics
+/// (`deadline_miss_rate.p90 <= 0.05 across seeds`); distribution rules
+/// fail closed in single-run mode. Exit codes: 0 ok, 1 SLO breach or
+/// invalid journal, 2 usage / I/O error.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -49,34 +57,106 @@ static bool readFile(const std::string &Path, std::string &Out) {
 int main(int Argc, char **Argv) {
   std::string JournalFile;
   std::string TimeSeriesFile;
+  std::string SweepFile;
   std::string SloFile;
   std::string OutFile;
   Flags F;
   F.addString("journal", &JournalFile,
-              "decision journal written by cws-sim --journal (required)");
+              "decision journal written by cws-sim --journal (required "
+              "unless --sweep)");
   F.addString("timeseries", &TimeSeriesFile,
               "telemetry CSV written by cws-sim --timeseries");
+  F.addString("sweep", &SweepFile,
+              "pooled statistics CSV written by cws-sweep --out; renders "
+              "the sweep report instead of a run report");
   F.addString("slo", &SloFile,
-              "SLO rules ('indicator <= bound' lines); any breach makes "
-              "the exit code 1");
+              "SLO rules ('indicator <= bound' lines, pooled-statistic "
+              "rules like 'indicator.p90 <= bound across seeds' with "
+              "--sweep); any breach makes the exit code 1");
   F.addString("out", &OutFile,
               "write the Markdown report here instead of stdout");
   if (!F.parse(Argc, Argv))
     return 0;
+
+  std::string Text;
+  std::string Error;
+
+  //===--- Sweep mode ----------------------------------------------------===//
+  if (!SweepFile.empty()) {
+    if (!JournalFile.empty() || !TimeSeriesFile.empty()) {
+      std::fprintf(stderr,
+                   "cws-report: --sweep excludes --journal/--timeseries\n");
+      return 2;
+    }
+    if (!readFile(SweepFile, Text)) {
+      std::fprintf(stderr, "cws-report: cannot open '%s'\n",
+                   SweepFile.c_str());
+      return 2;
+    }
+    obs::SweepStore Store;
+    if (!obs::parseSweepCsv(Text, Store, Error)) {
+      std::fprintf(stderr, "cws-report: %s: %s\n", SweepFile.c_str(),
+                   Error.c_str());
+      return 2;
+    }
+    std::vector<obs::SweepSloResult> Slo;
+    bool Breached = false;
+    if (!SloFile.empty()) {
+      if (!readFile(SloFile, Text)) {
+        std::fprintf(stderr, "cws-report: cannot open '%s'\n",
+                     SloFile.c_str());
+        return 2;
+      }
+      std::vector<obs::SloRule> Rules;
+      if (!obs::parseSloFile(Text, Rules, Error)) {
+        std::fprintf(stderr, "cws-report: %s: %s\n", SloFile.c_str(),
+                     Error.c_str());
+        return 2;
+      }
+      Slo = obs::evaluateSweepSlo(Rules, Store);
+      for (const obs::SweepSloResult &R : Slo) {
+        if (R.Pass)
+          continue;
+        Breached = true;
+        if (!R.Known)
+          std::fprintf(stderr,
+                       "cws-report: SLO breach: no scenario defines "
+                       "'%s'\n",
+                       R.Rule.fullName().c_str());
+        else
+          std::fprintf(stderr,
+                       "cws-report: SLO breach: %s = %g at %s violates "
+                       "%s %g\n",
+                       R.Rule.fullName().c_str(), R.Worst,
+                       R.WorstScenario.c_str(),
+                       R.Rule.IsUpper ? "<=" : ">=", R.Rule.Bound);
+      }
+    }
+    std::string Report = obs::renderSweepReport(Store, Slo);
+    if (OutFile.empty()) {
+      std::cout << Report;
+    } else {
+      std::ofstream Out(OutFile);
+      if (!Out || !(Out << Report)) {
+        std::fprintf(stderr, "cws-report: cannot write '%s'\n",
+                     OutFile.c_str());
+        return 2;
+      }
+    }
+    return Breached ? 1 : 0;
+  }
 
   if (JournalFile.empty()) {
     std::fprintf(stderr, "cws-report: --journal is required (try --help)\n");
     return 2;
   }
 
-  std::string Text;
   if (!readFile(JournalFile, Text)) {
     std::fprintf(stderr, "cws-report: cannot open '%s'\n",
                  JournalFile.c_str());
     return 2;
   }
   obs::ParsedJournal J;
-  std::string Error;
   if (!obs::parseJournalJsonl(Text, J, Error)) {
     std::fprintf(stderr, "cws-report: %s: %s\n", JournalFile.c_str(),
                  Error.c_str());

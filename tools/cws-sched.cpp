@@ -27,6 +27,7 @@
 #include "metrics/Export.h"
 #include "obs/Journal.h"
 #include "obs/Metrics.h"
+#include "obs/Provenance.h"
 #include "obs/TimeSeries.h"
 #include "obs/Trace.h"
 #include "resource/Network.h"
@@ -152,6 +153,20 @@ int main(int Argc, char **Argv) {
       Config.Kind = K;
   if (BuildThreads > 0)
     Config.BuildThreads = static_cast<size_t>(BuildThreads);
+
+  // Provenance for the one-shot build: no seed or VoConfig exists, so
+  // the config hash covers the job description text plus the strategy
+  // knobs that shape the build.
+  obs::RunProvenance Prov;
+  Prov.Stamped = true;
+  Prov.Seed = 0;
+  Prov.ConfigHash = obs::configHashOf(
+      std::string("sched strategy=") + strategyName(Config.Kind) +
+      " now=" + std::to_string(Now) + "\n" + Text);
+  Prov.ScenarioId = "single";
+  Prov.Cli = obs::cliStringOf(Argc, Argv);
+  obs::Journal::global().setProvenance(Prov);
+  obs::TimeSeries::global().setProvenance(Prov);
 
   Network Net;
   Strategy S = Strategy::build(R.TheJob, Env, Net, Config, /*Owner=*/1,

@@ -15,17 +15,31 @@
 ///           [--metrics out.prom] [--journal run.jsonl]
 ///           [--timeseries ts.csv] [--sample-every N]
 ///           [--invalidation scan|index]
+///           [--arrival-scale X] [--background-scale X]
+///           [--fast-share Y] [--scenario ID]
+///
+/// The scale flags are the sweep axes `cws-sweep` drives: they multiply
+/// the arrival rate (divide interarrival gaps) and background load
+/// (divide background mean gaps), and set the fast-node share. All are
+/// the identity at their defaults. --scenario labels the run's
+/// provenance stamp; every journal / time-series artifact carries
+/// (seed, config hash, scenario, CLI) so aggregators can verify what
+/// they pool.
 ///
 //===----------------------------------------------------------------------===//
 
+#include "flow/VirtualOrganization.h"
 #include "metrics/Export.h"
 #include "metrics/QoS.h"
 #include "obs/Journal.h"
+#include "obs/Provenance.h"
 #include "obs/TimeSeries.h"
 #include "obs/Trace.h"
 #include "support/Flags.h"
 #include "support/Table.h"
 
+#include <algorithm>
+#include <cmath>
 #include <iostream>
 
 using namespace cws;
@@ -75,8 +89,31 @@ int main(int Argc, char **Argv) {
               "how env changes find broken strategies: index "
               "(event-driven slot index) or scan (full re-validation "
               "oracle)");
+  double ArrivalScale = 1.0;
+  double BackgroundScale = 1.0;
+  double FastShare = -1.0;
+  std::string Scenario = "single";
+  F.addReal("arrival-scale", &ArrivalScale,
+            "arrival-rate multiplier: interarrival gaps divide by this "
+            "(sweep axis; 1 = paper default)");
+  F.addReal("background-scale", &BackgroundScale,
+            "background-load multiplier: background mean gaps divide by "
+            "this (sweep axis; 1 = paper default)");
+  F.addReal("fast-share", &FastShare,
+            "share of fast nodes in the grid (sweep axis; negative = "
+            "paper default 1/3)");
+  F.addString("scenario", &Scenario,
+              "scenario id stamped into artifact provenance");
   if (!F.parse(Argc, Argv))
     return 0;
+  if (ArrivalScale <= 0 || BackgroundScale <= 0) {
+    std::fprintf(stderr, "cws-sim: scale factors must be positive\n");
+    return 2;
+  }
+  if (FastShare >= 0 && FastShare > 1.0) {
+    std::fprintf(stderr, "cws-sim: --fast-share must be in [0, 1]\n");
+    return 2;
+  }
   if (Invalidation != "scan" && Invalidation != "index") {
     std::fprintf(stderr,
                  "cws-sim: --invalidation must be scan or index, got "
@@ -112,6 +149,42 @@ int main(int Argc, char **Argv) {
       BuildThreads > 0 ? BuildThreads : 0);
   Config.Invalidation = Invalidation == "scan" ? InvalidationMode::Scan
                                                : InvalidationMode::Index;
+  // Sweep axes. Gaps scale by 1/factor so a scale of 2 means twice the
+  // arrival rate / background pressure; max(1, ...) keeps gaps legal.
+  auto ScaleGap = [](Tick Gap, double Scale) {
+    auto Scaled = static_cast<Tick>(
+        std::llround(static_cast<double>(Gap) / Scale));
+    return Scaled < 1 ? Tick(1) : Scaled;
+  };
+  Config.InterarrivalLo = ScaleGap(Config.InterarrivalLo, ArrivalScale);
+  Config.InterarrivalHi = ScaleGap(Config.InterarrivalHi, ArrivalScale);
+  Config.Background.MeanGapFast =
+      ScaleGap(Config.Background.MeanGapFast, BackgroundScale);
+  Config.Background.MeanGapMedium =
+      ScaleGap(Config.Background.MeanGapMedium, BackgroundScale);
+  Config.Background.MeanGapSlow =
+      ScaleGap(Config.Background.MeanGapSlow, BackgroundScale);
+  if (FastShare >= 0) {
+    Config.GridCfg.FastShare = FastShare;
+    // Keep the band shares a partition: medium takes at most what fast
+    // leaves, the remainder stays slow.
+    Config.GridCfg.MediumShare =
+        std::min(Config.GridCfg.MediumShare, 1.0 - FastShare);
+  }
+
+  // Stamp provenance into every enabled artifact before the run: the
+  // hash covers the *effective* configuration (after sweep-axis
+  // application), so replicas of one scenario agree and any divergent
+  // knob disagrees loudly at pooling time.
+  obs::RunProvenance Prov;
+  Prov.Stamped = true;
+  Prov.Seed = static_cast<uint64_t>(Seed);
+  Prov.ConfigHash = obs::configHashOf(voConfigCanonical(Config, Kind));
+  Prov.ScenarioId = Scenario;
+  Prov.Cli = obs::cliStringOf(Argc, Argv);
+  obs::Journal::global().setProvenance(Prov);
+  obs::TimeSeries::global().setProvenance(Prov);
+
   VoRunResult Run =
       runVirtualOrganization(Config, Kind, static_cast<uint64_t>(Seed));
 
