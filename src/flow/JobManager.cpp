@@ -45,6 +45,13 @@ struct FlowMetrics {
       "jobs committed on a different variant than forecast at arrival");
   obs::Counter &Completed = obs::Registry::global().counter(
       "cws_jobs_completed_total", "jobs that ran to completion");
+  obs::Counter &TenderKept = obs::Registry::global().counter(
+      "cws_shard_tender_kept_total",
+      "snapshot tender picks that survived re-validation at apply time");
+  obs::Counter &TenderRetried = obs::Registry::global().counter(
+      "cws_shard_tender_retried_total",
+      "snapshot tender picks broken by earlier commits of the drain, "
+      "re-evaluated serially");
   static FlowMetrics &get() {
     static FlowMetrics M;
     return M;
@@ -132,12 +139,17 @@ void journalInvalidate(obs::Journal &Jn, const Strategy &S, const Grid &G,
 }
 } // namespace
 
-bool JobManager::onArrival(const Job &J, Tick Now) {
-  FlowMetrics &M = FlowMetrics::get();
-  M.Submitted.add();
+JobManager::PreparedArrival JobManager::prepareArrival(const Job &J,
+                                                       Tick Now) {
+  FlowMetrics::get().Submitted.add();
   obs::Span ArrivalSpan("flow", "job.arrival", "job",
                         static_cast<int64_t>(J.id()));
+  PreparedArrival P{J, Strategy{}, {}};
   obs::Journal &Jn = obs::Journal::global();
+  // Defer the arrival and build events: batched admissions build in
+  // parallel, and finishArrival replays each buffer in canonical job
+  // order so the exported stream is independent of lane interleaving.
+  obs::JournalCaptureScope Capture(Jn, &P.Events);
   // The arrival event opens the job's causal chain and registers its
   // flow, so the flow-ignorant layers below (Strategy, Metascheduler)
   // inherit both.
@@ -146,7 +158,20 @@ bool JobManager::onArrival(const Job &J, Tick Now) {
               {{"deadline", J.deadline()},
                {"tasks", static_cast<int64_t>(J.taskCount())}},
               strategyName(Meta.strategyConfig().Kind), FlowId);
-  Strategy S = Meta.buildStrategy(J, Now);
+  P.S = Meta.buildStrategy(J, Now);
+  return P;
+}
+
+bool JobManager::onArrival(const Job &J, Tick Now) {
+  return finishArrival(prepareArrival(J, Now), Now);
+}
+
+bool JobManager::finishArrival(PreparedArrival &&P, Tick Now) {
+  FlowMetrics &M = FlowMetrics::get();
+  obs::Journal &Jn = obs::Journal::global();
+  Jn.appendBuffered(P.Events);
+  const Job &J = P.TheJob;
+  Strategy S = std::move(P.S);
 
   VoJobStats St;
   St.JobId = J.id();
@@ -161,7 +186,8 @@ bool JobManager::onArrival(const Job &J, Tick Now) {
     ForecastVariant = static_cast<size_t>(Best - S.variants().data());
   }
   Stats.push_back(St);
-  ArrivalSpan.arg("admissible", St.Admissible);
+  obs::Tracer::global().instant("flow", "job.admission", "admissible",
+                                St.Admissible ? 1 : 0);
   if (Jn.enabled())
     Jn.append(obs::JournalKind::Admission, J.id(), Now,
               {{"admissible", St.Admissible ? 1 : 0},
@@ -190,7 +216,18 @@ bool JobManager::onArrival(const Job &J, Tick Now) {
   return true;
 }
 
-std::optional<Tick> JobManager::onNegotiation(unsigned JobId, Tick Now) {
+size_t JobManager::prepareNegotiation(unsigned JobId) const {
+  auto It = Active.find(JobId);
+  CWS_CHECK(It != Active.end(), "negotiation for an unknown job");
+  const ActiveJob &A = It->second;
+  const ScheduleVariant *Pick =
+      A.S.bestFitting(Meta.grid(), Metascheduler::ownerOf(JobId));
+  return Pick ? static_cast<size_t>(Pick - A.S.variants().data())
+              : PickNone;
+}
+
+std::optional<Tick> JobManager::onNegotiation(unsigned JobId, Tick Now,
+                                              size_t PickHint) {
   FlowMetrics &M = FlowMetrics::get();
   obs::Span NegotiationSpan("flow", "job.negotiate", "job",
                             static_cast<int64_t>(JobId));
@@ -204,7 +241,27 @@ std::optional<Tick> JobManager::onNegotiation(unsigned JobId, Tick Now) {
   // the job leaves the intersection index either way.
   deindexJob(JobId);
 
-  const ScheduleVariant *Pick = A.S.bestFitting(Meta.grid(), Owner);
+  // Optimistic tender: trust a snapshot pick that still fits. Variant
+  // costs are static and earlier commits of this drain only *add*
+  // reservations, so the fitting set can only have shrunk since the
+  // snapshot — a hint that survived is exactly the first-cheapest
+  // variant a serial bestFitting would return now, and a PickNone
+  // snapshot verdict cannot have un-stuck. Only a broken hint pays for
+  // a serial re-evaluation.
+  const ScheduleVariant *Pick = nullptr;
+  if (PickHint == NoPickHint) {
+    Pick = A.S.bestFitting(Meta.grid(), Owner);
+  } else if (PickHint != PickNone) {
+    CWS_CHECK(PickHint < A.S.variants().size(), "pick hint out of range");
+    const ScheduleVariant &Hint = A.S.variants()[PickHint];
+    if (Hint.feasible() && Hint.Result.Dist.fitsGrid(Meta.grid(), Owner)) {
+      Pick = &Hint;
+      M.TenderKept.add();
+    } else {
+      Pick = A.S.bestFitting(Meta.grid(), Owner);
+      M.TenderRetried.add();
+    }
+  }
   if (!Pick) {
     // The whole arrival-time strategy went stale during negotiation:
     // close its TTL.
@@ -353,8 +410,14 @@ void JobManager::runExecution(ActiveJob &A, const Distribution &D,
     return;
   ExecutionConfig Config = Exec;
   Config.DataKind = strategyDataPolicy(A.S.kind());
+  // Derive the job's deviation stream from (seed base, job id): the
+  // deviations a job sees are then identical at any shard count and
+  // independent of the order commits drained in.
+  Prng JobRng(ExecSeed ^
+              ((static_cast<uint64_t>(A.TheJob.id()) + 1) *
+               0x9e3779b97f4a7c15ULL));
   ExecutionResult R =
-      executeDistribution(A.S.scheduledJob(), D, Meta.grid(), ExecRng,
+      executeDistribution(A.S.scheduledJob(), D, Meta.grid(), JobRng,
                           Config);
   VoJobStats &St = statsOf(A);
   St.ActualCompletion = R.Completion;
@@ -430,10 +493,9 @@ void JobManager::onEnvironmentChange(Tick Now) {
     // reaches, in the same (ascending job id) order.
     std::vector<SlotRef> Hits;
     uint64_t Intersections = 0;
-    for (; LogCursor < Log->size(); ++LogCursor) {
-      const ReservedRange &R = Log->at(LogCursor);
+    LogCursor.drain(*Log, [&](const ReservedRange &R) {
       Intersections += Index.collect(R.NodeId, R.Begin, R.End, Hits);
-    }
+    });
     if (Hits.empty())
       return;
     std::sort(Hits.begin(), Hits.end(),

@@ -56,7 +56,22 @@ struct VoConfig {
   /// the event-driven slot-index pass (default) or the full scan (the
   /// differential-testing oracle behind --invalidation=scan).
   InvalidationMode Invalidation = InvalidationMode::Index;
+  /// Worker shards of the job-flow level: each flow's jobs are
+  /// partitioned across this many job managers (job id mod shards) and
+  /// per-tick admission / negotiation batches run their expensive
+  /// halves concurrently, one lane per shard. 0 = resolve from the
+  /// CWS_SHARDS environment variable (1 when unset). Results are
+  /// byte-identical at any value — see resolveShardCount.
+  size_t Shards = 0;
 };
+
+/// Effective shard count: \p Configured when positive, else the
+/// CWS_SHARDS environment variable when it parses to a positive
+/// integer, else 1; capped at 64 (the thread-pool's lane cap). The
+/// count only changes *who computes what in parallel* — journals,
+/// per-job stats and load attribution are byte-identical at any value,
+/// pinned by tests and the meta_shard_scaling bench.
+size_t resolveShardCount(size_t Configured);
 
 /// Result of one run.
 struct VoRunResult {

@@ -9,6 +9,7 @@
 #include "obs/Metrics.h"
 #include "support/Check.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 
@@ -78,47 +79,117 @@ void Journal::reset() {
   Prov = RunProvenance{};
 }
 
+namespace {
+/// This thread's capture sink: while set (and attached to the journal
+/// being appended to), events are deferred into the buffer instead of
+/// the ring. One slot suffices — capture scopes nest by saving the
+/// previous value.
+struct CaptureSink {
+  Journal *J = nullptr;
+  JournalBuffer *Buf = nullptr;
+};
+thread_local CaptureSink ActiveCapture;
+} // namespace
+
+JournalCaptureScope::JournalCaptureScope(Journal &J, JournalBuffer *Buf)
+    : Prev(ActiveCapture.Buf) {
+  ActiveCapture.J = &J;
+  ActiveCapture.Buf = Buf;
+}
+
+JournalCaptureScope::~JournalCaptureScope() { ActiveCapture.Buf = Prev; }
+
 uint64_t Journal::append(JournalKind Kind, int64_t JobId, int64_t At,
                          std::initializer_list<JournalArg> Args,
                          const char *Detail, int FlowId, uint64_t Trigger) {
   if (!enabled())
     return 0;
+  JournalBuffer::Pending P;
+  P.Kind = Kind;
+  P.JobId = JobId;
+  P.At = At;
+  P.Detail = Detail;
+  P.FlowId = FlowId;
+  P.Trigger = Trigger;
+  for (const JournalArg &A : Args) {
+    if (P.ArgCount >= JournalEvent::MaxArgs)
+      break;
+    P.Args[P.ArgCount++] = A;
+  }
+  if (ActiveCapture.Buf && ActiveCapture.J == this) {
+    ActiveCapture.Buf->Events.push_back(P);
+    return 0; // Ids are assigned at replay.
+  }
+  return appendEvent(P);
+}
+
+uint64_t Journal::appendEvent(const JournalBuffer::Pending &P) {
   std::lock_guard<std::mutex> Lock(Mu);
   if (Ring.empty())
     return 0; // reset() raced the enabled check.
   JournalEvent &E = Ring[Head % Ring.size()];
   E = JournalEvent{};
   E.Id = Head + 1;
-  E.Kind = Kind;
-  E.JobId = JobId;
-  E.At = At;
-  E.Detail = Detail;
-  for (const JournalArg &A : Args) {
-    if (E.ArgCount >= JournalEvent::MaxArgs)
-      break;
-    E.Args[E.ArgCount++] = A;
-  }
-  if (JobId >= 0) {
-    auto Last = LastOf.find(JobId);
+  E.Kind = P.Kind;
+  E.JobId = P.JobId;
+  E.At = P.At;
+  E.Detail = P.Detail;
+  E.ArgCount = P.ArgCount;
+  for (uint8_t I = 0; I < P.ArgCount; ++I)
+    E.Args[I] = P.Args[I];
+  int FlowId = P.FlowId;
+  if (P.JobId >= 0) {
+    auto Last = LastOf.find(P.JobId);
     E.Cause = Last == LastOf.end() ? 0 : Last->second;
-    LastOf[JobId] = E.Id;
+    LastOf[P.JobId] = E.Id;
     if (FlowId >= 0)
-      FlowOf[JobId] = FlowId;
-    else if (auto F = FlowOf.find(JobId); F != FlowOf.end())
+      FlowOf[P.JobId] = FlowId;
+    else if (auto F = FlowOf.find(P.JobId); F != FlowOf.end())
       FlowId = F->second;
   }
   E.FlowId = FlowId;
   // Invalidations and reallocations are consequences of environment
   // dynamics: attribute them to the latest change unless the caller
   // knows a more precise trigger.
-  if (Trigger == 0 &&
-      (Kind == JournalKind::Invalidate || Kind == JournalKind::Reallocate))
+  uint64_t Trigger = P.Trigger;
+  if (Trigger == 0 && (P.Kind == JournalKind::Invalidate ||
+                       P.Kind == JournalKind::Reallocate))
     Trigger = LastEnvChangeId;
   E.Trigger = Trigger;
-  if (Kind == JournalKind::EnvChange)
+  if (P.Kind == JournalKind::EnvChange)
     LastEnvChangeId = E.Id;
   ++Head;
   return E.Id;
+}
+
+void Journal::appendBuffered(JournalBuffer &Buf) {
+  if (enabled())
+    for (const JournalBuffer::Pending &P : Buf.Events)
+      appendEvent(P);
+  Buf.clear();
+}
+
+void Journal::appendBufferedByJob(
+    const std::vector<JournalBuffer *> &Buffers) {
+  if (enabled()) {
+    // Stable merge by ascending job id. Each buffer is already in
+    // ascending-job order and a job's events live in exactly one
+    // buffer, so a stable sort reproduces the order one shard would
+    // have emitted.
+    std::vector<const JournalBuffer::Pending *> Merged;
+    for (const JournalBuffer *B : Buffers)
+      for (const JournalBuffer::Pending &P : B->Events)
+        Merged.push_back(&P);
+    std::stable_sort(Merged.begin(), Merged.end(),
+                     [](const JournalBuffer::Pending *A,
+                        const JournalBuffer::Pending *B) {
+                       return A->JobId < B->JobId;
+                     });
+    for (const JournalBuffer::Pending *P : Merged)
+      appendEvent(*P);
+  }
+  for (JournalBuffer *B : Buffers)
+    B->clear();
 }
 
 uint64_t Journal::recorded() const {

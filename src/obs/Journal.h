@@ -146,6 +146,29 @@ struct JournalEvent {
   JournalArg Args[MaxArgs];
 };
 
+/// A deferred batch of journal events, captured by one thread during a
+/// parallel phase and replayed later in canonical order. The buffer
+/// stores the caller-visible fields only; `Id`, `Cause`, `Trigger`
+/// resolution and flow inheritance are computed at replay, so a
+/// captured-and-replayed stream is byte-identical to the same calls
+/// appended directly in replay order.
+struct JournalBuffer {
+  struct Pending {
+    JournalKind Kind = JournalKind::Note;
+    int64_t JobId = -1;
+    int64_t At = 0;
+    uint8_t ArgCount = 0;
+    JournalArg Args[JournalEvent::MaxArgs];
+    const char *Detail = nullptr;
+    int FlowId = -1;
+    uint64_t Trigger = 0;
+  };
+  std::vector<Pending> Events;
+
+  bool empty() const { return Events.empty(); }
+  void clear() { Events.clear(); }
+};
+
 /// Thread-safe append-only ring journal.
 class Journal {
 public:
@@ -185,6 +208,17 @@ public:
                   const char *Detail = nullptr, int FlowId = -1,
                   uint64_t Trigger = 0);
 
+  /// Replays \p Buf through append() in capture order and clears it.
+  /// Serial: call from one thread after the parallel phase ended.
+  void appendBuffered(JournalBuffer &Buf);
+
+  /// Replays several capture buffers merged by ascending job id (stable
+  /// within a job) and clears them. This is the shard-merge primitive:
+  /// each shard's buffer is already in ascending-job order and jobs
+  /// never span shards, so the merged stream equals the order a single
+  /// shard would have produced.
+  void appendBufferedByJob(const std::vector<JournalBuffer *> &Buffers);
+
   /// Events appended since enable() (including overwritten ones).
   uint64_t recorded() const;
   /// Events lost to ring wraparound.
@@ -208,6 +242,12 @@ public:
   void reset();
 
 private:
+  friend class JournalCaptureScope;
+
+  /// The locked ring-write core shared by append() and the buffered
+  /// replays.
+  uint64_t appendEvent(const JournalBuffer::Pending &P);
+
   std::atomic<bool> On{false};
   mutable std::mutex Mu;
   RunProvenance Prov;
@@ -219,6 +259,25 @@ private:
   std::unordered_map<int64_t, uint64_t> LastOf;
   /// Flow per job, learned from the first event that carries one.
   std::unordered_map<int64_t, int32_t> FlowOf;
+};
+
+/// RAII capture scope: while alive, every append() *this thread* makes
+/// to \p J lands in \p Buf instead of the ring (other threads are
+/// unaffected — the sink is thread-local). Scopes nest; destruction
+/// restores the previous sink. Parallel phases wrap each body in a
+/// scope over a per-slot buffer, then the serial phase replays the
+/// buffers in canonical order, keeping the exported stream independent
+/// of thread interleaving. A no-op while the journal is disabled.
+class JournalCaptureScope {
+public:
+  JournalCaptureScope(Journal &J, JournalBuffer *Buf);
+  ~JournalCaptureScope();
+
+  JournalCaptureScope(const JournalCaptureScope &) = delete;
+  JournalCaptureScope &operator=(const JournalCaptureScope &) = delete;
+
+private:
+  JournalBuffer *Prev;
 };
 
 /// Publishes the journal's loss counters into \p R as

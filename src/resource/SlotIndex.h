@@ -62,6 +62,29 @@ private:
   std::vector<ReservedRange> Added;
 };
 
+/// One consumer's position in an EnvChangeLog. Sharded runs give every
+/// (flow, shard) job manager its own cursor, so each shard drains the
+/// shared log independently — concurrent drains are safe because the
+/// log is append-only, drains only read the suffix written before the
+/// tick barrier, and each cursor is owned by exactly one shard.
+class EnvLogCursor {
+public:
+  /// Invokes \p Fn on every range appended since the last drain and
+  /// advances past them. Returns the number of ranges drained.
+  template <typename FnT> size_t drain(const EnvChangeLog &Log, FnT &&Fn) {
+    size_t Seen = 0;
+    for (size_t End = Log.size(); Next < End; ++Next, ++Seen)
+      Fn(Log.at(Next));
+    return Seen;
+  }
+
+  /// Ranges consumed so far.
+  size_t position() const { return Next; }
+
+private:
+  size_t Next = 0;
+};
+
 /// What an intersection query reports: one (job, variant) whose slot a
 /// changed range overlaps.
 struct SlotRef {

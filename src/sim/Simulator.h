@@ -33,6 +33,15 @@ public:
   /// Schedules \p Fn after \p Delay ticks.
   EventId after(Tick Delay, EventFn Fn);
 
+  /// Schedules \p Fn at the current tick, behind every event already
+  /// queued for it (same-tick events fire in insertion order). This is
+  /// the job-flow level's tick barrier: events accumulate a batch and
+  /// arm one end-of-tick drain that sees the whole tick's arrivals.
+  /// Events inserted *after* the drain (including by the drain itself)
+  /// fire later the same tick, so a drain that triggers more same-tick
+  /// work simply re-arms.
+  EventId atEndOfTick(EventFn Fn) { return at(Now, std::move(Fn)); }
+
   /// Cancels a pending event.
   bool cancel(EventId Id) { return Events.cancel(Id); }
 

@@ -60,10 +60,17 @@ void ThreadPool::workerLoop() {
 
 void ThreadPool::parallelFor(size_t N, const std::function<void(size_t)> &Body,
                              size_t MaxLanes) {
-  if (N == 0)
+  submitRange(0, N, Body, MaxLanes);
+}
+
+void ThreadPool::submitRange(size_t Begin, size_t End,
+                             const std::function<void(size_t)> &Body,
+                             size_t MaxLanes) {
+  if (Begin >= End)
     return;
+  size_t N = End - Begin;
   if (N == 1 || MaxLanes == 1) {
-    for (size_t I = 0; I < N; ++I)
+    for (size_t I = Begin; I < End; ++I)
       Body(I);
     return;
   }
@@ -78,12 +85,14 @@ void ThreadPool::parallelFor(size_t N, const std::function<void(size_t)> &Body,
   struct Batch {
     std::atomic<size_t> Next{0};
     std::atomic<size_t> Done{0};
+    size_t Begin = 0;
     size_t N = 0;
     const std::function<void(size_t)> *Body = nullptr;
     std::mutex DoneMu;
     std::condition_variable AllDone;
   };
   auto B = std::make_shared<Batch>();
+  B->Begin = Begin;
   B->N = N;
   B->Body = &Body;
 
@@ -93,7 +102,7 @@ void ThreadPool::parallelFor(size_t N, const std::function<void(size_t)> &Body,
       size_t I = B->Next.fetch_add(1, std::memory_order_relaxed);
       if (I >= B->N)
         break;
-      (*B->Body)(I);
+      (*B->Body)(B->Begin + I);
       ++Finished;
     }
     if (Finished == 0)
@@ -109,6 +118,7 @@ void ThreadPool::parallelFor(size_t N, const std::function<void(size_t)> &Body,
 
   size_t Helpers;
   {
+    // One lock round-trip enqueues the helpers for the whole range.
     std::lock_guard<std::mutex> Lock(Mu);
     Helpers = std::min(Workers.size(), N - 1);
     if (MaxLanes != 0)

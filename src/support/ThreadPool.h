@@ -61,6 +61,15 @@ public:
   void parallelFor(size_t N, const std::function<void(size_t)> &Body,
                    size_t MaxLanes = 0);
 
+  /// Batch submit: runs Body(Begin) .. Body(End - 1) with the same
+  /// claiming discipline as parallelFor, paying one queue lock
+  /// round-trip for the whole range instead of one per element — the
+  /// primitive per-tick admission batches are drained through. The
+  /// caller participates and the call blocks until the range is done.
+  void submitRange(size_t Begin, size_t End,
+                   const std::function<void(size_t)> &Body,
+                   size_t MaxLanes = 0);
+
   /// The process-wide pool, sized to defaultThreads() - 1 workers (the
   /// caller is the remaining lane) on first use.
   static ThreadPool &global();

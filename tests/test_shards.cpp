@@ -1,0 +1,230 @@
+//===-- tests/test_shards.cpp - Sharded job-flow pipeline tests -----------===//
+//
+// Part of CWS, a reproduction of Toporkov, "Application-Level and Job-Flow
+// Scheduling" (PaCT 2009). Distributed without any warranty.
+//
+//===----------------------------------------------------------------------===//
+//
+// The sharded job-flow metascheduler: shard-count differentials
+// (byte-identical journals and per-job stats at any --shards value,
+// both invalidation modes), the owner-id stripe partition, the
+// economy's per-shard charge ledgers, and shard-count resolution.
+//
+//===----------------------------------------------------------------------===//
+
+#include "flow/Economy.h"
+#include "flow/Metascheduler.h"
+#include "flow/VirtualOrganization.h"
+#include "metrics/Export.h"
+#include "obs/Journal.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <set>
+#include <string>
+#include <vector>
+
+using namespace cws;
+
+namespace {
+
+class ShardTest : public ::testing::Test {
+protected:
+  void SetUp() override { obs::Journal::global().reset(); }
+  void TearDown() override { obs::Journal::global().reset(); }
+};
+
+/// One journaled multi-flow run; returns the journal bytes and the
+/// per-flow per-job CSVs (everything downstream consumers see).
+struct RunArtifacts {
+  std::string Journal;
+  std::vector<std::string> FlowCsvs;
+};
+
+RunArtifacts shardedVoRun(size_t Shards, uint64_t Seed,
+                          InvalidationMode Mode, bool Exec = false) {
+  VoConfig Config;
+  Config.JobCount = 36;
+  // Bursty arrivals so per-tick batches genuinely hold several jobs
+  // and the commit pipeline sees multi-job drains.
+  Config.InterarrivalLo = 0;
+  Config.InterarrivalHi = 6;
+  Config.Invalidation = Mode;
+  Config.ExecuteWithDeviations = Exec;
+  Config.Shards = Shards;
+  obs::Journal &Jn = obs::Journal::global();
+  Jn.reset();
+  Jn.enable();
+  std::vector<VoRunResult> Results =
+      runMultiFlowVo(Config, {StrategyKind::S1, StrategyKind::S3}, Seed);
+  Jn.disable();
+  RunArtifacts Out;
+  Out.Journal = Jn.jsonl();
+  for (const VoRunResult &R : Results)
+    Out.FlowCsvs.push_back(voStatsCsv(R.Jobs));
+  Jn.reset();
+  return Out;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Shard-count differential: byte-identical journals and stats
+//===----------------------------------------------------------------------===//
+
+TEST_F(ShardTest, JournalsAndStatsAreByteIdenticalAtAnyShardCount) {
+  for (uint64_t Seed : {3u, 7u, 11u}) {
+    for (InvalidationMode Mode :
+         {InvalidationMode::Scan, InvalidationMode::Index}) {
+      RunArtifacts Base = shardedVoRun(1, Seed, Mode);
+      ASSERT_FALSE(Base.Journal.empty());
+      for (size_t Shards : {size_t(2), size_t(4)}) {
+        RunArtifacts Sharded = shardedVoRun(Shards, Seed, Mode);
+        EXPECT_EQ(Base.Journal, Sharded.Journal)
+            << "seed " << Seed << ", " << Shards << " shards, "
+            << (Mode == InvalidationMode::Scan ? "scan" : "index");
+        ASSERT_EQ(Base.FlowCsvs.size(), Sharded.FlowCsvs.size());
+        for (size_t F = 0; F < Base.FlowCsvs.size(); ++F)
+          EXPECT_EQ(Base.FlowCsvs[F], Sharded.FlowCsvs[F])
+              << "seed " << Seed << ", " << Shards << " shards, flow "
+              << F;
+      }
+    }
+  }
+}
+
+TEST_F(ShardTest, ExecutionDeviationsAreShardInvariant) {
+  // The per-job execution RNG derives from (flow seed, job id), so
+  // actual completions must not depend on which shard ran the job or
+  // on commit batching.
+  RunArtifacts Base = shardedVoRun(1, /*Seed=*/5, InvalidationMode::Index,
+                                   /*Exec=*/true);
+  RunArtifacts Sharded = shardedVoRun(3, /*Seed=*/5, InvalidationMode::Index,
+                                      /*Exec=*/true);
+  EXPECT_EQ(Base.Journal, Sharded.Journal);
+  EXPECT_EQ(Base.FlowCsvs, Sharded.FlowCsvs);
+}
+
+//===----------------------------------------------------------------------===//
+// Owner-id stripes
+//===----------------------------------------------------------------------===//
+
+TEST(ShardOwners, StripesAreDisjointAndCoverEveryJob) {
+  constexpr size_t Shards = 4;
+  std::set<OwnerId> Seen;
+  for (unsigned JobId = 0; JobId < 1000; ++JobId) {
+    OwnerId Owner = Metascheduler::ownerOf(JobId);
+    // Owner ids are pure in the job id: the same at every shard count.
+    EXPECT_EQ(Owner, JobOwnerBase + JobId);
+    // Exactly one shard owns each id (insertion implies no collision).
+    EXPECT_TRUE(Seen.insert(Owner).second);
+    size_t S = Metascheduler::shardOfJob(JobId, Shards);
+    EXPECT_LT(S, Shards);
+    // The stripe rule: shard S owns { JobOwnerBase + S + k * Shards }.
+    EXPECT_EQ((Owner - JobOwnerBase) % Shards, S);
+    // Owner -> shard agrees with job -> shard.
+    EXPECT_EQ(Metascheduler::shardOfOwner(Owner, Shards), S);
+  }
+  EXPECT_EQ(Seen.size(), 1000u);
+}
+
+TEST(ShardOwners, SingleShardOwnsEverything) {
+  for (unsigned JobId : {0u, 1u, 17u, 999u}) {
+    EXPECT_EQ(Metascheduler::shardOfJob(JobId, 1), 0u);
+    EXPECT_EQ(Metascheduler::shardOfJob(JobId, 0), 0u);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Economy ledgers
+//===----------------------------------------------------------------------===//
+
+TEST(ShardEconomy, MergeIsInsensitiveToRecordingOrderAndShardCount) {
+  // The same set of charges, recorded in three different shard/order
+  // configurations, must leave every account with bit-identical spend.
+  struct Charge {
+    unsigned User;
+    unsigned JobId;
+    double Amount;
+  };
+  // Amounts chosen so float addition order matters if unsorted.
+  const std::vector<Charge> Charges = {{0, 4, 0.1},  {0, 1, 1e8},
+                                       {0, 9, 0.2},  {1, 2, 3.7},
+                                       {0, 6, 1e-7}, {1, 8, 0.3}};
+  auto SpentAfter = [&](size_t Shards,
+                        const std::vector<size_t> &Order) {
+    Economy E;
+    E.addUser(1e12);
+    E.addUser(1e12);
+    E.beginLedgers(Shards);
+    for (size_t I : Order) {
+      const Charge &C = Charges[I];
+      E.setActiveShard(C.JobId % Shards, C.JobId);
+      EXPECT_TRUE(E.charge(C.User, C.Amount));
+    }
+    E.mergeLedgers();
+    return std::make_pair(E.spent(0), E.spent(1));
+  };
+  auto Base = SpentAfter(1, {0, 1, 2, 3, 4, 5});
+  EXPECT_EQ(Base, SpentAfter(1, {5, 4, 3, 2, 1, 0}));
+  EXPECT_EQ(Base, SpentAfter(3, {2, 0, 5, 1, 4, 3}));
+  EXPECT_EQ(Base, SpentAfter(4, {3, 5, 0, 4, 2, 1}));
+}
+
+TEST(ShardEconomy, CanAffordCountsPendingLedgerDebits) {
+  Economy E;
+  unsigned User = E.addUser(100.0);
+  E.beginLedgers(2);
+  E.setActiveShard(0, /*JobId=*/0);
+  EXPECT_TRUE(E.charge(User, 60.0));
+  // The debit is still pending, not merged...
+  EXPECT_DOUBLE_EQ(E.spent(User), 0.0);
+  EXPECT_DOUBLE_EQ(E.pendingOf(User), 60.0);
+  // ...but affordability must already see it, or a later job of the
+  // same drain could overspend the quota.
+  EXPECT_FALSE(E.canAfford(User, 50.0));
+  EXPECT_TRUE(E.canAfford(User, 40.0));
+  E.mergeLedgers();
+  EXPECT_DOUBLE_EQ(E.spent(User), 60.0);
+  EXPECT_DOUBLE_EQ(E.pendingOf(User), 0.0);
+  EXPECT_FALSE(E.canAfford(User, 50.0));
+}
+
+//===----------------------------------------------------------------------===//
+// Shard-count resolution
+//===----------------------------------------------------------------------===//
+
+TEST(ShardResolve, ExplicitValueWinsEnvFillsDefaultCapsApply) {
+  ASSERT_EQ(unsetenv("CWS_SHARDS"), 0);
+  EXPECT_EQ(resolveShardCount(0), 1u);
+  EXPECT_EQ(resolveShardCount(3), 3u);
+  EXPECT_EQ(resolveShardCount(200), 64u); // pool lane cap
+
+  ASSERT_EQ(setenv("CWS_SHARDS", "4", 1), 0);
+  EXPECT_EQ(resolveShardCount(0), 4u);
+  // An explicit configuration beats the environment.
+  EXPECT_EQ(resolveShardCount(2), 2u);
+  // Garbage and non-positive values fall back to 1.
+  ASSERT_EQ(setenv("CWS_SHARDS", "banana", 1), 0);
+  EXPECT_EQ(resolveShardCount(0), 1u);
+  ASSERT_EQ(setenv("CWS_SHARDS", "0", 1), 0);
+  EXPECT_EQ(resolveShardCount(0), 1u);
+  ASSERT_EQ(setenv("CWS_SHARDS", "-3", 1), 0);
+  EXPECT_EQ(resolveShardCount(0), 1u);
+  ASSERT_EQ(unsetenv("CWS_SHARDS"), 0);
+}
+
+//===----------------------------------------------------------------------===//
+// Config canonical text records the resolved shard count
+//===----------------------------------------------------------------------===//
+
+TEST(ShardCanonical, ResolvedCountAppearsInProvenanceText) {
+  ASSERT_EQ(unsetenv("CWS_SHARDS"), 0);
+  VoConfig Config;
+  std::string One = voConfigCanonical(Config, StrategyKind::S1);
+  EXPECT_NE(One.find("vo.shards=1 "), std::string::npos);
+  Config.Shards = 4;
+  std::string Four = voConfigCanonical(Config, StrategyKind::S1);
+  EXPECT_NE(Four.find("vo.shards=4 "), std::string::npos);
+}

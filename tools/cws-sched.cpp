@@ -87,6 +87,12 @@ int main(int Argc, char **Argv) {
               "how env changes find broken strategies: index or scan "
               "(no-op for a one-shot build; accepted for tool-flag "
               "uniformity with cws-sim)");
+  // Like --invalidation: a one-shot build has no job flow to shard, but
+  // scripts pass one uniform command line to both tools.
+  int64_t Shards = 0;
+  F.addInt("shards", &Shards,
+           "worker shards of the job-flow level (no-op for a one-shot "
+           "build; accepted for tool-flag uniformity with cws-sim)");
   if (!F.parse(Argc, Argv))
     return 0;
   if (Invalidation != "scan" && Invalidation != "index") {
@@ -94,6 +100,10 @@ int main(int Argc, char **Argv) {
                  "cws-sched: --invalidation must be scan or index, got "
                  "'%s'\n",
                  Invalidation.c_str());
+    return 2;
+  }
+  if (Shards < 0) {
+    std::fprintf(stderr, "cws-sched: --shards must be >= 0\n");
     return 2;
   }
 

@@ -10,7 +10,7 @@
 /// command line and report QoS aggregates or a per-job CSV. Usage:
 ///
 ///   cws-sim [--strategy S1|S2|S3|MS1] [--jobs N] [--seed S]
-///           [--slack X] [--csv 1] [--build-threads N]
+///           [--slack X] [--csv 1] [--build-threads N] [--shards N]
 ///           [--trace out.json] [--trace-categories core,flow]
 ///           [--metrics out.prom] [--journal run.jsonl]
 ///           [--timeseries ts.csv] [--sample-every N]
@@ -69,6 +69,11 @@ int main(int Argc, char **Argv) {
   F.addInt("build-threads", &BuildThreads,
            "worker lanes for strategy builds (0 = hardware concurrency / "
            "CWS_BUILD_THREADS, 1 = serial)");
+  int64_t Shards = 0;
+  F.addInt("shards", &Shards,
+           "worker shards of the job-flow level: parallel ingest and "
+           "tender evaluation, results byte-identical at any value "
+           "(0 = CWS_SHARDS env, 1 when unset)");
   F.addString("trace", &TraceFile,
               "write a Chrome trace-event JSON timeline of the run");
   F.addString("trace-categories", &TraceCategories,
@@ -121,6 +126,10 @@ int main(int Argc, char **Argv) {
                  Invalidation.c_str());
     return 2;
   }
+  if (Shards < 0) {
+    std::fprintf(stderr, "cws-sim: --shards must be >= 0\n");
+    return 2;
+  }
 
   if (!TraceFile.empty()) {
     obs::Tracer::global().setCategoryFilter(TraceCategories);
@@ -149,6 +158,7 @@ int main(int Argc, char **Argv) {
       BuildThreads > 0 ? BuildThreads : 0);
   Config.Invalidation = Invalidation == "scan" ? InvalidationMode::Scan
                                                : InvalidationMode::Index;
+  Config.Shards = static_cast<size_t>(Shards);
   // Sweep axes. Gaps scale by 1/factor so a scale of 2 means twice the
   // arrival rate / background pressure; max(1, ...) keeps gaps legal.
   auto ScaleGap = [](Tick Gap, double Scale) {
