@@ -20,6 +20,7 @@
 
 #include "flow/VirtualOrganization.h"
 #include "metrics/Export.h"
+#include "obs/Diff.h"
 #include "obs/Journal.h"
 #include "obs/Metrics.h"
 #include "support/Check.h"
@@ -114,16 +115,32 @@ int main() {
   // computes, only how fast it computes it.
   RunArtifacts Base = journaledRun(1);
   CWS_CHECK(!Base.Journal.empty(), "baseline run must journal events");
+  obs::ParsedJournal BaseJournal;
+  std::string ParseError;
+  CWS_CHECK(obs::parseJournalJsonl(Base.Journal, BaseJournal, ParseError),
+            "baseline journal must parse");
   for (size_t Shards : ShardCounts) {
     if (Shards == 1)
       continue;
     RunArtifacts Sharded = journaledRun(Shards);
-    CWS_CHECK(Sharded.Journal == Base.Journal,
-              "sharded journal must be byte-identical to the 1-shard run");
+    // Semantic journal equality via the cws-diff comparator: on a
+    // violation it names the first diverging (job, tick) instead of
+    // leaving a byte offset to decode.
+    obs::ParsedJournal ShardedJournal;
+    CWS_CHECK(obs::parseJournalJsonl(Sharded.Journal, ShardedJournal,
+                                     ParseError),
+              "sharded journal must parse");
+    obs::DiffResult Diff = obs::diffJournals(BaseJournal, ShardedJournal);
+    if (!Diff.identical())
+      std::cout << obs::renderDiffText(Diff, "1 shard",
+                                       std::to_string(Shards) + " shards");
+    CWS_CHECK(Diff.identical(),
+              "sharded journal must be semantically identical to the "
+              "1-shard run");
     CWS_CHECK(Sharded.StatsCsv == Base.StatsCsv,
               "sharded per-job stats must match the 1-shard run");
   }
-  std::printf("determinism: journals and stats byte-identical at shards "
+  std::printf("determinism: journals and stats identical at shards "
               "{1, 2, 4, 8}\n\n");
 
   // Timing pass, journal off so ingest throughput is the bottleneck.

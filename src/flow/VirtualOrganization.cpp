@@ -544,12 +544,11 @@ std::string cws::voConfigCanonical(const VoConfig &Config, StrategyKind Kind) {
   Num("vo.exec_factor_lo", Config.Execution.FactorLo);
   Num("vo.exec_factor_hi", Config.Execution.FactorHi);
   Int("vo.exec_extension", Config.Execution.MaxExtension);
-  // Recorded as the *resolved* count even though results are
-  // shard-invariant (pinned by tests): like vo.invalidation, the shard
-  // pipeline is a flow-level execution mode and a journal's provenance
-  // should say which partitioning produced it. Byte-level comparisons
-  // across shard counts therefore skip the journal meta line.
-  Int("vo.shards", static_cast<long long>(resolveShardCount(Config.Shards)));
+  // The shard count is deliberately absent, like BuildThreads: results
+  // are shard-invariant (pinned by tests), so two runs of one
+  // configuration at different shard counts must share a hash. The
+  // resolved count still reaches the provenance stamp as its own
+  // `shards` field, which `cws-diff` compares selectively.
   Out += std::string("vo.invalidation=") +
          (Config.Invalidation == InvalidationMode::Index ? "index" : "scan");
   return Out;

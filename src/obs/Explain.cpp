@@ -98,6 +98,12 @@ static void renderEventInline(std::string &Out, const ParsedJournalEvent &E) {
     Out += " " + A.first + "=" + std::to_string(A.second);
 }
 
+std::string cws::obs::renderJournalEventInline(const ParsedJournalEvent &E) {
+  std::string Out;
+  renderEventInline(Out, E);
+  return Out;
+}
+
 /// Appends "trigger: #N env.change ..." when \p E carries a trigger.
 static void renderTrigger(std::string &Out, const ParsedJournal &J,
                           const ParsedJournalEvent &E, const char *Indent) {

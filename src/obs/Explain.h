@@ -36,6 +36,11 @@ namespace obs {
 ///  - the meta header's `recorded`/`dropped` counts match the events.
 std::vector<std::string> validateJournal(const ParsedJournal &J);
 
+/// Renders one event in the shared inline form
+/// (`#id t=<tick> <kind> [detail] key=value ...`) used by every
+/// journal-derived rendering (timelines, diffs).
+std::string renderJournalEventInline(const ParsedJournalEvent &E);
+
 /// Renders the causal timeline of \p JobId: one line per event in id
 /// order (`#id t=<tick> <kind> ...`), with resolvable triggers
 /// expanded to the environment change they reference. Returns a "no

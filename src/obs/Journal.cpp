@@ -279,6 +279,10 @@ std::string Journal::jsonl() const {
     appendJsonString(Out, P.ConfigHash.c_str());
     Out += ",\"scenario\":";
     appendJsonString(Out, P.ScenarioId.c_str());
+    if (P.Shards > 0) {
+      Out += ",\"shards\":";
+      appendInt(Out, P.Shards);
+    }
     Out += ",\"cli\":";
     appendJsonString(Out, P.Cli.c_str());
   }
@@ -574,6 +578,8 @@ bool parseLine(const std::string &Line, ParsedJournalEvent &E,
       } else if (Key == "seed") {
         MetaProv.Seed = static_cast<uint64_t>(V);
         SawSeed = true;
+      } else if (Key == "shards") {
+        MetaProv.Shards = V;
       } else {
         Error = "unknown field '" + Key + "'";
         return false;

@@ -44,9 +44,12 @@ std::string cws::obs::provenanceCsvComment(const RunProvenance &P) {
     return std::string();
   // `cli` comes last so it may contain spaces; `scenario` ids are
   // token-shaped (the grid parser rejects whitespace in them).
-  return "# provenance seed=" + std::to_string(P.Seed) +
-         " config=" + P.ConfigHash + " scenario=" + P.ScenarioId +
-         " cli=" + P.Cli + "\n";
+  std::string Out = "# provenance seed=" + std::to_string(P.Seed) +
+                    " config=" + P.ConfigHash + " scenario=" + P.ScenarioId;
+  if (P.Shards > 0)
+    Out += " shards=" + std::to_string(P.Shards);
+  Out += " cli=" + P.Cli + "\n";
+  return Out;
 }
 
 bool cws::obs::parseProvenanceCsvComment(const std::string &Line,
@@ -76,6 +79,14 @@ bool cws::obs::parseProvenanceCsvComment(const std::string &Line,
   P.Seed = std::strtoull(SeedText.c_str(), &End, 10);
   if (End == SeedText.c_str() || *End)
     return false;
+  // Optional shard count (absent in artifacts stamped before it
+  // existed and in one-shot builds that resolve no shards).
+  std::string ShardsText;
+  if (takeField("shards=", ShardsText)) {
+    P.Shards = std::strtoll(ShardsText.c_str(), &End, 10);
+    if (End == ShardsText.c_str() || *End)
+      return false;
+  }
   // Everything after `cli=` (spaces included) is the command line.
   const std::string CliKey = "cli=";
   if (Rest.compare(0, CliKey.size(), CliKey) != 0)

@@ -41,6 +41,12 @@ struct RunProvenance {
   std::string ConfigHash;
   /// Scenario id the run belongs to ("single" for direct invocations).
   std::string ScenarioId;
+  /// Resolved job-flow shard count of the run (0 = not recorded, e.g.
+  /// one-shot cws-sched builds). Deliberately *outside* the config
+  /// hash: results are shard-invariant by construction, so two runs of
+  /// one configuration at different shard counts share a hash while
+  /// the stamp still says which partitioning produced each artifact.
+  int64_t Shards = 0;
   /// The invoking command line, flags joined with single spaces.
   std::string Cli;
 
@@ -66,8 +72,9 @@ std::string configHashOf(const std::string &CanonicalText);
 std::string cliStringOf(int Argc, char **Argv);
 
 /// Renders the CSV comment form:
-/// `# provenance seed=S config=H scenario=ID cli=...` (cli last, it may
-/// contain spaces). Empty string when \p P is not stamped.
+/// `# provenance seed=S config=H scenario=ID [shards=N] cli=...` (cli
+/// last, it may contain spaces; shards only when recorded). Empty
+/// string when \p P is not stamped.
 std::string provenanceCsvComment(const RunProvenance &P);
 
 /// Parses a `# provenance ...` comment line back. Returns false when

@@ -1,0 +1,111 @@
+#!/bin/sh
+#===-- tests/diff_smoke.sh - End-to-end cws-diff smoke test --------------===#
+#
+# Part of CWS, a reproduction of Toporkov, "Application-Level and Job-Flow
+# Scheduling" (PaCT 2009). Distributed without any warranty.
+#
+# Usage: diff_smoke.sh <cws-sim> <cws-diff> <cws-explain>
+#
+# Pins the differential-analysis acceptance properties end to end:
+#  1. identical-workload runs at different shard counts and build-thread
+#     counts are a semantic fixed point (exit 0) even though the meta
+#     lines differ byte-wise;
+#  2. an injected one-event divergence exits 1 and the Markdown report
+#     names the job id, the tick, and both cause chains;
+#  3. the exit-code convention holds: 2 on missing files, unknown
+#     flags, and malformed artifacts;
+#  4. the baseline gate round-trips: a fresh MANIFEST passes, a
+#     divergent artifact fails with exit 1, a stale digest fails with 2;
+#  5. cws-explain --diff-job renders both timelines and the divergence.
+#
+#===----------------------------------------------------------------------===#
+set -eu
+
+SIM=$1
+DIFF=$2
+EXPLAIN=$3
+TMP=$(mktemp -d)
+trap 'rm -rf "$TMP"' EXIT
+
+fail() {
+  echo "diff_smoke: $1" >&2
+  exit 1
+}
+
+#=== 1. Fixed point across shard / thread counts =========================#
+"$SIM" --jobs 12 --seed 5 --journal "$TMP/a.jsonl" \
+       --timeseries "$TMP/a.csv" > /dev/null
+"$SIM" --jobs 12 --seed 5 --shards 4 --build-threads 4 \
+       --journal "$TMP/b.jsonl" --timeseries "$TMP/b.csv" > /dev/null
+"$DIFF" "$TMP/a.jsonl" "$TMP/b.jsonl" > /dev/null \
+  || fail "shard/thread count changed the journal semantics"
+cmp -s "$TMP/a.jsonl" "$TMP/b.jsonl" \
+  && fail "meta lines should differ byte-wise (shards, cli)"
+
+#=== 2. Injected divergence is localized =================================#
+sed '0,/"kind":"commit"/s/"kind":"commit"/"kind":"reject"/' \
+    "$TMP/b.jsonl" > "$TMP/bad.jsonl"
+STATUS=0
+"$DIFF" --report "$TMP/rep.md" "$TMP/a.jsonl" "$TMP/bad.jsonl" \
+  > "$TMP/out.txt" || STATUS=$?
+[ "$STATUS" -eq 1 ] || fail "injected divergence exited $STATUS, expected 1"
+grep -q "diverged at t=" "$TMP/out.txt" \
+  || fail "console output does not localize the divergence tick"
+grep -q "^## First divergence" "$TMP/rep.md" \
+  || fail "report lacks the first-divergence section"
+grep -q "^job [0-9]* diverged at t=[0-9]*" "$TMP/rep.md" \
+  || fail "report does not name the diverging job and tick"
+grep -q "Cause chain in A" "$TMP/rep.md" \
+  || fail "report lacks run A's cause chain"
+grep -q "Cause chain in B" "$TMP/rep.md" \
+  || fail "report lacks run B's cause chain"
+
+#=== 3. Exit-code convention =============================================#
+STATUS=0; "$DIFF" "$TMP/missing" "$TMP/a.jsonl" 2> /dev/null || STATUS=$?
+[ "$STATUS" -eq 2 ] || fail "missing file exited $STATUS, expected 2"
+STATUS=0; "$DIFF" --bogus 2> /dev/null || STATUS=$?
+[ "$STATUS" -eq 2 ] || fail "unknown flag exited $STATUS, expected 2"
+echo "not an artifact" > "$TMP/garbage"
+STATUS=0
+"$DIFF" "$TMP/garbage" "$TMP/a.jsonl" 2> /dev/null || STATUS=$?
+[ "$STATUS" -eq 2 ] || fail "undetectable artifact exited $STATUS, expected 2"
+STATUS=0
+"$DIFF" --mode journal "$TMP/garbage" "$TMP/a.jsonl" 2> /dev/null \
+  || STATUS=$?
+[ "$STATUS" -eq 2 ] || fail "malformed journal exited $STATUS, expected 2"
+
+#=== 4. Baseline gate ====================================================#
+mkdir "$TMP/base"
+cp "$TMP/a.jsonl" "$TMP/base/smoke.journal.jsonl"
+cp "$TMP/a.csv" "$TMP/base/smoke.ts.csv"
+for F in smoke.journal.jsonl smoke.ts.csv; do
+  D=$("$DIFF" --digest "$TMP/base/$F" | cut -d' ' -f1)
+  echo "$D  $F"
+done > "$TMP/base/MANIFEST"
+"$DIFF" --against-baseline "$TMP/base" --journal "$TMP/b.jsonl" \
+        --timeseries "$TMP/a.csv" > /dev/null \
+  || fail "equivalent run failed the baseline gate"
+STATUS=0
+"$DIFF" --against-baseline "$TMP/base" --journal "$TMP/bad.jsonl" \
+        --report "$TMP/baserep.md" > /dev/null || STATUS=$?
+[ "$STATUS" -eq 1 ] || fail "divergent run exited $STATUS at the gate"
+grep -q "diverged at t=" "$TMP/baserep.md" \
+  || fail "baseline gate report does not localize the divergence"
+echo "x" >> "$TMP/base/smoke.journal.jsonl"
+STATUS=0
+"$DIFF" --against-baseline "$TMP/base" --journal "$TMP/a.jsonl" \
+        2> /dev/null || STATUS=$?
+[ "$STATUS" -eq 2 ] || fail "stale baseline digest exited $STATUS, expected 2"
+
+#=== 5. cws-explain --diff-job ===========================================#
+JOB=$(sed -n 's/.*"kind":"reject".*"job":\([0-9]*\).*/\1/p' \
+      "$TMP/bad.jsonl" | head -1)
+[ -n "$JOB" ] || JOB=0
+"$EXPLAIN" --diff-job "$JOB" "$TMP/a.jsonl" "$TMP/bad.jsonl" \
+  > "$TMP/expl.txt" || fail "cws-explain --diff-job failed"
+grep -q -- "--- run A ---" "$TMP/expl.txt" \
+  || fail "diff-job output lacks run A's timeline"
+grep -q "diverges at t=" "$TMP/expl.txt" \
+  || fail "diff-job output does not localize the divergence"
+
+echo "diff smoke ok"

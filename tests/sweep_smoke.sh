@@ -4,12 +4,14 @@
 # Part of CWS, a reproduction of Toporkov, "Application-Level and Job-Flow
 # Scheduling" (PaCT 2009). Distributed without any warranty.
 #
-# Usage: sweep_smoke.sh <cws-sim> <cws-sweep> <cws-report>
+# Usage: sweep_smoke.sh <cws-sim> <cws-sweep> <cws-report> <cws-diff>
 #
 # Pins the sweep harness acceptance properties end to end:
-#  1. a 1-scenario 1-seed sweep reproduces the direct single-run report
-#     byte for byte;
-#  2. pooled statistics are identical at any --workers value;
+#  1. a 1-scenario 1-seed sweep reproduces the direct single run — the
+#     spawned run's journal and telemetry semantically match a direct
+#     cws-sim invocation (cws-diff, journal + series modes);
+#  2. pooled statistics are identical at any --workers value
+#     (cws-diff sweep mode);
 #  3. quantile SLO rules gate the exit code: 0 on sane bounds, exactly 1
 #     on a forced breach (for cws-report --sweep and cws-sweep alike).
 #
@@ -19,6 +21,7 @@ set -eu
 SIM=$1
 SWEEP=$2
 REPORT=$3
+DIFF=$4
 TMP=$(mktemp -d)
 trap 'rm -rf "$TMP"' EXIT
 
@@ -27,7 +30,7 @@ fail() {
   exit 1
 }
 
-#=== 1. 1x1 sweep == direct run, byte for byte ===========================#
+#=== 1. 1x1 sweep == direct run, semantically ============================#
 cat > "$TMP/one.grid" <<EOF
 axis strategy S1
 seeds 1
@@ -37,16 +40,23 @@ EOF
 "$SWEEP" --grid "$TMP/one.grid" --workers 2 --out "$TMP/one.csv" \
          --runs-dir "$TMP/onerun" --keep-runs 1 --quiet 1 > /dev/null \
   || fail "1x1 sweep failed"
-# The exact invocation the sweep spawns for its single run.
+# The exact invocation the sweep spawns for its single run. Only the
+# CLI text (different artifact paths) may differ — cws-diff's default
+# meta policy allows exactly that.
 "$SIM" --strategy S1 --jobs 10 --scenario strategy=S1 --seed 42 \
        --journal "$TMP/dj.jsonl" --timeseries "$TMP/dt.csv" \
        > /dev/null 2>&1 || fail "direct cws-sim run failed"
+"$DIFF" "$TMP/onerun/run-0.journal.jsonl" "$TMP/dj.jsonl" > /dev/null \
+  || fail "1x1 sweep journal differs from the direct single-run journal"
+"$DIFF" "$TMP/onerun/run-0.ts.csv" "$TMP/dt.csv" > /dev/null \
+  || fail "1x1 sweep telemetry differs from the direct single-run series"
+# And the rendered reports agree too.
 "$REPORT" --journal "$TMP/onerun/run-0.journal.jsonl" \
           --timeseries "$TMP/onerun/run-0.ts.csv" \
           --out "$TMP/sweeprep.md" || fail "report on sweep artifacts failed"
 "$REPORT" --journal "$TMP/dj.jsonl" --timeseries "$TMP/dt.csv" \
           --out "$TMP/directrep.md" || fail "report on direct run failed"
-cmp "$TMP/sweeprep.md" "$TMP/directrep.md" \
+diff "$TMP/sweeprep.md" "$TMP/directrep.md" > /dev/null \
   || fail "1x1 sweep report differs from the direct single-run report"
 
 #=== 2. Worker-count independence ========================================#
@@ -63,7 +73,7 @@ EOF
 "$SWEEP" --grid "$TMP/mini.grid" --workers 4 --out "$TMP/w4.csv" \
          --runs-dir "$TMP/r4" --quiet 1 > /dev/null \
   || fail "sweep with 4 workers failed"
-cmp "$TMP/w1.csv" "$TMP/w4.csv" \
+"$DIFF" --mode sweep "$TMP/w1.csv" "$TMP/w4.csv" > /dev/null \
   || fail "pooled statistics depend on the worker count"
 
 #=== 3. Quantile SLO gating ==============================================#

@@ -188,6 +188,7 @@ TEST_F(JournalTest, ProvenanceStampRoundTripsThroughTheMetaLine) {
   Prov.ConfigHash = configHashOf("canonical text");
   Prov.ScenarioId = "arrival_scale=2.0+strategy=S1";
   Prov.Cli = "cws-sim --seed 42 --scenario \"x\"";
+  Prov.Shards = 4;
   Jn.setProvenance(Prov);
   Jn.append(JournalKind::Note, 1, 5);
   Jn.disable();
@@ -200,6 +201,7 @@ TEST_F(JournalTest, ProvenanceStampRoundTripsThroughTheMetaLine) {
   EXPECT_EQ(P.Prov.ConfigHash, Prov.ConfigHash);
   EXPECT_EQ(P.Prov.ScenarioId, Prov.ScenarioId);
   EXPECT_EQ(P.Prov.Cli, Prov.Cli);
+  EXPECT_EQ(P.Prov.Shards, 4);
   EXPECT_TRUE(P.Prov.sameScenario(Prov));
 
   // An unstamped journal parses with no provenance; a partial stamp

@@ -403,6 +403,7 @@ TEST(Provenance, CsvCommentRoundTrips) {
   P.ConfigHash = obs::configHashOf("some canonical text");
   P.ScenarioId = "arrival_scale=1.0+strategy=S1";
   P.Cli = "cws-sim --jobs 40 --seed 42";
+  P.Shards = 8;
   std::string Comment = obs::provenanceCsvComment(P);
   obs::RunProvenance Back;
   ASSERT_TRUE(obs::parseProvenanceCsvComment(
@@ -412,6 +413,17 @@ TEST(Provenance, CsvCommentRoundTrips) {
   EXPECT_EQ(Back.ConfigHash, P.ConfigHash);
   EXPECT_EQ(Back.ScenarioId, P.ScenarioId);
   EXPECT_EQ(Back.Cli, P.Cli);
+  EXPECT_EQ(Back.Shards, 8);
+
+  // A one-shot build stamps no shard count; the comment omits the
+  // field and the parse leaves it zero.
+  P.Shards = 0;
+  obs::RunProvenance NoShards;
+  std::string Bare = obs::provenanceCsvComment(P);
+  EXPECT_EQ(Bare.find("shards="), std::string::npos);
+  ASSERT_TRUE(obs::parseProvenanceCsvComment(Bare.substr(0, Bare.size() - 1),
+                                             NoShards));
+  EXPECT_EQ(NoShards.Shards, 0);
 }
 
 TEST(Provenance, SameScenarioIgnoresSeedAndCliButNotConfig) {

@@ -1,0 +1,492 @@
+//===-- tools/cws-diff.cpp - Semantic differential run analysis -----------===//
+//
+// Part of CWS, a reproduction of Toporkov, "Application-Level and Job-Flow
+// Scheduling" (PaCT 2009). Distributed without any warranty.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// cws-diff: compare two run artifacts semantically instead of
+/// byte-wise. Usage:
+///
+///   cws-diff [options] <A> <B>
+///   cws-diff --against-baseline DIR --journal J [--timeseries TS]
+///   cws-diff --digest <file>
+///
+/// The artifact kind is auto-detected (decision journal, telemetry
+/// time series, or pooled sweep statistics) unless forced with
+/// `--mode`. Journal comparisons align events per job, compare the
+/// provenance header field by field under `--allow-meta`, and localize
+/// the first diverging (job, event) with both runs' cause chains.
+/// Series comparisons honor per-series tolerance classes (wall-time
+/// series are excluded by default). Sweep comparisons add a
+/// statistical compatibility test (CI overlap on means, relative
+/// quantile shift) whose "compatible" verdict passes only under
+/// `--statistical`.
+///
+/// `--against-baseline DIR` checks freshly produced artifacts against
+/// the committed golden baselines in DIR (see examples/baseline/): a
+/// digest fast path first, then the semantic diff. Regenerate
+/// baselines with tools/update-baselines.sh after intentional
+/// behavior changes.
+///
+/// Exit codes: 0 identical (or statistically compatible with
+/// `--statistical`), 1 divergence, 2 usage / I/O / parse error.
+///
+//===----------------------------------------------------------------------===//
+
+#include "obs/Diff.h"
+#include "obs/Journal.h"
+#include "obs/Provenance.h"
+#include "obs/Report.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+using namespace cws;
+
+static void printUsage() {
+  std::fprintf(
+      stderr,
+      "usage: cws-diff [options] <A> <B>\n"
+      "       cws-diff --against-baseline DIR --journal J [--timeseries T]\n"
+      "       cws-diff --digest <file>\n"
+      "\n"
+      "  --mode M              auto|journal|series|sweep (default auto)\n"
+      "  --report FILE         write the Markdown diff report to FILE\n"
+      "  --allow-meta LIST     provenance fields allowed to differ, comma\n"
+      "                        list of seed,config_hash,scenario,shards,cli\n"
+      "                        (default: shards,cli)\n"
+      "  --ignore-meta         skip provenance comparison entirely\n"
+      "  --statistical         accept a statistically compatible sweep\n"
+      "                        verdict (CI overlap, quantile shift) as pass\n"
+      "  --quantile-tol X      relative p50/p90/p99 shift tolerance\n"
+      "                        (default 0.10)\n"
+      "  --exclude-series L    comma list of extra series globs to skip\n"
+      "  --max-findings N      findings to print per comparison "
+      "(default 20)\n"
+      "  --against-baseline D  compare --journal/--timeseries artifacts\n"
+      "                        against the golden baselines in D\n"
+      "  --digest FILE         print the fnv1a64 content digest of FILE\n"
+      "\n"
+      "exit codes: 0 identical/compatible, 1 divergence, 2 usage or I/O\n");
+}
+
+static bool readFile(const std::string &Path, std::string &Out) {
+  std::ifstream In(Path);
+  if (!In)
+    return false;
+  std::ostringstream Buffer;
+  Buffer << In.rdbuf();
+  Out = Buffer.str();
+  return true;
+}
+
+namespace {
+enum class Mode { Auto, Journal, Series, Sweep };
+} // namespace
+
+/// Sniffs the artifact kind from its leading lines.
+static Mode detectMode(const std::string &Text) {
+  std::istringstream In(Text);
+  std::string Line;
+  while (std::getline(In, Line)) {
+    if (Line.empty())
+      continue;
+    if (Line.find("\"journal.meta\"") != std::string::npos)
+      return Mode::Journal;
+    if (Line.rfind("# cws-sweep statistics", 0) == 0)
+      return Mode::Sweep;
+    if (Line.rfind("# provenance", 0) == 0)
+      continue; // Shared CSV comment; the header decides.
+    if (Line.rfind("seq,tick,reason,series", 0) == 0)
+      return Mode::Series;
+    if (Line.rfind("scenario,axes,indicator", 0) == 0)
+      return Mode::Sweep;
+    break;
+  }
+  return Mode::Auto;
+}
+
+static bool parseMetaList(const std::string &List, obs::MetaPolicy &Policy) {
+  Policy.AllowSeed = Policy.AllowConfigHash = Policy.AllowScenario =
+      Policy.AllowShards = Policy.AllowCli = false;
+  size_t Pos = 0;
+  while (Pos <= List.size()) {
+    size_t Comma = List.find(',', Pos);
+    std::string Field = List.substr(
+        Pos, Comma == std::string::npos ? std::string::npos : Comma - Pos);
+    Pos = Comma == std::string::npos ? List.size() + 1 : Comma + 1;
+    if (Field.empty())
+      continue;
+    if (Field == "seed")
+      Policy.AllowSeed = true;
+    else if (Field == "config_hash")
+      Policy.AllowConfigHash = true;
+    else if (Field == "scenario")
+      Policy.AllowScenario = true;
+    else if (Field == "shards")
+      Policy.AllowShards = true;
+    else if (Field == "cli")
+      Policy.AllowCli = true;
+    else {
+      std::fprintf(stderr, "cws-diff: unknown meta field '%s'\n",
+                   Field.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+static void splitCommas(const std::string &List,
+                        std::vector<std::string> &Out) {
+  size_t Pos = 0;
+  while (Pos <= List.size()) {
+    size_t Comma = List.find(',', Pos);
+    std::string Item = List.substr(
+        Pos, Comma == std::string::npos ? std::string::npos : Comma - Pos);
+    Pos = Comma == std::string::npos ? List.size() + 1 : Comma + 1;
+    if (!Item.empty())
+      Out.push_back(Item);
+  }
+}
+
+/// Runs one A-vs-B comparison. Returns 0/1/2 per the tool contract and
+/// appends the Markdown report section for `--report`.
+static int diffOnce(const std::string &PathA, const std::string &PathB,
+                    Mode M, const obs::DiffOptions &Opts, bool Statistical,
+                    std::string &ReportOut) {
+  std::string TextA, TextB;
+  if (!readFile(PathA, TextA)) {
+    std::fprintf(stderr, "cws-diff: cannot open '%s'\n", PathA.c_str());
+    return 2;
+  }
+  if (!readFile(PathB, TextB)) {
+    std::fprintf(stderr, "cws-diff: cannot open '%s'\n", PathB.c_str());
+    return 2;
+  }
+  if (M == Mode::Auto) {
+    M = detectMode(TextA);
+    Mode MB = detectMode(TextB);
+    if (M == Mode::Auto || MB == Mode::Auto) {
+      std::fprintf(stderr,
+                   "cws-diff: cannot detect artifact kind of '%s'; use "
+                   "--mode\n",
+                   (M == Mode::Auto ? PathA : PathB).c_str());
+      return 2;
+    }
+    if (M != MB) {
+      std::fprintf(stderr,
+                   "cws-diff: '%s' and '%s' are different artifact kinds\n",
+                   PathA.c_str(), PathB.c_str());
+      return 2;
+    }
+  }
+
+  std::string Error;
+  obs::DiffResult R;
+  switch (M) {
+  case Mode::Journal: {
+    obs::ParsedJournal A, B;
+    if (!obs::parseJournalJsonl(TextA, A, Error)) {
+      std::fprintf(stderr, "cws-diff: %s: %s\n", PathA.c_str(),
+                   Error.c_str());
+      return 2;
+    }
+    if (!obs::parseJournalJsonl(TextB, B, Error)) {
+      std::fprintf(stderr, "cws-diff: %s: %s\n", PathB.c_str(),
+                   Error.c_str());
+      return 2;
+    }
+    R = obs::diffJournals(A, B, Opts);
+    break;
+  }
+  case Mode::Series: {
+    obs::ParsedTimeSeries A, B;
+    if (!obs::parseTimeSeriesCsv(TextA, A, Error)) {
+      std::fprintf(stderr, "cws-diff: %s: %s\n", PathA.c_str(),
+                   Error.c_str());
+      return 2;
+    }
+    if (!obs::parseTimeSeriesCsv(TextB, B, Error)) {
+      std::fprintf(stderr, "cws-diff: %s: %s\n", PathB.c_str(),
+                   Error.c_str());
+      return 2;
+    }
+    R = obs::diffTimeSeries(A, B, Opts);
+    break;
+  }
+  case Mode::Sweep: {
+    obs::SweepStore A, B;
+    if (!obs::parseSweepCsv(TextA, A, Error)) {
+      std::fprintf(stderr, "cws-diff: %s: %s\n", PathA.c_str(),
+                   Error.c_str());
+      return 2;
+    }
+    if (!obs::parseSweepCsv(TextB, B, Error)) {
+      std::fprintf(stderr, "cws-diff: %s: %s\n", PathB.c_str(),
+                   Error.c_str());
+      return 2;
+    }
+    R = obs::diffSweeps(A, B, Opts);
+    break;
+  }
+  case Mode::Auto:
+    return 2; // Unreachable; detectMode ran above.
+  }
+
+  std::cout << obs::renderDiffText(R, PathA, PathB);
+  ReportOut += obs::renderDiffReport(R, PathA, PathB);
+  if (R.identical())
+    return 0;
+  if (R.Verdict == obs::DiffVerdict::Compatible && Statistical)
+    return 0;
+  return 1;
+}
+
+/// `--digest`: canonical content digest used by baseline MANIFEST
+/// files — fnv1a64 over the raw bytes, rendered like the config hash.
+static int printDigest(const std::string &Path) {
+  std::string Text;
+  if (!readFile(Path, Text)) {
+    std::fprintf(stderr, "cws-diff: cannot open '%s'\n", Path.c_str());
+    return 2;
+  }
+  std::printf("0x%016llx  %s\n",
+              static_cast<unsigned long long>(obs::fnv1a64(Text)),
+              Path.c_str());
+  return 0;
+}
+
+namespace {
+struct BaselineEntry {
+  std::string Digest;
+  std::string File;
+};
+} // namespace
+
+static bool parseManifest(const std::string &Text,
+                          std::vector<BaselineEntry> &Out,
+                          std::string &Error) {
+  std::istringstream In(Text);
+  std::string Line;
+  size_t N = 0;
+  while (std::getline(In, Line)) {
+    ++N;
+    if (Line.empty() || Line[0] == '#')
+      continue;
+    std::istringstream Fields(Line);
+    BaselineEntry E;
+    if (!(Fields >> E.Digest >> E.File)) {
+      Error = "line " + std::to_string(N) + ": expected '<digest>  <file>'";
+      return false;
+    }
+    Out.push_back(E);
+  }
+  if (Out.empty()) {
+    Error = "no baseline entries";
+    return false;
+  }
+  return true;
+}
+
+/// `--against-baseline`: every MANIFEST entry must (a) still match its
+/// committed digest (guards stale regeneration) and (b) semantically
+/// match the corresponding fresh artifact. Matching fresh digests
+/// short-circuit the parse.
+static int diffAgainstBaseline(const std::string &Dir,
+                               const std::string &JournalFile,
+                               const std::string &TimeSeriesFile,
+                               const obs::DiffOptions &Opts,
+                               std::string &ReportOut) {
+  std::string Text, Error;
+  std::string ManifestPath = Dir + "/MANIFEST";
+  if (!readFile(ManifestPath, Text)) {
+    std::fprintf(stderr, "cws-diff: cannot open '%s'\n",
+                 ManifestPath.c_str());
+    return 2;
+  }
+  std::vector<BaselineEntry> Entries;
+  if (!parseManifest(Text, Entries, Error)) {
+    std::fprintf(stderr, "cws-diff: %s: %s\n", ManifestPath.c_str(),
+                 Error.c_str());
+    return 2;
+  }
+
+  int Worst = 0;
+  bool Compared = false;
+  for (const BaselineEntry &E : Entries) {
+    std::string Fresh;
+    if (E.File.size() > 14 &&
+        E.File.rfind(".journal.jsonl") == E.File.size() - 14)
+      Fresh = JournalFile;
+    else if (E.File.size() > 7 && E.File.rfind(".ts.csv") == E.File.size() - 7)
+      Fresh = TimeSeriesFile;
+    if (Fresh.empty())
+      continue; // No fresh artifact of this kind supplied.
+    Compared = true;
+
+    std::string Golden = Dir + "/" + E.File;
+    std::string GoldenText, FreshText;
+    if (!readFile(Golden, GoldenText)) {
+      std::fprintf(stderr, "cws-diff: cannot open baseline '%s'\n",
+                   Golden.c_str());
+      return 2;
+    }
+    char Digest[32];
+    std::snprintf(Digest, sizeof(Digest), "0x%016llx",
+                  static_cast<unsigned long long>(obs::fnv1a64(GoldenText)));
+    if (E.Digest != Digest) {
+      std::fprintf(stderr,
+                   "cws-diff: baseline '%s' does not match its MANIFEST "
+                   "digest (%s vs %s) — rerun tools/update-baselines.sh\n",
+                   Golden.c_str(), Digest, E.Digest.c_str());
+      return 2;
+    }
+    if (readFile(Fresh, FreshText) && FreshText == GoldenText) {
+      std::printf("cws-diff: %s: byte-identical to baseline\n",
+                  Fresh.c_str());
+      continue;
+    }
+    int Rc = diffOnce(Golden, Fresh, Mode::Auto, Opts,
+                      /*Statistical=*/false, ReportOut);
+    if (Rc == 2)
+      return 2;
+    Worst = std::max(Worst, Rc);
+  }
+  if (!Compared) {
+    std::fprintf(stderr,
+                 "cws-diff: --against-baseline needs --journal and/or "
+                 "--timeseries\n");
+    return 2;
+  }
+  return Worst;
+}
+
+int main(int Argc, char **Argv) {
+  // Positional file operands rule out support/Flags.h (key=value only),
+  // matching cws-explain's hand-rolled parsing.
+  std::vector<std::string> Paths;
+  Mode M = Mode::Auto;
+  std::string ReportFile, BaselineDir, JournalFile, TimeSeriesFile;
+  std::string DigestFile;
+  bool Statistical = false;
+  obs::DiffOptions Opts;
+
+  auto NeedValue = [&](int &I, const char *Flag) -> const char * {
+    if (I + 1 >= Argc) {
+      std::fprintf(stderr, "cws-diff: %s needs a value\n", Flag);
+      std::exit(2);
+    }
+    return Argv[++I];
+  };
+  for (int I = 1; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    if (Arg == "--help" || Arg == "-h") {
+      printUsage();
+      return 0;
+    }
+    if (Arg == "--mode") {
+      std::string V = NeedValue(I, "--mode");
+      if (V == "auto")
+        M = Mode::Auto;
+      else if (V == "journal")
+        M = Mode::Journal;
+      else if (V == "series")
+        M = Mode::Series;
+      else if (V == "sweep")
+        M = Mode::Sweep;
+      else {
+        std::fprintf(stderr, "cws-diff: bad mode '%s'\n", V.c_str());
+        return 2;
+      }
+    } else if (Arg == "--report") {
+      ReportFile = NeedValue(I, "--report");
+    } else if (Arg == "--allow-meta") {
+      if (!parseMetaList(NeedValue(I, "--allow-meta"), Opts.Meta))
+        return 2;
+    } else if (Arg == "--ignore-meta") {
+      Opts.Meta.Off = true;
+    } else if (Arg == "--statistical") {
+      Statistical = true;
+    } else if (Arg == "--quantile-tol") {
+      char *End = nullptr;
+      const char *V = NeedValue(I, "--quantile-tol");
+      Opts.QuantileShiftTol = std::strtod(V, &End);
+      if (!End || *End != '\0' || Opts.QuantileShiftTol < 0) {
+        std::fprintf(stderr, "cws-diff: bad tolerance '%s'\n", V);
+        return 2;
+      }
+    } else if (Arg == "--exclude-series") {
+      std::vector<std::string> Globs;
+      splitCommas(NeedValue(I, "--exclude-series"), Globs);
+      for (const std::string &G : Globs)
+        Opts.Series.push_back({G, obs::SeriesClass::Excluded, 0.0});
+    } else if (Arg == "--max-findings") {
+      char *End = nullptr;
+      const char *V = NeedValue(I, "--max-findings");
+      long N = std::strtol(V, &End, 10);
+      if (!End || *End != '\0' || N < 1) {
+        std::fprintf(stderr, "cws-diff: bad finding count '%s'\n", V);
+        return 2;
+      }
+      Opts.MaxFindings = static_cast<size_t>(N);
+    } else if (Arg == "--against-baseline") {
+      BaselineDir = NeedValue(I, "--against-baseline");
+    } else if (Arg == "--journal") {
+      JournalFile = NeedValue(I, "--journal");
+    } else if (Arg == "--timeseries") {
+      TimeSeriesFile = NeedValue(I, "--timeseries");
+    } else if (Arg == "--digest") {
+      DigestFile = NeedValue(I, "--digest");
+    } else if (!Arg.empty() && Arg[0] == '-') {
+      std::fprintf(stderr, "cws-diff: unknown flag '%s'\n", Arg.c_str());
+      printUsage();
+      return 2;
+    } else {
+      Paths.push_back(Arg);
+    }
+  }
+
+  if (!DigestFile.empty()) {
+    if (!Paths.empty() || !BaselineDir.empty()) {
+      std::fprintf(stderr, "cws-diff: --digest takes no other operands\n");
+      return 2;
+    }
+    return printDigest(DigestFile);
+  }
+
+  std::string Report;
+  int Rc;
+  if (!BaselineDir.empty()) {
+    if (!Paths.empty()) {
+      std::fprintf(stderr,
+                   "cws-diff: --against-baseline excludes positional "
+                   "operands\n");
+      return 2;
+    }
+    Rc = diffAgainstBaseline(BaselineDir, JournalFile, TimeSeriesFile, Opts,
+                             Report);
+  } else {
+    if (Paths.size() != 2) {
+      printUsage();
+      return 2;
+    }
+    Rc = diffOnce(Paths[0], Paths[1], M, Opts, Statistical, Report);
+  }
+
+  if (!ReportFile.empty() && Rc != 2) {
+    std::ofstream Out(ReportFile);
+    if (!Out || !(Out << Report)) {
+      std::fprintf(stderr, "cws-diff: cannot write '%s'\n",
+                   ReportFile.c_str());
+      return 2;
+    }
+  }
+  return Rc;
+}

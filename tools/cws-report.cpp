@@ -28,7 +28,8 @@
 /// SLO verdict. Sweep SLO rules may gate pooled statistics
 /// (`deadline_miss_rate.p90 <= 0.05 across seeds`); distribution rules
 /// fail closed in single-run mode. Exit codes: 0 ok, 1 SLO breach or
-/// invalid journal, 2 usage / I/O error.
+/// invalid journal, 2 usage / I/O / parse error — the convention
+/// shared by cws-explain, cws-sweep and cws-diff.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -160,7 +161,7 @@ int main(int Argc, char **Argv) {
   if (!obs::parseJournalJsonl(Text, J, Error)) {
     std::fprintf(stderr, "cws-report: %s: %s\n", JournalFile.c_str(),
                  Error.c_str());
-    return 1;
+    return 2;
   }
   std::vector<std::string> Violations = obs::validateJournal(J);
   if (!Violations.empty()) {

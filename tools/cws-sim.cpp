@@ -191,6 +191,7 @@ int main(int Argc, char **Argv) {
   Prov.Seed = static_cast<uint64_t>(Seed);
   Prov.ConfigHash = obs::configHashOf(voConfigCanonical(Config, Kind));
   Prov.ScenarioId = Scenario;
+  Prov.Shards = static_cast<int64_t>(resolveShardCount(Config.Shards));
   Prov.Cli = obs::cliStringOf(Argc, Argv);
   obs::Journal::global().setProvenance(Prov);
   obs::TimeSeries::global().setProvenance(Prov);

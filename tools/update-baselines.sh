@@ -1,0 +1,50 @@
+#!/bin/sh
+#===-- tools/update-baselines.sh - Regenerate the golden baselines -------===#
+#
+# Part of CWS, a reproduction of Toporkov, "Application-Level and Job-Flow
+# Scheduling" (PaCT 2009). Distributed without any warranty.
+#
+# Regenerates examples/baseline/ — the golden run artifacts that CI's
+# `cws-diff --against-baseline` regression gate compares every build
+# against. Run from the repository root after an *intentional*
+# behavior change, inspect the diff, and commit the result:
+#
+#   cmake -B build -S . && cmake --build build -j
+#   sh tools/update-baselines.sh [build-dir]
+#   git diff examples/baseline/   # review: is every change intended?
+#
+# The workload is pinned (jobs, seed, scenario id) so the artifacts
+# are deterministic; the MANIFEST holds fnv1a64 content digests that
+# let the gate reject stale baselines and short-circuit unchanged
+# files.
+#
+#===----------------------------------------------------------------------===#
+set -eu
+
+BUILD=${1:-build}
+OUT=examples/baseline
+
+[ -x "$BUILD/tools/cws-sim" ] && [ -x "$BUILD/tools/cws-diff" ] || {
+  echo "update-baselines: $BUILD/tools/cws-sim or cws-diff missing;" \
+       "build first (cmake --build $BUILD -j)" >&2
+  exit 2
+}
+mkdir -p "$OUT"
+
+# The pinned example workload. Relative binary path keeps the recorded
+# CLI text stable across checkouts (and the gate allows it to differ
+# anyway).
+"$BUILD/tools/cws-sim" --jobs 60 --seed 7 --scenario baseline \
+    --journal "$OUT/example.journal.jsonl" \
+    --timeseries "$OUT/example.ts.csv"
+
+{
+  echo "# Golden baseline digests (fnv1a64 over raw bytes)."
+  echo "# Regenerate with: sh tools/update-baselines.sh"
+  for F in example.journal.jsonl example.ts.csv; do
+    D=$("$BUILD/tools/cws-diff" --digest "$OUT/$F" | cut -d' ' -f1)
+    echo "$D  $F"
+  done
+} > "$OUT/MANIFEST"
+
+echo "update-baselines: wrote $OUT/{example.journal.jsonl,example.ts.csv,MANIFEST}"
