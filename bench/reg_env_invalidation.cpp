@@ -1,0 +1,130 @@
+//===-- bench/reg_env_invalidation.cpp - Env-change invalidation cost -----===//
+//
+// Part of CWS, a reproduction of Toporkov, "Application-Level and Job-Flow
+// Scheduling" (PaCT 2009). Distributed without any warranty.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Measures what one environment change costs the job-flow level under
+/// both invalidation modes: the full re-validation scan (the
+/// differential-testing oracle behind `--invalidation=scan`) and the
+/// event-driven reserved-slot index pass (the default). Both runs use
+/// the same workload and seed, so they process the identical stream of
+/// environment changes and reach the identical invalidation decisions;
+/// only the work per change differs. The placements-re-validated
+/// totals are the bench's work counters — the ratchet pins them exactly
+/// — and the >= 10x scan/index ratio is a recorded check.
+///
+//===----------------------------------------------------------------------===//
+
+#include "flow/VirtualOrganization.h"
+#include "harness.h"
+#include "obs/Diff.h"
+#include "obs/Journal.h"
+#include "obs/Metrics.h"
+#include "support/Check.h"
+
+#include <chrono>
+
+using namespace cws;
+
+namespace {
+
+constexpr size_t Jobs = 60;
+constexpr uint64_t Seed = 7;
+
+VoConfig benchConfig(InvalidationMode Mode) {
+  VoConfig Config;
+  Config.JobCount = Jobs;
+  Config.Invalidation = Mode;
+  return Config;
+}
+
+struct ModeCost {
+  double WallMs = 0;
+  uint64_t Changes = 0;
+  uint64_t Placements = 0;
+  uint64_t Invalidated = 0;
+};
+
+ModeCost runMode(InvalidationMode Mode) {
+  obs::Registry &R = obs::Registry::global();
+  obs::Counter &Changes = R.counter("cws_env_changes_total");
+  obs::Counter &ScanPlacements = R.counter("cws_env_scan_placements_total");
+  obs::Counter &IndexPlacements = R.counter("cws_env_index_placements_total");
+  obs::Counter &Invalidated = R.counter("cws_jobs_invalidated_total");
+
+  // Counters are global and cumulative, so cost = delta across the run.
+  uint64_t C0 = Changes.value();
+  uint64_t P0 = ScanPlacements.value() + IndexPlacements.value();
+  uint64_t I0 = Invalidated.value();
+
+  auto T0 = std::chrono::steady_clock::now();
+  runVirtualOrganization(benchConfig(Mode), StrategyKind::S1, Seed);
+  auto T1 = std::chrono::steady_clock::now();
+
+  ModeCost Cost;
+  Cost.WallMs =
+      std::chrono::duration_cast<std::chrono::microseconds>(T1 - T0).count() /
+      1000.0;
+  Cost.Changes = Changes.value() - C0;
+  Cost.Placements = ScanPlacements.value() + IndexPlacements.value() - P0;
+  Cost.Invalidated = Invalidated.value() - I0;
+  return Cost;
+}
+
+/// One journaled run of \p Mode, parsed for the differential oracle.
+obs::ParsedJournal journaledMode(InvalidationMode Mode) {
+  obs::Journal &Jn = obs::Journal::global();
+  Jn.reset();
+  Jn.enable();
+  runVirtualOrganization(benchConfig(Mode), StrategyKind::S1, Seed);
+  Jn.disable();
+  obs::ParsedJournal J;
+  std::string Error;
+  CWS_CHECK(obs::parseJournalJsonl(Jn.jsonl(), J, Error),
+            "journaled run must parse");
+  Jn.reset();
+  return J;
+}
+
+} // namespace
+
+CWS_BENCH(env_invalidation,
+          "re-validation cost of one environment change, scan vs index",
+          /*Reps=*/3, /*Warmup=*/1, /*Profile=*/true) {
+  Ctx.setSeed(Seed);
+  Ctx.setExecSeed(Seed);
+  Ctx.setInvalidation("index");
+  Ctx.setConfig("jobs=" + std::to_string(Jobs) + "\n");
+
+  // Differential oracle first: scan and index must make the *same
+  // decisions*, event for event.
+  obs::ParsedJournal Scan = journaledMode(InvalidationMode::Scan);
+  obs::ParsedJournal Index = journaledMode(InvalidationMode::Index);
+  obs::DiffResult Diff = obs::diffJournals(Scan, Index);
+  Ctx.check("scan and index journals semantically identical",
+            Diff.identical());
+
+  ModeCost ScanCost = runMode(InvalidationMode::Scan);
+  ModeCost IndexCost = runMode(InvalidationMode::Index);
+  Ctx.check("same environment-change stream in both modes",
+            ScanCost.Changes == IndexCost.Changes);
+  Ctx.check("same invalidation decisions in both modes",
+            ScanCost.Invalidated == IndexCost.Invalidated);
+
+  Ctx.setWork("env_changes", ScanCost.Changes);
+  Ctx.setWork("invalidations", ScanCost.Invalidated);
+  Ctx.setWork("scan_placements", ScanCost.Placements);
+  Ctx.setWork("index_placements", IndexCost.Placements);
+
+  double Ratio =
+      static_cast<double>(ScanCost.Placements) /
+      static_cast<double>(IndexCost.Placements ? IndexCost.Placements : 1);
+  Ctx.check("slot index re-validates >= 10x fewer placements",
+            Ratio >= 10.0);
+  Ctx.addMetric("scan_index_ratio", Ratio);
+  Ctx.addMetric("scan_wall_ms", ScanCost.WallMs);
+  Ctx.addMetric("index_wall_ms", IndexCost.WallMs);
+}

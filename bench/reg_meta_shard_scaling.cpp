@@ -1,4 +1,4 @@
-//===-- bench/meta_shard_scaling.cpp - Sharded ingest scaling -------------===//
+//===-- bench/reg_meta_shard_scaling.cpp - Sharded ingest scaling ---------===//
 //
 // Part of CWS, a reproduction of Toporkov, "Application-Level and Job-Flow
 // Scheduling" (PaCT 2009). Distributed without any warranty.
@@ -10,27 +10,24 @@
 /// shards on a bursty arrival stream (zero minimum interarrival gap, so
 /// per-tick admission batches genuinely hold several jobs): jobs
 /// ingested per wall second and the commit-pipeline drain latency. The
-/// hard gate is determinism, not speed — before timing, every sharded
-/// run's journal and per-job stats are byte-compared against the
-/// 1-shard run and any difference aborts. Speedup is hardware-bound:
-/// on a single-core host every shard count degrades to the same serial
-/// schedule and the throughput column only shows pipeline overhead.
+/// hard gate is determinism, not speed — every sharded run's journal
+/// and per-job stats are compared against the 1-shard run and any
+/// difference fails the recorded check. Speedup is hardware-bound: on a
+/// single-core host every shard count degrades to the same serial
+/// schedule and the throughput metrics only show pipeline overhead.
 ///
 //===----------------------------------------------------------------------===//
 
 #include "flow/VirtualOrganization.h"
+#include "harness.h"
 #include "metrics/Export.h"
 #include "obs/Diff.h"
 #include "obs/Journal.h"
 #include "obs/Metrics.h"
 #include "support/Check.h"
-#include "support/Table.h"
 
 #include <chrono>
-#include <cstdio>
-#include <iostream>
 #include <string>
-#include <thread>
 #include <vector>
 
 using namespace cws;
@@ -62,8 +59,8 @@ RunArtifacts journaledRun(size_t Shards) {
   obs::Journal &Jn = obs::Journal::global();
   Jn.reset();
   Jn.enable();
-  VoRunResult Run = runVirtualOrganization(benchConfig(Shards),
-                                           StrategyKind::S1, Seed);
+  VoRunResult Run =
+      runVirtualOrganization(benchConfig(Shards), StrategyKind::S1, Seed);
   Jn.disable();
   RunArtifacts Out{Jn.jsonl(), voStatsCsv(Run.Jobs)};
   Jn.reset();
@@ -71,9 +68,7 @@ RunArtifacts journaledRun(size_t Shards) {
 }
 
 struct ShardCost {
-  size_t Shards = 1;
   double WallMs = 0;
-  double JobsPerSec = 0;
   double DrainP50Us = 0;
   double DrainP99Us = 0;
   uint64_t CommitBatches = 0;
@@ -95,11 +90,9 @@ ShardCost timedRun(size_t Shards) {
   auto T1 = std::chrono::steady_clock::now();
 
   ShardCost Cost;
-  Cost.Shards = Shards;
   Cost.WallMs =
       std::chrono::duration_cast<std::chrono::microseconds>(T1 - T0).count() /
       1000.0;
-  Cost.JobsPerSec = Cost.WallMs > 0 ? Jobs / (Cost.WallMs / 1000.0) : 0;
   Cost.DrainP50Us = DrainUs.quantile(0.5);
   Cost.DrainP99Us = DrainUs.quantile(0.99);
   Cost.CommitBatches = Batches.value() - B0;
@@ -108,69 +101,51 @@ ShardCost timedRun(size_t Shards) {
 
 } // namespace
 
-int main() {
+CWS_BENCH(meta_shard_scaling,
+          "sharded job-flow ingest: determinism gate + scaling curve",
+          /*Reps=*/3, /*Warmup=*/1, /*Profile=*/true) {
   const std::vector<size_t> ShardCounts = {1, 2, 4, 8};
+  Ctx.setSeed(Seed);
+  Ctx.setExecSeed(Seed);
+  Ctx.setInvalidation("index");
+  Ctx.setConfig("jobs=" + std::to_string(Jobs) +
+                "\ninterarrival=[0,3]\nshards=1,2,4,8\n");
+  Ctx.setWork("jobs", Jobs);
 
   // Determinism gate first: sharding must never change what the run
   // computes, only how fast it computes it.
   RunArtifacts Base = journaledRun(1);
-  CWS_CHECK(!Base.Journal.empty(), "baseline run must journal events");
   obs::ParsedJournal BaseJournal;
   std::string ParseError;
   CWS_CHECK(obs::parseJournalJsonl(Base.Journal, BaseJournal, ParseError),
             "baseline journal must parse");
+  Ctx.setWork("journal_events", BaseJournal.Events.size());
   for (size_t Shards : ShardCounts) {
     if (Shards == 1)
       continue;
     RunArtifacts Sharded = journaledRun(Shards);
-    // Semantic journal equality via the cws-diff comparator: on a
-    // violation it names the first diverging (job, tick) instead of
-    // leaving a byte offset to decode.
     obs::ParsedJournal ShardedJournal;
     CWS_CHECK(obs::parseJournalJsonl(Sharded.Journal, ShardedJournal,
                                      ParseError),
               "sharded journal must parse");
     obs::DiffResult Diff = obs::diffJournals(BaseJournal, ShardedJournal);
-    if (!Diff.identical())
-      std::cout << obs::renderDiffText(Diff, "1 shard",
-                                       std::to_string(Shards) + " shards");
-    CWS_CHECK(Diff.identical(),
-              "sharded journal must be semantically identical to the "
-              "1-shard run");
-    CWS_CHECK(Sharded.StatsCsv == Base.StatsCsv,
-              "sharded per-job stats must match the 1-shard run");
+    Ctx.check("journal identical to 1-shard run at " +
+                  std::to_string(Shards) + " shards",
+              Diff.identical());
+    Ctx.check("per-job stats identical to 1-shard run at " +
+                  std::to_string(Shards) + " shards",
+              Sharded.StatsCsv == Base.StatsCsv);
   }
-  std::printf("determinism: journals and stats identical at shards "
-              "{1, 2, 4, 8}\n\n");
 
   // Timing pass, journal off so ingest throughput is the bottleneck.
-  Table T({"shards", "run wall ms", "jobs / s", "drain p50 us",
-           "drain p99 us", "commit drains"});
-  double BaseJobsPerSec = 0;
-  double BestJobsPerSec = 0;
   for (size_t Shards : ShardCounts) {
     ShardCost Cost = timedRun(Shards);
-    if (Shards == 1)
-      BaseJobsPerSec = Cost.JobsPerSec;
-    if (Cost.JobsPerSec > BestJobsPerSec)
-      BestJobsPerSec = Cost.JobsPerSec;
-    T.addRow({std::to_string(Cost.Shards), Table::num(Cost.WallMs, 1),
-              Table::num(Cost.JobsPerSec, 0),
-              Table::num(Cost.DrainP50Us, 0),
-              Table::num(Cost.DrainP99Us, 0),
-              std::to_string(Cost.CommitBatches)});
+    std::string S = std::to_string(Shards);
+    Ctx.setWork("commit_drains_s" + S, Cost.CommitBatches);
+    Ctx.addMetric("wall_ms_s" + S, Cost.WallMs);
+    Ctx.addMetric("jobs_per_sec_s" + S,
+                  Cost.WallMs > 0 ? Jobs / (Cost.WallMs / 1000.0) : 0);
+    Ctx.addMetric("drain_p50_us_s" + S, Cost.DrainP50Us);
+    Ctx.addMetric("drain_p99_us_s" + S, Cost.DrainP99Us);
   }
-  T.print(std::cout);
-
-  unsigned Cores = std::thread::hardware_concurrency();
-  std::printf("\nhardware threads: %u\n", Cores ? Cores : 1);
-  if (BaseJobsPerSec > 0)
-    std::printf("best / 1-shard ingest ratio: %.2fx\n",
-                BestJobsPerSec / BaseJobsPerSec);
-  if (Cores <= 1)
-    std::printf("single-core host: speedup is not measurable here; the "
-                "determinism gate above is the result\n");
-
-  std::printf("\nOK: sharded runs are byte-identical to the 1-shard run\n");
-  return 0;
 }

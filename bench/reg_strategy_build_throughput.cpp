@@ -1,0 +1,124 @@
+//===-- bench/reg_strategy_build_throughput.cpp - Parallel build gauge ----===//
+//
+// Part of CWS, a reproduction of Toporkov, "Application-Level and Job-Flow
+// Scheduling" (PaCT 2009). Distributed without any warranty.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Pins the strategy-build throughput (builds/sec) of the serial path
+/// against the parallel variant-generation path on the simulator's
+/// standard workload, and verifies the parallel output is identical to
+/// the serial one — the contract that lets `Strategy::build` default to
+/// `hw_concurrency` lanes. The variant totals are work counters, so a
+/// change to the variant set (not just its speed) trips the ratchet.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/Strategy.h"
+#include "harness.h"
+#include "job/Generator.h"
+#include "resource/Grid.h"
+#include "resource/Network.h"
+#include "support/Prng.h"
+#include "support/ThreadPool.h"
+
+#include <chrono>
+#include <string>
+#include <vector>
+
+using namespace cws;
+
+namespace {
+
+constexpr int64_t Jobs = 50;
+constexpr uint64_t Seed = 42;
+
+/// Seconds of wall clock Fn takes.
+template <typename F> double seconds(F &&Fn) {
+  auto T0 = std::chrono::steady_clock::now();
+  Fn();
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - T0)
+      .count();
+}
+
+/// True when both strategies hold variant-for-variant identical
+/// supporting schedules.
+bool identicalStrategies(const Strategy &A, const Strategy &B) {
+  if (A.variants().size() != B.variants().size() || A.levels() != B.levels())
+    return false;
+  for (size_t I = 0; I < A.variants().size(); ++I) {
+    const ScheduleVariant &VA = A.variants()[I];
+    const ScheduleVariant &VB = B.variants()[I];
+    if (VA.Level != VB.Level || VA.Bias != VB.Bias ||
+        VA.feasible() != VB.feasible())
+      return false;
+    const Distribution &DA = VA.Result.Dist;
+    const Distribution &DB = VB.Result.Dist;
+    if (DA.size() != DB.size())
+      return false;
+    for (const Placement &P : DA.placements()) {
+      const Placement *Q = DB.find(P.TaskId);
+      if (!Q || Q->NodeId != P.NodeId || Q->Start != P.Start ||
+          Q->End != P.End)
+        return false;
+    }
+  }
+  return true;
+}
+
+} // namespace
+
+CWS_BENCH(strategy_build_throughput,
+          "serial vs parallel strategy builds on the standard workload",
+          /*Reps=*/3, /*Warmup=*/1, /*Profile=*/true) {
+  const size_t Threads = ThreadPool::defaultThreads();
+  Ctx.setSeed(Seed);
+  Ctx.setExecSeed(Seed);
+  Ctx.setConfig("jobs=" + std::to_string(Jobs) + "\nstrategy=S1\n");
+
+  // The simulator's standard workload and environment.
+  Prng Root(Seed);
+  Grid Env = Grid::makeRandom(GridConfig{}, Root);
+  JobGenerator Gen(WorkloadConfig{}, Seed + 1);
+  std::vector<Job> Workload;
+  Workload.reserve(static_cast<size_t>(Jobs));
+  for (int64_t I = 0; I < Jobs; ++I)
+    Workload.push_back(Gen.next());
+  Network Net;
+  StrategyConfig Config;
+
+  auto BuildAll = [&](size_t Lanes) {
+    std::vector<Strategy> Out;
+    Out.reserve(Workload.size());
+    StrategyConfig C = Config;
+    C.BuildThreads = Lanes;
+    for (const Job &J : Workload)
+      Out.push_back(Strategy::build(J, Env, Net, C, /*Owner=*/1));
+    return Out;
+  };
+
+  // Build both ways and prove the determinism contract.
+  std::vector<Strategy> Serial = BuildAll(1);
+  std::vector<Strategy> Parallel = BuildAll(Threads);
+  bool Identical = true;
+  for (size_t I = 0; I < Serial.size(); ++I)
+    Identical = Identical && identicalStrategies(Serial[I], Parallel[I]);
+  Ctx.check("parallel build identical to the serial build", Identical);
+
+  uint64_t Variants = 0, Feasible = 0;
+  for (const Strategy &S : Serial) {
+    Variants += S.variants().size();
+    Feasible += S.feasibleCount();
+  }
+  Ctx.setWork("jobs", static_cast<uint64_t>(Jobs));
+  Ctx.setWork("variants_total", Variants);
+  Ctx.setWork("feasible_total", Feasible);
+
+  double SerialSec = seconds([&] { BuildAll(1); });
+  double ParallelSec = seconds([&] { BuildAll(Threads); });
+  double N = static_cast<double>(Jobs);
+  Ctx.addMetric("serial_builds_per_sec", N / SerialSec);
+  Ctx.addMetric("parallel_builds_per_sec", N / ParallelSec);
+  Ctx.addMetric("parallel_speedup", SerialSec / ParallelSec);
+}

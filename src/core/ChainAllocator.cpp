@@ -105,6 +105,7 @@ void ChainAllocator::insertLabel(LabelFront &Front, Label L) const {
   if (!Outcome.Inserted)
     return;
   AllocatorMetrics::get().Labels.add();
+  ++KeptLabels;
   if (Outcome.EvictedForCap)
     AllocatorMetrics::get().Evictions.add();
 }
@@ -278,6 +279,7 @@ bool ChainAllocator::allocate(const CriticalWork &Work, Distribution &Dist,
     }
     if (Violated) {
       AllocatorMetrics::get().Reruns.add();
+      ++DpReruns;
       continue;
     }
 

@@ -78,6 +78,13 @@ public:
                 Tick Deadline, OwnerId Owner,
                 std::vector<CollisionRecord> &Collisions);
 
+  /// Cumulative DP work of this allocator instance — Pareto labels
+  /// kept and window-violation reruns. Deltas around an `allocate`
+  /// call give that call's deterministic work (the caller attributes
+  /// them to the `chain.dp` profiler phase).
+  uint64_t labelsKept() const { return KeptLabels; }
+  uint64_t dpReruns() const { return DpReruns; }
+
 private:
   struct Label {
     Tick Finish;
@@ -120,6 +127,8 @@ private:
   DataPolicy &Policy;
   const CostModel &Cost;
   const AllocatorPolicy &Params;
+  mutable uint64_t KeptLabels = 0;
+  mutable uint64_t DpReruns = 0;
 };
 
 } // namespace cws

@@ -8,6 +8,7 @@
 #include "core/Scheduler.h"
 #include "job/Job.h"
 #include "obs/Metrics.h"
+#include "obs/Profiler.h"
 #include "obs/Trace.h"
 #include "support/Check.h"
 
@@ -84,11 +85,16 @@ ScheduleResult cws::scheduleJob(const Job &J, const Grid &Env,
     M.Phases.add();
     bool Placed;
     {
+      obs::PhaseScope DpPhase("chain.dp");
+      uint64_t Labels0 = Allocator.labelsKept();
+      uint64_t Reruns0 = Allocator.dpReruns();
       obs::Span AllocSpan("core", "allocateChain", "chain_len",
                           static_cast<int64_t>(Work.TaskIds.size()));
       Placed = Allocator.allocate(Work, Result.Dist, Release, J.deadline(),
                                   Owner, Result.Collisions);
       AllocSpan.arg("placed", Placed);
+      DpPhase.work("labels", Allocator.labelsKept() - Labels0);
+      DpPhase.work("dp_reruns", Allocator.dpReruns() - Reruns0);
     }
     if (Placed) {
       for (unsigned TaskId : Work.TaskIds) {

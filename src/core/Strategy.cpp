@@ -11,6 +11,7 @@
 #include "job/Job.h"
 #include "obs/Journal.h"
 #include "obs/Metrics.h"
+#include "obs/Profiler.h"
 #include "obs/Trace.h"
 #include "support/Check.h"
 #include "support/ThreadPool.h"
@@ -93,6 +94,7 @@ Strategy Strategy::build(const Job &J, const Grid &Env, const Network &Net,
       {50, 100, 250, 500, 1000, 2500, 5000, 10000, 25000, 50000, 100000,
        250000, 1000000},
       "wall-clock latency of one Strategy::build (microseconds)");
+  obs::PhaseScope BuildPhase("strategy.build");
   obs::Span BuildSpan("core", "strategy.build", "job",
                       static_cast<int64_t>(J.id()));
   auto T0 = std::chrono::steady_clock::now();
@@ -232,6 +234,8 @@ Strategy Strategy::build(const Job &J, const Grid &Env, const Network &Net,
           std::chrono::steady_clock::now() - T0)
           .count()));
   BuildSpan.arg("variants", static_cast<int64_t>(S.Variants.size()));
+  BuildPhase.work("variants_built", Tasks.size());
+  BuildPhase.work("variants_kept", S.Variants.size());
   return S;
 }
 

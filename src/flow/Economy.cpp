@@ -6,6 +6,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "flow/Economy.h"
+#include "obs/Profiler.h"
 #include "support/Check.h"
 
 #include <algorithm>
@@ -65,6 +66,7 @@ void Economy::setActiveShard(size_t Shard, unsigned JobId) {
 void Economy::mergeLedgers() {
   if (Ledgers.empty())
     return;
+  obs::PhaseScope MergePhase("economy.merge");
   std::vector<LedgerEntry> All;
   for (auto &L : Ledgers) {
     All.insert(All.end(), L.begin(), L.end());
@@ -79,6 +81,7 @@ void Economy::mergeLedgers() {
                    });
   for (const LedgerEntry &E : All)
     Accounts[E.User].Spent += E.Amount;
+  MergePhase.work("entries", All.size());
 }
 
 double Economy::pendingOf(unsigned User) const {

@@ -9,6 +9,7 @@
 #include "core/Shift.h"
 #include "obs/Journal.h"
 #include "obs/Metrics.h"
+#include "obs/Profiler.h"
 #include "obs/Trace.h"
 #include "support/Check.h"
 
@@ -217,11 +218,13 @@ bool JobManager::finishArrival(PreparedArrival &&P, Tick Now) {
 }
 
 size_t JobManager::prepareNegotiation(unsigned JobId) const {
+  obs::PhaseScope TenderPhase("tender.eval");
   auto It = Active.find(JobId);
   CWS_CHECK(It != Active.end(), "negotiation for an unknown job");
   const ActiveJob &A = It->second;
   const ScheduleVariant *Pick =
       A.S.bestFitting(Meta.grid(), Metascheduler::ownerOf(JobId));
+  TenderPhase.work("variants_scanned", A.S.variants().size());
   return Pick ? static_cast<size_t>(Pick - A.S.variants().data())
               : PickNone;
 }
@@ -532,6 +535,11 @@ void JobManager::onEnvironmentChange(Tick Now) {
     EM.IndexCandidates.add(Candidates);
     EM.IndexIntersections.add(Intersections);
     EM.IndexPlacements.add(Placements);
+    // The env.invalidate *scope* opens once per change on the caller
+    // (flow/VirtualOrganization.cpp); the work fans out per manager,
+    // so it is attributed by name and sums shard-invariantly.
+    obs::Profiler::global().addWork("env.invalidate", "placements",
+                                    Placements);
     return;
   }
   // The full scan (differential-testing oracle, and the fallback when
@@ -555,6 +563,8 @@ void JobManager::onEnvironmentChange(Tick Now) {
   EM.ScanJobs.add(Open.size());
   EM.ScanPlacements.add(Placements);
   EM.ScanSize.observe(static_cast<double>(Placements));
+  obs::Profiler::global().addWork("env.invalidate", "placements",
+                                  Placements);
 }
 
 void JobManager::onCompletion(unsigned JobId, Tick Now) {

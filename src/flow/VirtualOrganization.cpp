@@ -10,6 +10,7 @@
 #include "flow/Metascheduler.h"
 #include "obs/Journal.h"
 #include "obs/Metrics.h"
+#include "obs/Profiler.h"
 #include "obs/TimeSeries.h"
 #include "resource/Network.h"
 #include "sim/Simulator.h"
@@ -166,6 +167,10 @@ cws::runMultiFlowVo(const VoConfig &Config,
   // within each flow — exactly the order a serial 1-shard pass appends
   // in, so the journal is byte-identical at any shard count.
   Background.setObserver([&Managers, NumFlows, ShardCount](Tick Now) {
+    // One profiler scope per environment change on the calling thread;
+    // the per-manager re-validation work joins it by name from the
+    // worker lanes, so counts and work stay shard-invariant.
+    CWS_PHASE("env.invalidate");
     obs::Journal &Jn = obs::Journal::global();
     std::vector<obs::JournalBuffer> Buffers(Managers.size());
     ThreadPool::global().parallelFor(
@@ -294,6 +299,7 @@ cws::runMultiFlowVo(const VoConfig &Config,
     // every strategy in parallel (one lane per shard, journal events
     // captured per job), then admit serially in ascending job id.
     if (!ArrivalBatch.empty()) {
+      obs::PhaseScope AdmissionPhase("meta.admission");
       std::vector<PendingArrival> Batch;
       Batch.swap(ArrivalBatch);
       std::sort(Batch.begin(), Batch.end(),
@@ -303,6 +309,7 @@ cws::runMultiFlowVo(const VoConfig &Config,
       SM.AdmissionBatches.add();
       SM.AdmissionJobs.add(Batch.size());
       SM.AdmissionBatchJobs.observe(static_cast<double>(Batch.size()));
+      AdmissionPhase.work("jobs", Batch.size());
       std::vector<std::optional<JobManager::PreparedArrival>> Prepared(
           Batch.size());
       Pool.submitRange(
@@ -342,25 +349,33 @@ cws::runMultiFlowVo(const VoConfig &Config,
       SM.CommitJobs.add(Ready.size());
       SM.CommitBatchJobs.observe(static_cast<double>(Ready.size()));
       std::vector<size_t> Hints(Ready.size());
-      Pool.submitRange(
-          0, Ready.size(),
-          [&](size_t I) {
-            Hints[I] = Managers[Ready[I].ManagerIdx]->prepareNegotiation(
-                Ready[I].JobId);
-          },
-          /*MaxLanes=*/ShardCount);
-      for (size_t I = 0; I < Ready.size(); ++I) {
-        const PendingNegotiation &PN = Ready[I];
-        Econ.setActiveShard(Metascheduler::shardOfJob(PN.JobId, ShardCount),
-                            PN.JobId);
-        std::optional<Tick> Completion =
-            Managers[PN.ManagerIdx]->onNegotiation(PN.JobId, Now, Hints[I]);
-        if (Completion) {
-          size_t ManagerIdx = PN.ManagerIdx;
-          unsigned JobId = PN.JobId;
-          Sim.at(*Completion, [&Managers, ManagerIdx, JobId](Tick CNow) {
-            Managers[ManagerIdx]->onCompletion(JobId, CNow);
-          });
+      {
+        obs::PhaseScope PreparePhase("commit.prepare");
+        PreparePhase.work("tenders", Ready.size());
+        Pool.submitRange(
+            0, Ready.size(),
+            [&](size_t I) {
+              Hints[I] = Managers[Ready[I].ManagerIdx]->prepareNegotiation(
+                  Ready[I].JobId);
+            },
+            /*MaxLanes=*/ShardCount);
+      }
+      {
+        obs::PhaseScope ApplyPhase("commit.apply");
+        ApplyPhase.work("tenders", Ready.size());
+        for (size_t I = 0; I < Ready.size(); ++I) {
+          const PendingNegotiation &PN = Ready[I];
+          Econ.setActiveShard(Metascheduler::shardOfJob(PN.JobId, ShardCount),
+                              PN.JobId);
+          std::optional<Tick> Completion =
+              Managers[PN.ManagerIdx]->onNegotiation(PN.JobId, Now, Hints[I]);
+          if (Completion) {
+            size_t ManagerIdx = PN.ManagerIdx;
+            unsigned JobId = PN.JobId;
+            Sim.at(*Completion, [&Managers, ManagerIdx, JobId](Tick CNow) {
+              Managers[ManagerIdx]->onCompletion(JobId, CNow);
+            });
+          }
         }
       }
       // Tick barrier: fold the per-shard charge ledgers canonically.

@@ -154,7 +154,10 @@ bool cws::obs::parseSloFile(const std::string &Text,
       return false;
     }
     // Sweep grammar: a `.stat` suffix selects the pooled statistic the
-    // rule gates on ("deadline_miss_rate.p90").
+    // rule gates on ("deadline_miss_rate.p90"). Any other dotted suffix
+    // stays part of the indicator name — profile indicators like
+    // `phase.chain.dp.count` are dotted all the way through, and an
+    // indicator nothing computes fails closed at evaluation anyway.
     if (size_t Dot = Name.rfind('.'); Dot != std::string::npos) {
       static const char *Stats[] = {"mean", "ci95", "p50", "p90",
                                     "p99",  "min",  "max"};
@@ -162,16 +165,14 @@ bool cws::obs::parseSloFile(const std::string &Text,
       bool KnownStat = false;
       for (const char *S : Stats)
         KnownStat = KnownStat || Suffix == S;
-      if (!KnownStat) {
-        Error = "line " + std::to_string(LineNo) + ": unknown statistic '" +
-                Suffix + "' (mean, ci95, p50, p90, p99, min, max)";
-        return false;
-      }
-      R.Stat = Suffix;
-      Name = Name.substr(0, Dot);
-      if (Name.empty()) {
-        Error = "line " + std::to_string(LineNo) + ": missing indicator name";
-        return false;
+      if (KnownStat) {
+        R.Stat = Suffix;
+        Name = Name.substr(0, Dot);
+        if (Name.empty()) {
+          Error = "line " + std::to_string(LineNo) +
+                  ": missing indicator name";
+          return false;
+        }
       }
     }
     R.Indicator = Name;
@@ -385,9 +386,68 @@ static std::string renderPercent(double Fraction) {
   return Buf;
 }
 
+void cws::obs::addProfileIndicators(const ParsedProfile &P,
+                                    std::map<std::string, double> &Ind) {
+  for (const PhaseStats &Phase : P.Phases) {
+    const std::string Prefix = "phase." + Phase.Name + ".";
+    Ind[Prefix + "count"] = static_cast<double>(Phase.Count);
+    Ind[Prefix + "total_us"] = Phase.TotalUs;
+    Ind[Prefix + "self_us"] = Phase.SelfUs;
+    Ind[Prefix + "p50_us"] = Phase.P50Us;
+    Ind[Prefix + "p99_us"] = Phase.P99Us;
+    for (const auto &W : Phase.Work)
+      Ind[Prefix + W.first] = static_cast<double>(W.second);
+  }
+}
+
+std::string cws::obs::renderProfileSection(const ParsedProfile &P) {
+  std::string Out = "## Where the time went\n\n";
+  if (P.Phases.empty()) {
+    Out += "The attached profile recorded no phases.\n\n";
+    return Out;
+  }
+  // Rank by self time — total time double-counts nesting (sim.tick
+  // contains nearly everything); self time is where the clock actually
+  // burned. Ties break by name for a deterministic report.
+  std::vector<const PhaseStats *> Ranked;
+  double TotalSelfUs = 0.0;
+  for (const PhaseStats &Phase : P.Phases) {
+    Ranked.push_back(&Phase);
+    TotalSelfUs += Phase.SelfUs;
+  }
+  std::sort(Ranked.begin(), Ranked.end(),
+            [](const PhaseStats *A, const PhaseStats *B) {
+              if (A->SelfUs != B->SelfUs)
+                return A->SelfUs > B->SelfUs;
+              return A->Name < B->Name;
+            });
+  Out += "| phase | count | total ms | self ms | self share | p50 us | "
+         "p99 us | work |\n";
+  Out += "|---|---|---|---|---|---|---|---|\n";
+  for (const PhaseStats *Phase : Ranked) {
+    std::string Work;
+    for (const auto &W : Phase->Work) {
+      if (!Work.empty())
+        Work += ", ";
+      Work += W.first + "=" + std::to_string(W.second);
+    }
+    if (Work.empty())
+      Work = "-";
+    double Share = TotalSelfUs > 0 ? Phase->SelfUs / TotalSelfUs : 0.0;
+    Out += "| " + Phase->Name + " | " + std::to_string(Phase->Count) +
+           " | " + renderRate(Phase->TotalUs / 1000.0) + " | " +
+           renderRate(Phase->SelfUs / 1000.0) + " | " +
+           renderPercent(Share) + " | " + renderRate(Phase->P50Us) + " | " +
+           renderRate(Phase->P99Us) + " | " + Work + " |\n";
+  }
+  Out += "\n";
+  return Out;
+}
+
 std::string cws::obs::renderRunReport(const ParsedJournal &J,
                                       const ParsedTimeSeries &Ts,
-                                      const std::vector<SloResult> &Slo) {
+                                      const std::vector<SloResult> &Slo,
+                                      const ParsedProfile *Profile) {
   std::map<std::string, double> Ind = computeIndicators(J, Ts);
   auto Get = [&Ind](const char *Name) {
     auto It = Ind.find(Name);
@@ -581,6 +641,10 @@ std::string cws::obs::renderRunReport(const ParsedJournal &J,
     }
     Out += "\n";
   }
+
+  //===--- Phase profile --------------------------------------------------===//
+  if (Profile)
+    Out += renderProfileSection(*Profile);
 
   //===--- SLO verdict ----------------------------------------------------===//
   if (!Slo.empty()) {

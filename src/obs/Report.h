@@ -28,6 +28,7 @@
 #define CWS_OBS_REPORT_H
 
 #include "obs/Journal.h"
+#include "obs/Profiler.h"
 #include "sim/Time.h"
 
 #include <cstdint>
@@ -133,14 +134,32 @@ struct SloResult {
 std::vector<SloResult> evaluateSlo(const std::vector<SloRule> &Rules,
                                    const std::map<std::string, double> &Ind);
 
+/// Adds the `phase.*` indicators of profile \p P to \p Ind, making
+/// phase budgets SLO-gateable: per phase `phase.<name>.count`,
+/// `.total_us`, `.self_us`, `.p50_us`, `.p99_us`, plus one
+/// `phase.<name>.<counter>` per work counter. Without an attached
+/// profile these indicators stay unknown, so `phase.*` rules fail
+/// closed — a budget that silently passes because nothing was profiled
+/// is not a budget.
+void addProfileIndicators(const ParsedProfile &P,
+                          std::map<std::string, double> &Ind);
+
+/// Renders the "Where the time went" Markdown section of profile \p P:
+/// every phase ranked by self time, with counts, total/self wall time,
+/// per-scope quantiles and the work-counter context. Deterministic for
+/// a fixed profile up to the measured times it reports.
+std::string renderProfileSection(const ParsedProfile &P);
+
 /// Renders the Markdown run report: overview, utilization summary with
 /// the top-5 most-contended nodes, the reallocation / invalidation
-/// timeline, the per-flow QoS table (flows in ascending id order), and
-/// the SLO verdict when \p Slo is non-empty. Deterministic for fixed
-/// inputs.
+/// timeline, the per-flow QoS table (flows in ascending id order), the
+/// "Where the time went" phase breakdown when a profile \p Profile is
+/// attached, and the SLO verdict when \p Slo is non-empty.
+/// Deterministic for fixed inputs.
 std::string renderRunReport(const ParsedJournal &J,
                             const ParsedTimeSeries &Ts,
-                            const std::vector<SloResult> &Slo);
+                            const std::vector<SloResult> &Slo,
+                            const ParsedProfile *Profile = nullptr);
 
 //===----------------------------------------------------------------------===//
 // Sweep statistics store (cws-sweep output, cws-report --sweep input)

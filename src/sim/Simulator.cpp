@@ -8,6 +8,7 @@
 #include "sim/Simulator.h"
 #include "obs/Journal.h"
 #include "obs/Metrics.h"
+#include "obs/Profiler.h"
 #include "obs/TimeSeries.h"
 #include "obs/Trace.h"
 #include "support/Check.h"
@@ -60,7 +61,10 @@ size_t Simulator::run(Tick Until) {
     // Periodic telemetry frames are taken at the tick boundary, before
     // the event dispatches, so they see the state the tick starts from.
     Ts.onTick(Now);
-    Events.runNext();
+    {
+      CWS_PHASE("sim.tick");
+      Events.runNext();
+    }
     ++Executed;
     M.Events.add();
     M.QueueDepth.set(static_cast<int64_t>(Events.size()));

@@ -139,8 +139,12 @@ TEST_F(ReportTest, ParsesQuantileSloGrammar) {
   EXPECT_EQ(Rules[2].Stat, "");
   EXPECT_EQ(Rules[2].fullName(), "mean_node_busy");
 
-  EXPECT_FALSE(parseSloFile("x.p45 <= 1\n", Rules, Error));
-  EXPECT_NE(Error.find("unknown statistic"), std::string::npos) << Error;
+  // A dotted suffix that is not a pooled statistic stays part of the
+  // indicator name (profile indicators are dotted: phase.chain.dp.count).
+  ASSERT_TRUE(parseSloFile("x.p45 <= 1\n", Rules, Error)) << Error;
+  ASSERT_EQ(Rules.size(), 1u);
+  EXPECT_EQ(Rules[0].Indicator, "x.p45");
+  EXPECT_EQ(Rules[0].Stat, "");
   EXPECT_FALSE(parseSloFile(".p90 <= 1\n", Rules, Error));
   EXPECT_FALSE(parseSloFile("x <= 1 across the universe\n", Rules, Error));
 }

@@ -11,13 +11,17 @@
 /// Usage:
 ///
 ///   cws-sim --jobs 200 --journal=run.jsonl --timeseries=ts.csv
+///           --profile=profile.json
 ///   cws-report --journal=run.jsonl --timeseries=ts.csv
-///              [--slo=run.slo] [--out report.md]
+///              [--profile=profile.json] [--slo=run.slo] [--out report.md]
 ///   cws-report --sweep=sweep.csv [--slo=sweep.slo] [--out report.md]
 ///
 /// The report renders an overview, the utilization summary with the
 /// top-5 most-contended nodes, the reallocation/invalidation timeline,
-/// and the per-flow QoS table. With `--slo` each rule of the file
+/// and the per-flow QoS table. With `--profile` it adds the "Where the
+/// time went" phase breakdown and exposes `phase.*` indicators to SLO
+/// rules (`phase.chain.dp.self_us <= 500000`); without a profile those
+/// rules fail closed. With `--slo` each rule of the file
 /// (`indicator <= bound`, `#` comments) is evaluated against the run's
 /// indicators and any breach makes the tool exit 1 — a CI-gateable
 /// alerting analog.
@@ -67,6 +71,11 @@ int main(int Argc, char **Argv) {
               "unless --sweep)");
   F.addString("timeseries", &TimeSeriesFile,
               "telemetry CSV written by cws-sim --timeseries");
+  std::string ProfileFile;
+  F.addString("profile", &ProfileFile,
+              "phase profile written by cws-sim --profile; adds the "
+              "'Where the time went' section and the phase.* SLO "
+              "indicators");
   F.addString("sweep", &SweepFile,
               "pooled statistics CSV written by cws-sweep --out; renders "
               "the sweep report instead of a run report");
@@ -84,9 +93,10 @@ int main(int Argc, char **Argv) {
 
   //===--- Sweep mode ----------------------------------------------------===//
   if (!SweepFile.empty()) {
-    if (!JournalFile.empty() || !TimeSeriesFile.empty()) {
-      std::fprintf(stderr,
-                   "cws-report: --sweep excludes --journal/--timeseries\n");
+    if (!JournalFile.empty() || !TimeSeriesFile.empty() ||
+        !ProfileFile.empty()) {
+      std::fprintf(stderr, "cws-report: --sweep excludes "
+                           "--journal/--timeseries/--profile\n");
       return 2;
     }
     if (!readFile(SweepFile, Text)) {
@@ -186,6 +196,22 @@ int main(int Argc, char **Argv) {
     }
   }
 
+  obs::ParsedProfile Profile;
+  bool HasProfile = false;
+  if (!ProfileFile.empty()) {
+    if (!readFile(ProfileFile, Text)) {
+      std::fprintf(stderr, "cws-report: cannot open '%s'\n",
+                   ProfileFile.c_str());
+      return 2;
+    }
+    if (!obs::parseProfileJson(Text, Profile, Error)) {
+      std::fprintf(stderr, "cws-report: %s: %s\n", ProfileFile.c_str(),
+                   Error.c_str());
+      return 2;
+    }
+    HasProfile = true;
+  }
+
   std::vector<obs::SloResult> Slo;
   bool Breached = false;
   if (!SloFile.empty()) {
@@ -200,7 +226,12 @@ int main(int Argc, char **Argv) {
                    Error.c_str());
       return 2;
     }
-    Slo = obs::evaluateSlo(Rules, obs::computeIndicators(J, Ts));
+    std::map<std::string, double> Ind = obs::computeIndicators(J, Ts);
+    // phase.* rules gate only an attached profile; without one they
+    // stay unknown and fail closed.
+    if (HasProfile)
+      obs::addProfileIndicators(Profile, Ind);
+    Slo = obs::evaluateSlo(Rules, Ind);
     for (const obs::SloResult &R : Slo) {
       if (R.Pass)
         continue;
@@ -217,7 +248,8 @@ int main(int Argc, char **Argv) {
     }
   }
 
-  std::string Report = obs::renderRunReport(J, Ts, Slo);
+  std::string Report =
+      obs::renderRunReport(J, Ts, Slo, HasProfile ? &Profile : nullptr);
   if (OutFile.empty()) {
     std::cout << Report;
   } else {

@@ -13,7 +13,8 @@
 ///             [--now T] [--gantt 1] [--csv 1] [--build-threads N]
 ///             [--trace out.json] [--trace-categories core]
 ///             [--metrics out.prom] [--journal run.jsonl]
-///             [--timeseries ts.csv] [--invalidation scan|index]
+///             [--timeseries ts.csv] [--profile profile.json]
+///             [--invalidation scan|index]
 ///
 /// The description must declare nodes (or pass --fig2grid 1 to use the
 /// paper's four-type environment).
@@ -27,6 +28,7 @@
 #include "metrics/Export.h"
 #include "obs/Journal.h"
 #include "obs/Metrics.h"
+#include "obs/Profiler.h"
 #include "obs/Provenance.h"
 #include "obs/TimeSeries.h"
 #include "obs/Trace.h"
@@ -79,6 +81,10 @@ int main(int Argc, char **Argv) {
   F.addString("timeseries", &TimeSeriesFile,
               "write the telemetry frames of the build (tidy CSV, JSONL "
               "if *.jsonl)");
+  std::string ProfileFile;
+  F.addString("profile", &ProfileFile,
+              "write the phase profile (where wall time and work went) "
+              "as JSON; inspect with cws-report --profile");
   // A single build has no environment changes to invalidate against;
   // the flag is validated here so scripts can pass one uniform command
   // line to both tools.
@@ -113,6 +119,8 @@ int main(int Argc, char **Argv) {
   }
   if (!JournalFile.empty())
     obs::Journal::global().enable();
+  if (!ProfileFile.empty())
+    obs::Profiler::global().enable();
   if (!TimeSeriesFile.empty()) {
     obs::TimeSeries::global().enable();
     obs::TimeSeries::global().addDefaultProbes(obs::Registry::global());
@@ -177,6 +185,7 @@ int main(int Argc, char **Argv) {
   Prov.Cli = obs::cliStringOf(Argc, Argv);
   obs::Journal::global().setProvenance(Prov);
   obs::TimeSeries::global().setProvenance(Prov);
+  obs::Profiler::global().setProvenance(Prov);
 
   Network Net;
   Strategy S = Strategy::build(R.TheJob, Env, Net, Config, /*Owner=*/1,
@@ -190,6 +199,19 @@ int main(int Argc, char **Argv) {
     Ts.sampleEvent(Now, "build");
     Ts.disable();
     TsExtra = Ts.chromeTraceEvents();
+  }
+  if (!ProfileFile.empty()) {
+    obs::Profiler &P = obs::Profiler::global();
+    P.disable();
+    std::string PhaseExtra = P.chromeTraceEvents();
+    if (!PhaseExtra.empty())
+      TsExtra += (TsExtra.empty() ? "" : ",") + PhaseExtra;
+    if (!P.writeJson(ProfileFile)) {
+      std::fprintf(stderr, "cws-sched: cannot write profile '%s'\n",
+                   ProfileFile.c_str());
+      return 2;
+    }
+    publishProfilerStats(P, obs::Registry::global());
   }
 
   if (!TraceFile.empty()) {

@@ -14,7 +14,7 @@
 ///           [--trace out.json] [--trace-categories core,flow]
 ///           [--metrics out.prom] [--journal run.jsonl]
 ///           [--timeseries ts.csv] [--sample-every N]
-///           [--invalidation scan|index]
+///           [--profile profile.json] [--invalidation scan|index]
 ///           [--arrival-scale X] [--background-scale X]
 ///           [--fast-share Y] [--scenario ID]
 ///
@@ -32,6 +32,7 @@
 #include "metrics/Export.h"
 #include "metrics/QoS.h"
 #include "obs/Journal.h"
+#include "obs/Profiler.h"
 #include "obs/Provenance.h"
 #include "obs/TimeSeries.h"
 #include "obs/Trace.h"
@@ -89,6 +90,10 @@ int main(int Argc, char **Argv) {
               "*.jsonl; inspect with cws-report)");
   F.addInt("sample-every", &SampleEvery,
            "periodic telemetry frame cadence in simulation ticks");
+  std::string ProfileFile;
+  F.addString("profile", &ProfileFile,
+              "write the phase profile (where wall time and work went) "
+              "as JSON; inspect with cws-report --profile");
   std::string Invalidation = "index";
   F.addString("invalidation", &Invalidation,
               "how env changes find broken strategies: index "
@@ -137,6 +142,8 @@ int main(int Argc, char **Argv) {
   }
   if (!JournalFile.empty())
     obs::Journal::global().enable();
+  if (!ProfileFile.empty())
+    obs::Profiler::global().enable();
   if (!TimeSeriesFile.empty()) {
     obs::TimeSeriesConfig TsConfig;
     if (SampleEvery > 0)
@@ -195,6 +202,7 @@ int main(int Argc, char **Argv) {
   Prov.Cli = obs::cliStringOf(Argc, Argv);
   obs::Journal::global().setProvenance(Prov);
   obs::TimeSeries::global().setProvenance(Prov);
+  obs::Profiler::global().setProvenance(Prov);
 
   VoRunResult Run =
       runVirtualOrganization(Config, Kind, static_cast<uint64_t>(Seed));
@@ -213,6 +221,23 @@ int main(int Argc, char **Argv) {
   if (!TimeSeriesFile.empty()) {
     obs::TimeSeries::global().disable();
     TsExtra = obs::TimeSeries::global().chromeTraceEvents();
+  }
+  if (!ProfileFile.empty()) {
+    obs::Profiler &P = obs::Profiler::global();
+    P.disable();
+    // The per-phase summary slices ride the same trace file as the
+    // spans and the sim-time lane.
+    std::string PhaseExtra = P.chromeTraceEvents();
+    if (!PhaseExtra.empty())
+      TsExtra += (TsExtra.empty() ? "" : ",") + PhaseExtra;
+    if (!P.writeJson(ProfileFile)) {
+      std::fprintf(stderr, "cws-sim: cannot write profile '%s'\n",
+                   ProfileFile.c_str());
+      return 2;
+    }
+    publishProfilerStats(P, obs::Registry::global());
+    std::fprintf(stderr, "cws-sim: wrote %zu profiled phases to %s\n",
+                 P.snapshot().size(), ProfileFile.c_str());
   }
 
   if (!TraceFile.empty()) {

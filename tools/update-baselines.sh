@@ -6,7 +6,9 @@
 #
 # Regenerates examples/baseline/ — the golden run artifacts that CI's
 # `cws-diff --against-baseline` regression gate compares every build
-# against. Run from the repository root after an *intentional*
+# against, and examples/baseline/bench/ — the BENCH_*.json perf
+# baselines that CI's `cws-bench --against` ratchet compares every
+# build against. Run from the repository root after an *intentional*
 # behavior change, inspect the diff, and commit the result:
 #
 #   cmake -B build -S . && cmake --build build -j
@@ -48,3 +50,19 @@ mkdir -p "$OUT"
 } > "$OUT/MANIFEST"
 
 echo "update-baselines: wrote $OUT/{example.journal.jsonl,example.ts.csv,MANIFEST}"
+
+# The perf baselines. One measured repetition: wall-time statistics are
+# advisory in the ratchet anyway, and only the deterministic work
+# counters / checks gate, so a single rep is exactly as strong and much
+# faster. Run with pinned parallelism so the recorded provenance is
+# stable (the ratchet allows shards/cli to differ regardless).
+[ -x "$BUILD/tools/cws-bench" ] || {
+  echo "update-baselines: $BUILD/tools/cws-bench missing;" \
+       "build first (cmake --build $BUILD -j)" >&2
+  exit 2
+}
+CWS_BUILD_THREADS=1 CWS_SHARDS=1 \
+  "$BUILD/tools/cws-bench" --reps 1 --warmup 0 --out "$OUT/bench" \
+  > /dev/null
+
+echo "update-baselines: wrote $OUT/bench/BENCH_*.json"
