@@ -1,0 +1,197 @@
+//===-- bench/reg_realloc_repair.cpp - Staged repair vs full rebuild ------===//
+//
+// Part of CWS, a reproduction of Toporkov, "Application-Level and Job-Flow
+// Scheduling" (PaCT 2009). Distributed without any warranty.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Measures what one reallocation costs the job-flow level under both
+/// reallocation modes: the unconditional full strategy rebuild (the
+/// differential oracle behind `--reallocation=rebuild`) and the
+/// escalating staged repair (the default). Both runs use the same
+/// workload and seed, so they face the same broken strategies up to
+/// the first repair that changes history. Staged repair strictly
+/// dominates the rebuild — its stage 3 *is* the rebuild, and stages
+/// 1/2 can keep placements of the stale plan that a from-scratch
+/// rebuild at Now cannot reproduce — so from the first stage-1/2
+/// repair on, the two runs schedule on diverged grids. The stage mix
+/// (shift / dp / rebuilt / failed) and the divergence count are the
+/// bench's work counters — the ratchet pins them exactly — and the
+/// recorded checks gate what must hold regardless:
+///  - per-job commit/reject outcomes are equivalent across modes up
+///    to documented repair saves and post-repair drift (the
+///    `--allow-repair-saves` semantics of `cws-diff --outcomes`,
+///    including the never-fewer-commits dominance backstop);
+///  - at least 60% of the reallocations that deliver a strategy at
+///    all resolve in stage 1 or 2 (the failed ones are cases even the
+///    full rebuild cannot fix — stage 3 is that rebuild);
+///  - the oracle run (`VoConfig::RepairOracle`) re-derives every
+///    staged repair by full rebuild: each repaired strategy must be
+///    feasible on the live grid and affordable, and the aggregate
+///    cost of the repaired strategies must not exceed what the
+///    rebuilds would have charged. Per repair, "never worse" is not
+///    enforceable without running the rebuild it exists to avoid — a
+///    repair pins stale placements and can price above a fresh
+///    rebuild on some jobs — so the per-repair share is reported as
+///    the `oracle_notworse_share` metric instead.
+///
+//===----------------------------------------------------------------------===//
+
+#include "flow/VirtualOrganization.h"
+#include "harness.h"
+#include "obs/Diff.h"
+#include "obs/Journal.h"
+#include "obs/Metrics.h"
+#include "support/Check.h"
+
+#include <chrono>
+
+using namespace cws;
+
+namespace {
+
+constexpr size_t Jobs = 60;
+constexpr uint64_t Seed = 7;
+
+VoConfig benchConfig(ReallocationMode Mode, bool Oracle = false) {
+  VoConfig Config;
+  Config.JobCount = Jobs;
+  // The example workload: cws-sim's defaults, not WorkloadConfig's
+  // (the tool widens the deadline slack to 2.0; the per-job outcome
+  // gate below is pinned to this workload, where repair dominance is
+  // clean).
+  Config.Workload.DeadlineSlack = 2.0;
+  Config.Reallocation = Mode;
+  Config.RepairOracle = Oracle;
+  return Config;
+}
+
+struct ModeCost {
+  double WallMs = 0;
+  uint64_t Attempts = 0;
+  uint64_t Shift = 0;
+  uint64_t Dp = 0;
+  uint64_t Rebuilt = 0;
+  uint64_t Failed = 0;
+};
+
+ModeCost runMode(ReallocationMode Mode) {
+  obs::Registry &R = obs::Registry::global();
+  obs::Counter &Attempts = R.counter("cws_meta_realloc_attempts_total");
+  obs::Counter &Shift =
+      R.counter("cws_meta_realloc_repaired_total{stage=\"shift\"}");
+  obs::Counter &Dp = R.counter("cws_meta_realloc_repaired_total{stage=\"dp\"}");
+  obs::Counter &Rebuilt = R.counter("cws_meta_realloc_rebuilt_total");
+  obs::Counter &Failed = R.counter("cws_meta_realloc_failed_total");
+
+  // Counters are global and cumulative, so cost = delta across the run.
+  uint64_t A0 = Attempts.value();
+  uint64_t S0 = Shift.value();
+  uint64_t D0 = Dp.value();
+  uint64_t R0 = Rebuilt.value();
+  uint64_t F0 = Failed.value();
+
+  auto T0 = std::chrono::steady_clock::now();
+  runVirtualOrganization(benchConfig(Mode), StrategyKind::S1, Seed);
+  auto T1 = std::chrono::steady_clock::now();
+
+  ModeCost Cost;
+  Cost.WallMs =
+      std::chrono::duration_cast<std::chrono::microseconds>(T1 - T0).count() /
+      1000.0;
+  Cost.Attempts = Attempts.value() - A0;
+  Cost.Shift = Shift.value() - S0;
+  Cost.Dp = Dp.value() - D0;
+  Cost.Rebuilt = Rebuilt.value() - R0;
+  Cost.Failed = Failed.value() - F0;
+  return Cost;
+}
+
+/// One journaled run of \p Mode, parsed for the outcome-equivalence
+/// oracle.
+obs::ParsedJournal journaledMode(ReallocationMode Mode) {
+  obs::Journal &Jn = obs::Journal::global();
+  Jn.reset();
+  Jn.enable();
+  runVirtualOrganization(benchConfig(Mode), StrategyKind::S1, Seed);
+  Jn.disable();
+  obs::ParsedJournal J;
+  std::string Error;
+  CWS_CHECK(obs::parseJournalJsonl(Jn.jsonl(), J, Error),
+            "journaled run must parse");
+  Jn.reset();
+  return J;
+}
+
+} // namespace
+
+CWS_BENCH(realloc_repair,
+          "reallocation cost and stage mix, staged repair vs full rebuild",
+          /*Reps=*/3, /*Warmup=*/1, /*Profile=*/true) {
+  Ctx.setSeed(Seed);
+  Ctx.setExecSeed(Seed);
+  Ctx.setConfig("jobs=" + std::to_string(Jobs) + "\n");
+
+  // Differential oracle first: repair and rebuild legitimately place
+  // jobs differently, but verdicts must agree up to documented repair
+  // saves and post-repair drift (any divergence before the first
+  // stage-1/2 repair, or that leaves repair committing fewer jobs
+  // overall, fails). The config hash differs by construction (the
+  // reallocation mode is part of the canonical config).
+  obs::ParsedJournal Repair = journaledMode(ReallocationMode::Repair);
+  obs::ParsedJournal Rebuild = journaledMode(ReallocationMode::Rebuild);
+  obs::DiffOptions Opts;
+  Opts.Meta.AllowConfigHash = true;
+  obs::DiffResult Strict = obs::diffJournalOutcomes(Repair, Rebuild, Opts);
+  Opts.AllowRepairSaves = true;
+  obs::DiffResult Diff = obs::diffJournalOutcomes(Repair, Rebuild, Opts);
+  Ctx.check("outcome divergence limited to saves and post-repair drift",
+            Diff.identical());
+  uint64_t Divergences = Strict.TotalFindings - Strict.MetaFindings.size();
+
+  // The by-rebuild re-derivation oracle: every staged repair must be
+  // feasible on the live grid and affordable, and in aggregate the
+  // repaired strategies must not cost more than the rebuilds the
+  // oracle derived. Per-repair cost parity is reported, not gated —
+  // see the header comment.
+  VoRunResult OracleRun = runVirtualOrganization(
+      benchConfig(ReallocationMode::Repair, /*Oracle=*/true), StrategyKind::S1,
+      Seed);
+  const RepairOracleStats &O = OracleRun.RepairOracle;
+  Ctx.check("oracle: every staged repair feasible and affordable",
+            O.Checked > 0 && O.Feasible == O.Checked &&
+                O.Affordable == O.Checked);
+  Ctx.check("oracle: aggregate repair cost <= aggregate rebuild cost",
+            O.RepairCost <= O.RebuildCost + 1e-9);
+  Ctx.addMetric("oracle_notworse_share",
+                static_cast<double>(O.NotWorse) /
+                    static_cast<double>(O.Checked ? O.Checked : 1));
+
+  ModeCost RepairCost = runMode(ReallocationMode::Repair);
+  ModeCost RebuildCost = runMode(ReallocationMode::Rebuild);
+
+  Ctx.setWork("realloc_attempts", RepairCost.Attempts);
+  Ctx.setWork("repaired_shift", RepairCost.Shift);
+  Ctx.setWork("repaired_dp", RepairCost.Dp);
+  Ctx.setWork("rebuilt", RepairCost.Rebuilt);
+  Ctx.setWork("failed", RepairCost.Failed);
+  Ctx.setWork("rebuild_attempts", RebuildCost.Attempts);
+  Ctx.setWork("outcome_divergences", Divergences);
+
+  // Share over the reallocations that delivered a strategy at all: the
+  // failed ones are jobs even the stage-3 rebuild cannot fix, so no
+  // mode resolves them.
+  uint64_t Resolved = RepairCost.Shift + RepairCost.Dp + RepairCost.Rebuilt;
+  double Stage12Share =
+      static_cast<double>(RepairCost.Shift + RepairCost.Dp) /
+      static_cast<double>(Resolved ? Resolved : 1);
+  Ctx.check("stage 1 or 2 resolves >= 60% of resolved reallocations",
+            Stage12Share >= 0.60);
+  Ctx.addMetric("stage12_share", Stage12Share);
+  Ctx.addMetric("repair_wall_ms", RepairCost.WallMs);
+  Ctx.addMetric("rebuild_wall_ms", RebuildCost.WallMs);
+  Ctx.addMetric("rebuild_repair_wall_ratio",
+                RebuildCost.WallMs /
+                    (RepairCost.WallMs > 0 ? RepairCost.WallMs : 1));
+}

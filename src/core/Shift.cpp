@@ -14,6 +14,9 @@
 using namespace cws;
 
 Distribution cws::shiftDistribution(const Distribution &D, Tick Delta) {
+  // Zero-shift fast path: a straight copy, byte-identical placements.
+  if (Delta == 0)
+    return D;
   Distribution Shifted;
   for (const auto &P : D.placements()) {
     CWS_CHECK(P.Start + Delta >= 0, "shift would move a placement before 0");
@@ -28,6 +31,19 @@ std::optional<Tick> cws::minimalFeasibleShift(const Distribution &D,
                                               OwnerId Ignore) {
   if (D.empty())
     return 0;
+  // Delta = 0 fast path: an already-feasible distribution needs no
+  // shift. Pinned behavior (no journal, no metrics, no search) so the
+  // recovery paths can treat "already fits" as a strict no-op.
+  if (D.makespan() <= Deadline) {
+    bool Free = true;
+    for (const auto &P : D.placements())
+      if (!G.node(P.NodeId).timeline().isFreeFor(P.Start, P.End, Ignore)) {
+        Free = false;
+        break;
+      }
+    if (Free)
+      return 0;
+  }
   Tick Delta = 0;
   // Each round either succeeds or pushes Delta past at least one
   // blocking interval, so the loop terminates once the deadline clips.

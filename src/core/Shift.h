@@ -27,13 +27,18 @@ namespace cws {
 class Grid;
 
 /// A copy of \p D with every placement moved \p Delta ticks later
-/// (Delta may be negative if nothing becomes negative).
+/// (Delta may be negative if nothing becomes negative). Delta = 0 is a
+/// pinned fast path: the copy is placement-for-placement identical to
+/// \p D with no per-placement recomputation.
 Distribution shiftDistribution(const Distribution &D, Tick Delta);
 
 /// The smallest Delta >= 0 such that every placement of \p D shifted by
 /// Delta is free in \p G (reservations of \p Ignore do not block) and
 /// the shifted makespan still meets \p Deadline. Returns std::nullopt
-/// when no such shift exists. Runs in O(conflicts x placements).
+/// when no such shift exists. An already-feasible distribution is a
+/// pinned Delta = 0 fast path — checked first, with no side effects, so
+/// recovery code can rely on "already fits" being a strict no-op.
+/// Runs in O(conflicts x placements).
 std::optional<Tick> minimalFeasibleShift(const Distribution &D, const Grid &G,
                                          Tick Deadline, OwnerId Ignore = 0);
 

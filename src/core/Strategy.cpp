@@ -239,6 +239,18 @@ Strategy Strategy::build(const Job &J, const Grid &Env, const Network &Net,
   return S;
 }
 
+Strategy Strategy::repaired(const Strategy &Stale, ScheduleVariant Fixed,
+                            Tick Now) {
+  Strategy S;
+  S.Kind = Stale.Kind;
+  S.JobId = Stale.JobId;
+  S.BuiltAt = Now;
+  S.Scheduled = Stale.Scheduled;
+  S.Levels = Stale.Levels;
+  S.Variants.push_back(std::move(Fixed));
+  return S;
+}
+
 size_t Strategy::feasibleCount() const {
   size_t Count = 0;
   for (const auto &V : Variants)

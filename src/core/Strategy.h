@@ -100,6 +100,16 @@ public:
                         const StrategyConfig &Config, OwnerId Owner,
                         Tick Now = 0);
 
+  /// A strategy carrying \p Fixed as its single supporting schedule in
+  /// place of \p Stale's variant set — the staged-repair outcome of the
+  /// metascheduler. Kind, job and levels are inherited from \p Stale;
+  /// the other stale variants are dropped because the repair only
+  /// validated \p Fixed against the current environment (the flow layer
+  /// commits the repaired job immediately, so a one-variant strategy is
+  /// exactly what it needs).
+  static Strategy repaired(const Strategy &Stale, ScheduleVariant Fixed,
+                           Tick Now);
+
   StrategyKind kind() const { return Kind; }
   unsigned jobId() const { return JobId; }
   Tick builtAt() const { return BuiltAt; }

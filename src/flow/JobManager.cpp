@@ -94,27 +94,30 @@ struct EnvMetrics {
 
 /// Where an invalidated strategy broke: the first reservation of a
 /// feasible variant that now overlaps somebody else's interval.
-struct BrokenSlot {
+struct BrokenVariantSlot {
   size_t Variant;
   unsigned NodeId;
   Tick Start, End;
   Tick BusyStart, BusyEnd;
 };
 
-std::optional<BrokenSlot> findBrokenSlot(const Strategy &S, const Grid &G,
+std::optional<BrokenVariantSlot> findBrokenSlot(const Strategy &S, const Grid &G,
                                          OwnerId Ignore) {
   for (size_t I = 0; I < S.variants().size(); ++I) {
     const ScheduleVariant &V = S.variants()[I];
     if (!V.feasible())
       continue;
+    std::vector<PlannedSlot> Slots;
+    Slots.reserve(V.Result.Dist.placements().size());
     for (const Placement &P : V.Result.Dist.placements())
-      for (const Interval &Busy : G.node(P.NodeId).timeline().intervals()) {
-        if (Busy.Owner == Ignore)
-          continue;
-        if (Busy.Begin < P.End && P.Start < Busy.End)
-          return BrokenSlot{I,       P.NodeId,   P.Start,
-                            P.End,   Busy.Begin, Busy.End};
-      }
+      Slots.push_back({P.NodeId, P.Start, P.End});
+    std::vector<BrokenSlot> Broken = collectBrokenSlots(G, Slots, Ignore);
+    if (!Broken.empty()) {
+      const Placement &P = V.Result.Dist.placements()[Broken.front().SlotIdx];
+      return BrokenVariantSlot{I,     P.NodeId,
+                        P.Start, P.End,
+                        Broken.front().BusyStart, Broken.front().BusyEnd};
+    }
   }
   return std::nullopt;
 }
@@ -123,7 +126,7 @@ std::optional<BrokenSlot> findBrokenSlot(const Strategy &S, const Grid &G,
 /// scan runs only when the journal is on — it is diagnostic-priced).
 void journalInvalidate(obs::Journal &Jn, const Strategy &S, const Grid &G,
                        unsigned JobId, Tick Now, Tick Ttl) {
-  if (std::optional<BrokenSlot> B =
+  if (std::optional<BrokenVariantSlot> B =
           findBrokenSlot(S, G, Metascheduler::ownerOf(JobId)))
     Jn.append(obs::JournalKind::Invalidate, JobId, Now,
               {{"variant", static_cast<int64_t>(B->Variant)},
@@ -340,8 +343,12 @@ std::optional<Tick> JobManager::onNegotiation(unsigned JobId, Tick Now,
         return St.Completion;
       }
     }
-    // Shifting failed: ask the metascheduler for a full reallocation.
-    Strategy Fresh = Meta.reallocate(A.TheJob, Now);
+    // Shifting failed: ask the metascheduler for a reallocation — the
+    // escalating staged repair in repair mode, the full rebuild
+    // otherwise. A failed attempt leaves the old strategy's state
+    // intact (build-then-swap), so the rejection below journals with
+    // nothing lost.
+    ReallocationResult Fresh = Meta.reallocate(A.TheJob, A.S, UserId, Now);
     if (!Fresh.admissible()) {
       St.Rejected = true;
       A.Done = true;
@@ -353,7 +360,7 @@ std::optional<Tick> JobManager::onNegotiation(unsigned JobId, Tick Now,
       maybeRetire(JobId);
       return std::nullopt;
     }
-    A.S = std::move(Fresh);
+    A.S = std::move(Fresh.S);
     A.ForecastVariant = SIZE_MAX;
     St.Reallocated = true;
     Pick = A.S.bestByCost();

@@ -6,16 +6,23 @@
 //===----------------------------------------------------------------------===//
 
 #include "flow/Metascheduler.h"
+#include "core/Repair.h"
 #include "job/Job.h"
 #include "obs/Journal.h"
 #include "obs/Metrics.h"
+#include "obs/Profiler.h"
 #include "obs/TimeSeries.h"
 #include "obs/Trace.h"
 #include "support/Check.h"
 
+#include <algorithm>
 #include <cmath>
 
 using namespace cws;
+
+const char *cws::reallocationModeName(ReallocationMode M) {
+  return M == ReallocationMode::Repair ? "repair" : "rebuild";
+}
 
 namespace {
 struct MetaMetrics {
@@ -29,7 +36,22 @@ struct MetaMetrics {
       "commits refused because a reserved slot was no longer free");
   obs::Counter &Reallocations = obs::Registry::global().counter(
       "cws_meta_reallocations_total",
-      "stale strategies dropped and rebuilt from the current load");
+      "reallocations that delivered an admissible replacement strategy");
+  obs::Counter &ReallocAttempts = obs::Registry::global().counter(
+      "cws_meta_realloc_attempts_total",
+      "reallocation requests received, before the outcome is known");
+  obs::Counter &RepairedShift = obs::Registry::global().counter(
+      "cws_meta_realloc_repaired_total{stage=\"shift\"}",
+      "reallocations resolved by shifting the one broken reservation");
+  obs::Counter &RepairedDp = obs::Registry::global().counter(
+      "cws_meta_realloc_repaired_total{stage=\"dp\"}",
+      "reallocations resolved by re-running the DP for the broken works");
+  obs::Counter &Rebuilt = obs::Registry::global().counter(
+      "cws_meta_realloc_rebuilt_total",
+      "reallocations that fell through to the full strategy rebuild");
+  obs::Counter &ReallocFailed = obs::Registry::global().counter(
+      "cws_meta_realloc_failed_total",
+      "reallocations whose rebuild came back inadmissible");
   static MetaMetrics &get() {
     static MetaMetrics M;
     return M;
@@ -80,8 +102,11 @@ bool Metascheduler::commitDistribution(const Job &J, const Distribution &D,
   return true;
 }
 
-Strategy Metascheduler::reallocate(const Job &J, Tick Now) {
-  MetaMetrics::get().Reallocations.add();
+ReallocationResult Metascheduler::reallocate(const Job &J,
+                                             const Strategy &Stale,
+                                             unsigned UserId, Tick Now) {
+  MetaMetrics &M = MetaMetrics::get();
+  M.ReallocAttempts.add();
   obs::TimeSeries::global().sampleEvent(Now, "reallocate");
   obs::Span ReallocSpan("flow", "meta.reallocate", "job",
                         static_cast<int64_t>(J.id()));
@@ -89,6 +114,131 @@ Strategy Metascheduler::reallocate(const Job &J, Tick Now) {
   if (Jn.enabled())
     Jn.append(obs::JournalKind::Reallocate, static_cast<int64_t>(J.id()),
               Now, {}, "stale-strategy");
-  Env.releaseOwner(ownerOf(J.id()));
-  return buildStrategy(J, Now);
+  OwnerId Owner = ownerOf(J.id());
+  ReallocationResult Out;
+
+  if (ReallocMode == ReallocationMode::Repair && Stale.admissible()) {
+    obs::PhaseScope RepairPhase("meta.repair");
+    const Job &Sched = Stale.scheduledJob();
+    RepairInputs In{Env, Net, Config, Owner, Now};
+    // Candidate order: feasible variants, cheapest first — the flow
+    // layer commits bestByCost, so the first variant that repairs is
+    // the one whose revival is worth the most.
+    std::vector<const ScheduleVariant *> Cands;
+    for (const ScheduleVariant &V : Stale.variants())
+      if (V.feasible())
+        Cands.push_back(&V);
+    std::stable_sort(Cands.begin(), Cands.end(),
+                     [](const ScheduleVariant *A, const ScheduleVariant *B) {
+                       return A->Result.Dist.economicCost() <
+                              B->Result.Dist.economicCost();
+                     });
+    if (Jn.enabled())
+      Jn.append(obs::JournalKind::RepairAttempt,
+                static_cast<int64_t>(J.id()), Now,
+                {{"variants", static_cast<int64_t>(Cands.size())}}, "staged");
+    // Try every candidate and keep the cheapest success: the flow
+    // layer commits bestByCost, and the rebuild oracle scores the
+    // repair against the rebuilt best, so cost regret — not
+    // first-success latency — is what the selection minimizes. Per
+    // candidate the shift is preferred (most continuous: one placement
+    // moves, nothing else changes); the DP only runs where no shift
+    // fits.
+    std::optional<VariantRepair> R;
+    for (const ScheduleVariant *V : Cands) {
+      std::optional<VariantRepair> Cand = repairVariantByShift(Sched, *V, In);
+      if (!Cand)
+        Cand = repairVariantByDp(Sched, *V, In);
+      if (!Cand)
+        continue;
+      if (!R ||
+          Cand->Repaired.Result.Dist.economicCost() <
+              R->Repaired.Result.Dist.economicCost() - 1e-9)
+        R = std::move(Cand);
+    }
+    if (R) {
+      bool IsShift = R->Stage == RepairStage::Shift;
+      RepairPhase.work("repaired", 1);
+      RepairPhase.work("placements_pinned", R->PlacementsPinned);
+      RepairPhase.work("works_rerun", R->WorksRerun);
+      Out.S = Strategy::repaired(Stale, std::move(R->Repaired), Now);
+      Out.Stage = R->Stage;
+      (IsShift ? M.RepairedShift : M.RepairedDp).add();
+      M.Reallocations.add();
+      if (Jn.enabled())
+        Jn.append(obs::JournalKind::RepairOutcome,
+                  static_cast<int64_t>(J.id()), Now,
+                  {{"stage", IsShift ? 1 : 2},
+                   {"ok", 1},
+                   {"delta", R->ShiftDelta},
+                   {"works", static_cast<int64_t>(R->WorksRerun)},
+                   {"pinned", static_cast<int64_t>(R->PlacementsPinned)}},
+                  repairStageName(R->Stage));
+      if (OracleEnabled)
+        checkRepairOracle(J, Out.S, UserId, Owner, Now);
+      // The swap: the old reservations die only now, with the repaired
+      // replacement validated against the live grid.
+      Env.releaseOwner(Owner);
+      ReallocSpan.arg("stage", IsShift ? 1 : 2);
+      return Out;
+    }
+  }
+
+  // Stage 3 (and the whole of rebuild mode): full rebuild,
+  // build-then-swap — the job's reservations are released only once an
+  // admissible replacement exists, so a failed rebuild leaves the old
+  // strategy's state intact for the caller's rejection path.
+  Grid Scratch = Env;
+  Scratch.releaseOwner(Owner);
+  Out.S = Strategy::build(J, Scratch, Net, Config, Owner, Now);
+  if (Out.S.admissible()) {
+    Out.Stage = RepairStage::Rebuild;
+    M.Rebuilt.add();
+    M.Reallocations.add();
+    Env.releaseOwner(Owner);
+  } else {
+    Out.Stage = RepairStage::Failed;
+    M.ReallocFailed.add();
+  }
+  if (Jn.enabled() && ReallocMode == ReallocationMode::Repair)
+    Jn.append(obs::JournalKind::RepairOutcome, static_cast<int64_t>(J.id()),
+              Now,
+              {{"stage", 3}, {"ok", Out.Stage == RepairStage::Rebuild ? 1 : 0}},
+              repairStageName(Out.Stage));
+  ReallocSpan.arg("stage", 3);
+  return Out;
+}
+
+void Metascheduler::checkRepairOracle(const Job &J, const Strategy &Repaired,
+                                      unsigned UserId, OwnerId Owner,
+                                      Tick Now) {
+  // The reference rebuild must not perturb the run: the grid is copied
+  // and the journal events of the build are swallowed by a throwaway
+  // capture buffer (metric counters still tick — they are advisory).
+  obs::JournalBuffer Discard;
+  obs::JournalCaptureScope Swallow(obs::Journal::global(), &Discard);
+  Grid Scratch = Env;
+  Scratch.releaseOwner(Owner);
+  Strategy Rebuilt = Strategy::build(J, Scratch, Net, Config, Owner, Now);
+
+  Oracle.Checked++;
+  const ScheduleVariant *Best = Repaired.bestByCost();
+  if (!Best)
+    return;
+  const Job &Sched = Repaired.scheduledJob();
+  const Distribution &D = Best->Result.Dist;
+  if (D.covers(Sched) && D.makespan() <= Sched.deadline() &&
+      D.fitsGrid(Env, Owner))
+    Oracle.Feasible++;
+  if (Econ.canAfford(UserId, D.economicCost()))
+    Oracle.Affordable++;
+  const ScheduleVariant *Ref = Rebuilt.bestByCost();
+  if (!Ref) {
+    Oracle.NotWorse++;
+    return;
+  }
+  Oracle.RepairCost += D.economicCost();
+  Oracle.RebuildCost += Ref->Result.Dist.economicCost();
+  if (D.economicCost() <= Ref->Result.Dist.economicCost() + 1e-9)
+    Oracle.NotWorse++;
 }

@@ -17,6 +17,7 @@
 #ifndef CWS_FLOW_METASCHEDULER_H
 #define CWS_FLOW_METASCHEDULER_H
 
+#include "core/Repair.h"
 #include "core/Strategy.h"
 #include "flow/Economy.h"
 #include "job/Job.h"
@@ -25,6 +26,57 @@
 #include "resource/SlotIndex.h"
 
 namespace cws {
+
+/// How the metascheduler serves a reallocation request.
+enum class ReallocationMode {
+  /// Unconditional full rebuild — the pre-repair behavior, kept as the
+  /// differential oracle behind `--reallocation=rebuild`.
+  Rebuild,
+  /// Escalating staged repair: single-slot shift, then partial chain-DP
+  /// re-run, then the full rebuild (the default).
+  Repair,
+};
+
+/// Short name ("rebuild" / "repair") — the CLI and canonical-config
+/// vocabulary.
+const char *reallocationModeName(ReallocationMode M);
+
+/// Outcome of one reallocation request: the replacement strategy plus
+/// the stage that produced it. Stage Failed means even the rebuild came
+/// back inadmissible — the strategy is not admissible and the caller
+/// keeps the old one (its reservations were left untouched).
+struct ReallocationResult {
+  Strategy S;
+  RepairStage Stage = RepairStage::Failed;
+  bool admissible() const { return S.admissible(); }
+};
+
+/// Tallies of the repair differential oracle: with the oracle enabled,
+/// every staged repair is checked against the full rebuild it replaced.
+struct RepairOracleStats {
+  /// Staged repairs compared against a reference rebuild.
+  uint64_t Checked = 0;
+  /// Repaired best variant covers the job, fits the live grid and meets
+  /// the deadline.
+  uint64_t Feasible = 0;
+  /// Repaired best variant is affordable under the user's quota.
+  uint64_t Affordable = 0;
+  /// Repaired best cost <= rebuilt best cost under the active (cost)
+  /// bias, or the rebuild itself came back inadmissible.
+  uint64_t NotWorse = 0;
+  /// Summed best-variant economic costs of both sides (rebuild side
+  /// only over checks where both sides were admissible).
+  double RepairCost = 0, RebuildCost = 0;
+
+  void accumulate(const RepairOracleStats &O) {
+    Checked += O.Checked;
+    Feasible += O.Feasible;
+    Affordable += O.Affordable;
+    NotWorse += O.NotWorse;
+    RepairCost += O.RepairCost;
+    RebuildCost += O.RebuildCost;
+  }
+};
 
 /// First owner id handed to compound jobs; background load and other
 /// reserved owners live below it.
@@ -76,9 +128,25 @@ public:
   bool commitDistribution(const Job &J, const Distribution &D,
                           unsigned UserId, Tick Now = 0);
 
-  /// Reallocation: drops any reservations \p J holds and rebuilds its
-  /// strategy from the current environment state.
-  Strategy reallocate(const Job &J, Tick Now);
+  /// Reallocation: replaces \p J's stale strategy \p Stale. In repair
+  /// mode the stages escalate — shift the one broken reservation,
+  /// re-run the DP for the broken critical works, full rebuild; in
+  /// rebuild mode the rebuild runs unconditionally. Build-then-swap:
+  /// reservations \p J holds are released only once an admissible
+  /// replacement exists, so a failed reallocation leaves the old state
+  /// intact. \p UserId is the paying user (repairs must stay within
+  /// quota).
+  ReallocationResult reallocate(const Job &J, const Strategy &Stale,
+                                unsigned UserId, Tick Now);
+
+  ReallocationMode reallocationMode() const { return ReallocMode; }
+  void setReallocationMode(ReallocationMode M) { ReallocMode = M; }
+
+  /// Toggles the repair differential oracle: every staged repair is
+  /// re-derived by a side-effect-free reference rebuild and compared.
+  /// Diagnostic-priced; the check never changes the run's trajectory.
+  void setRepairOracle(bool Enabled) { OracleEnabled = Enabled; }
+  const RepairOracleStats &repairOracle() const { return Oracle; }
 
   Grid &grid() { return Env; }
   const Grid &grid() const { return Env; }
@@ -92,11 +160,19 @@ public:
   EnvChangeLog *envChangeLog() const { return ChangeLog; }
 
 private:
+  /// Compares one staged repair against a reference rebuild (journal
+  /// events swallowed, grid copied) and tallies into Oracle.
+  void checkRepairOracle(const Job &J, const Strategy &Repaired,
+                         unsigned UserId, OwnerId Owner, Tick Now);
+
   Grid &Env;
   const Network &Net;
   Economy &Econ;
   StrategyConfig Config;
   EnvChangeLog *ChangeLog = nullptr;
+  ReallocationMode ReallocMode = ReallocationMode::Repair;
+  bool OracleEnabled = false;
+  RepairOracleStats Oracle;
 };
 
 } // namespace cws

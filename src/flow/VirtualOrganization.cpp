@@ -114,6 +114,8 @@ cws::runMultiFlowVo(const VoConfig &Config,
     unsigned User = Econ.addUser(Config.UserQuota);
     Metas.push_back(std::make_unique<Metascheduler>(Env, Net, Econ, SC));
     Metas.back()->setEnvChangeLog(&ChangeLog);
+    Metas.back()->setReallocationMode(Config.Reallocation);
+    Metas.back()->setRepairOracle(Config.RepairOracle);
     for (size_t S = 0; S < ShardCount; ++S) {
       Managers.push_back(std::make_unique<JobManager>(
           *Metas.back(), User, static_cast<int>(F)));
@@ -426,6 +428,7 @@ cws::runMultiFlowVo(const VoConfig &Config,
   for (size_t F = 0; F < NumFlows; ++F) {
     Results[F].Kind = Kinds[F];
     Results[F].BackgroundJobs = Background.placed();
+    Results[F].RepairOracle = Metas[F]->repairOracle();
     std::vector<VoJobStats> Merged;
     for (size_t S = 0; S < ShardCount; ++S) {
       std::vector<VoJobStats> Part = Managers[F * ShardCount + S]->takeStats();
@@ -566,5 +569,10 @@ std::string cws::voConfigCanonical(const VoConfig &Config, StrategyKind Kind) {
   // `shards` field, which `cws-diff` compares selectively.
   Out += std::string("vo.invalidation=") +
          (Config.Invalidation == InvalidationMode::Index ? "index" : "scan");
+  // The repair oracle is absent too: it is a side-effect-free check
+  // (like the journal toggle), so an oracle run simulates the same
+  // configuration as a plain one.
+  Out += std::string(" vo.reallocation=") +
+         reallocationModeName(Config.Reallocation);
   return Out;
 }

@@ -56,6 +56,15 @@ struct VoConfig {
   /// the event-driven slot-index pass (default) or the full scan (the
   /// differential-testing oracle behind --invalidation=scan).
   InvalidationMode Invalidation = InvalidationMode::Index;
+  /// How the metascheduler serves reallocations: the escalating staged
+  /// repair (default) or the unconditional full rebuild (the
+  /// differential oracle behind --reallocation=rebuild).
+  ReallocationMode Reallocation = ReallocationMode::Repair;
+  /// When true, every staged repair is re-derived by a reference
+  /// rebuild and compared (VoRunResult::RepairOracle). Diagnostic-
+  /// priced and side-effect-free: deliberately excluded from
+  /// voConfigCanonical, like the journal toggle.
+  bool RepairOracle = false;
   /// Worker shards of the job-flow level: each flow's jobs are
   /// partitioned across this many job managers (job id mod shards) and
   /// per-tick admission / negotiation batches run their expensive
@@ -84,6 +93,9 @@ struct VoRunResult {
   double BackgroundLoadPercent[3] = {0, 0, 0};
   Tick Horizon = 0;
   size_t BackgroundJobs = 0;
+  /// Aggregated repair-oracle tallies of every flow's metascheduler
+  /// (all zero unless VoConfig::RepairOracle was set).
+  RepairOracleStats RepairOracle;
 };
 
 /// Runs the whole simulation for one strategy type.

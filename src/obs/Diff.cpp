@@ -11,6 +11,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <map>
 #include <set>
 
@@ -301,6 +302,127 @@ DiffResult cws::obs::diffJournals(const ParsedJournal &A,
     R.Summary = "journals diverge in meta only (" +
                 std::to_string(R.TotalFindings) + " finding(s))";
   }
+  return R;
+}
+
+DiffResult cws::obs::diffJournalOutcomes(const ParsedJournal &A,
+                                         const ParsedJournal &B,
+                                         const DiffOptions &Opts) {
+  DiffResult R;
+  R.Mode = "journal-outcomes";
+  Findings Meta(Opts.MaxFindings);
+  compareMeta(Meta, A.Prov, B.Prov, Opts.Meta);
+  R.MetaFindings = std::move(Meta.Items);
+
+  // Terminal verdict of every job, plus the tick of the event that
+  // decided it: rejected beats committed beats open (a reject is
+  // final; a commit without a reject stands).
+  struct Verdict {
+    std::string Out;
+    int64_t Tick = -1;
+  };
+  auto Verdicts = [](const ParsedJournal &J) {
+    std::map<int64_t, Verdict> V;
+    for (const ParsedJournalEvent &E : J.Events) {
+      if (E.JobId < 0)
+        continue;
+      if (E.Kind == "arrival")
+        V.emplace(E.JobId, Verdict{"open", E.At});
+      else if (E.Kind == "reject")
+        V[E.JobId] = {"rejected", E.At};
+      else if (E.Kind == "commit" && V[E.JobId].Out != "rejected")
+        V[E.JobId] = {"committed", E.At};
+    }
+    return V;
+  };
+  std::map<int64_t, Verdict> VA = Verdicts(A);
+  std::map<int64_t, Verdict> VB = Verdicts(B);
+
+  // Jobs run A's journal vouches for: a successful repair resolution
+  // explains why A could commit where the rebuild oracle rejected.
+  // The first *stage-1/2* success is also the moment the two runs'
+  // grids can part ways — a repair keeps placements of the stale plan
+  // that the rebuild run replaces with fresh ones — so decisive
+  // verdicts after that tick may legitimately drift in either
+  // direction, and strict equivalence is only enforceable before it.
+  std::set<int64_t> SavedByRepair;
+  int64_t FirstRepairTick = std::numeric_limits<int64_t>::max();
+  if (Opts.AllowRepairSaves)
+    for (const ParsedJournalEvent &E : A.Events) {
+      if (E.JobId < 0 || E.Kind != "repair.stage")
+        continue;
+      const int64_t *Ok = E.arg("ok");
+      if (!Ok || !*Ok)
+        continue;
+      SavedByRepair.insert(E.JobId);
+      const int64_t *Stage = E.arg("stage");
+      if (Stage && *Stage < 3)
+        FirstRepairTick = std::min(FirstRepairTick, E.At);
+    }
+
+  Findings F(Opts.MaxFindings);
+  std::set<int64_t> Jobs;
+  for (const auto &[Job, V] : VA)
+    Jobs.insert(Job);
+  for (const auto &[Job, V] : VB)
+    Jobs.insert(Job);
+  size_t Agreed = 0;
+  size_t Saves = 0;
+  size_t Drift = 0;
+  size_t CommittedA = 0;
+  size_t CommittedB = 0;
+  auto Decisive = [](const std::string &O) {
+    return O == "committed" || O == "rejected";
+  };
+  for (int64_t Job : Jobs) {
+    auto IA = VA.find(Job);
+    auto IB = VB.find(Job);
+    std::string OA = IA == VA.end() ? std::string(Absent) : IA->second.Out;
+    std::string OB = IB == VB.end() ? std::string(Absent) : IB->second.Out;
+    CommittedA += OA == "committed";
+    CommittedB += OB == "committed";
+    if (OA == OB) {
+      ++Agreed;
+      continue;
+    }
+    if (OA == "committed" && OB == "rejected" && SavedByRepair.count(Job)) {
+      ++Saves;
+      continue;
+    }
+    // Post-repair drift: both verdicts decisive, both decided after
+    // the grids could have diverged. Open/absent mismatches and any
+    // divergence before the first repair are still defects.
+    if (Opts.AllowRepairSaves && Decisive(OA) && Decisive(OB) &&
+        IA->second.Tick >= FirstRepairTick &&
+        IB->second.Tick >= FirstRepairTick) {
+      ++Drift;
+      continue;
+    }
+    F.add("job " + std::to_string(Job) + " outcome", OA, OB);
+  }
+  // The dominance backstop on accepted drift: repair exists to save
+  // jobs, so the drift it causes must never leave the repair run
+  // committing fewer jobs than its rebuild oracle.
+  if (Drift && CommittedA < CommittedB)
+    F.add("committed jobs total", std::to_string(CommittedA),
+          std::to_string(CommittedB));
+
+  R.Findings = std::move(F.Items);
+  R.TotalFindings = F.Total + R.MetaFindings.size();
+  R.Verdict = R.TotalFindings == 0 ? DiffVerdict::Identical
+                                   : DiffVerdict::Diverged;
+  std::string SaveNote;
+  if (Saves)
+    SaveNote += ", " + std::to_string(Saves) + " repair save(s) accepted";
+  if (Drift)
+    SaveNote += ", " + std::to_string(Drift) + " post-repair drift(s) accepted";
+  if (R.identical())
+    R.Summary = "outcomes equivalent: " + std::to_string(Agreed) +
+                " job verdict(s) agree" + SaveNote;
+  else
+    R.Summary = "outcomes diverge: " + std::to_string(F.Total) +
+                " of " + std::to_string(Jobs.size()) +
+                " job verdict(s) differ" + SaveNote;
   return R;
 }
 

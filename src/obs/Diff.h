@@ -98,6 +98,26 @@ struct DiffOptions {
   double QuantileShiftTol = 0.10;
   /// Findings kept per result; the total is still counted.
   size_t MaxFindings = 20;
+  /// Outcome mode only: compare a repair-mode run (A) against its
+  /// rebuild oracle (B) up to the divergence staged repair is *meant*
+  /// to cause. Staged repair strictly dominates the rebuild — its
+  /// stage 3 *is* the rebuild, and stages 1/2 can keep placements of
+  /// the stale plan that a from-scratch rebuild at Now can no longer
+  /// reproduce — so the first stage-1/2 repair success is the moment
+  /// the two runs' grids part ways. Three acceptances follow:
+  ///  - **saves**: A=committed / B=rejected with a successful
+  ///    `repair.stage` resolution on A's record for that job (any
+  ///    stage — later stage-3 rebuilds run on the already-diverged
+  ///    grid);
+  ///  - **post-repair drift**: both verdicts decisive (committed or
+  ///    rejected) and both decided at or after the first stage-1/2
+  ///    repair tick — second-order crowding on the diverged grid
+  ///    flips verdicts in either direction;
+  ///  - everything else — any divergence before the first repair, or
+  ///    involving an open/absent verdict — still fails, and accepted
+  ///    drift must never leave A committing fewer jobs than B in
+  ///    total (the dominance backstop).
+  bool AllowRepairSaves = false;
 };
 
 /// The built-in wall-time exclusions (`*_us`, `*_ms`, `*wall*`).
@@ -169,6 +189,18 @@ struct DiffResult {
 /// content of the environment change they resolve to.
 DiffResult diffJournals(const ParsedJournal &A, const ParsedJournal &B,
                         const DiffOptions &Opts = DiffOptions());
+
+/// Outcome mode (`cws-diff --outcomes`): per-job terminal verdict
+/// equivalence. Each job's commit/reject verdict must agree across the
+/// two journals; placements, costs, event interleaving and repair
+/// stages may all differ. This is the cross-reallocation-mode gate —
+/// repair and rebuild runs legitimately schedule differently, but must
+/// admit and reject the same jobs — except for the saves
+/// `Opts.AllowRepairSaves` vouches for. Callers comparing across modes
+/// pass `Opts.Meta.AllowConfigHash` (the reallocation mode is part of
+/// the canonical config, so the hashes differ by construction).
+DiffResult diffJournalOutcomes(const ParsedJournal &A, const ParsedJournal &B,
+                               const DiffOptions &Opts = DiffOptions());
 
 /// Series mode: row-by-row comparison under the tolerance rules.
 DiffResult diffTimeSeries(const ParsedTimeSeries &A,

@@ -17,10 +17,11 @@ using namespace cws;
 using namespace cws::obs;
 
 static const char *const KindNames[JournalKindCount] = {
-    "arrival",       "admission",  "variant", "collision",
-    "env.change",    "invalidate", "shift",   "reallocate",
-    "dispatch",      "commit.attempt", "commit", "reject",
-    "execution",     "complete",   "note",
+    "arrival",        "admission",      "variant",        "collision",
+    "env.change",     "invalidate",     "shift",          "reallocate",
+    "repair.attempt", "repair.stage",   "dispatch",       "commit.attempt",
+    "commit",         "reject",         "execution",      "complete",
+    "note",
 };
 
 const char *cws::obs::journalKindName(JournalKind Kind) {

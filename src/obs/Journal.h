@@ -86,9 +86,17 @@ enum class JournalKind : uint8_t {
   /// Shift recovery of a stale supporting schedule was attempted
   /// (args: variant, delta, cost).
   ShiftAttempt,
-  /// The metascheduler dropped the job's reservations and rebuilt its
-  /// strategy (trigger: the most recent EnvChange).
+  /// The metascheduler replaced the job's stale strategy — by staged
+  /// repair in repair mode, by full rebuild otherwise (trigger: the
+  /// most recent EnvChange).
   Reallocate,
+  /// The staged repair of a stale strategy began (repair mode only;
+  /// args: variants — feasible candidates considered).
+  RepairAttempt,
+  /// How one staged repair resolved (args: stage 1|2|3, ok, plus
+  /// delta for stage 1 and works/pinned for stage 2; detail: "shift" /
+  /// "dp" / "rebuild" / "failed").
+  RepairOutcome,
   /// The dispatcher routed the job to a domain (args: domain, bids;
   /// detail: policy name).
   Dispatch,
@@ -109,7 +117,7 @@ enum class JournalKind : uint8_t {
   Note,
 };
 
-inline constexpr size_t JournalKindCount = 15;
+inline constexpr size_t JournalKindCount = 17;
 
 /// Stable schema name ("arrival", "commit", ...).
 const char *journalKindName(JournalKind Kind);

@@ -226,6 +226,7 @@ cws::obs::computeIndicators(const ParsedJournal &J,
   std::map<int64_t, JobOutcome> Jobs;
   double Submitted = 0, Committed = 0, Rejected = 0, Reallocations = 0,
          Invalidations = 0, EnvChanges = 0;
+  double RepairShift = 0, RepairDp = 0, RepairRebuilt = 0, RepairFailed = 0;
   double CommitCostSum = 0, CommitCfSum = 0;
   uint64_t CommitCostN = 0, CommitCfN = 0;
   for (const ParsedJournalEvent &E : J.Events) {
@@ -263,6 +264,15 @@ cws::obs::computeIndicators(const ParsedJournal &J,
       ++Rejected;
     } else if (E.Kind == "reallocate") {
       ++Reallocations;
+    } else if (E.Kind == "repair.stage") {
+      if (E.Detail == "shift")
+        ++RepairShift;
+      else if (E.Detail == "dp")
+        ++RepairDp;
+      else if (E.Detail == "rebuild")
+        ++RepairRebuilt;
+      else if (E.Detail == "failed")
+        ++RepairFailed;
     } else if (E.Kind == "invalidate") {
       ++Invalidations;
     } else if (E.Kind == "env.change") {
@@ -293,6 +303,23 @@ cws::obs::computeIndicators(const ParsedJournal &J,
   Ind["env_changes"] = EnvChanges;
   Ind["reallocations_per_commit"] =
       Reallocations / (Committed > 0 ? Committed : 1.0);
+  // Staged-repair outcome mix (repair-mode journals only; a
+  // rebuild-mode run has no repair.stage events and the indicators stay
+  // absent, so SLO rules on them fail closed). The share is over the
+  // reallocations that delivered a strategy at all — a failed one is a
+  // job even the stage-3 rebuild could not fix, so no mode resolves it
+  // (same denominator as bench/reg_realloc_repair).
+  double RepairSeen = RepairShift + RepairDp + RepairRebuilt + RepairFailed;
+  double RepairResolved = RepairShift + RepairDp + RepairRebuilt;
+  if (RepairSeen > 0) {
+    Ind["realloc_repaired_shift"] = RepairShift;
+    Ind["realloc_repaired_dp"] = RepairDp;
+    Ind["realloc_rebuilt"] = RepairRebuilt;
+    Ind["realloc_failed"] = RepairFailed;
+    if (RepairResolved > 0)
+      Ind["repair_stage12_share"] =
+          (RepairShift + RepairDp) / RepairResolved;
+  }
   // Cost / cost-function means over committed schedules: the sweep's
   // cost-vs-time QoS axes. Undefined (absent) with no commits, same
   // convention as deadline_miss_rate.
@@ -480,6 +507,19 @@ std::string cws::obs::renderRunReport(const ParsedJournal &J,
   Row("reallocations", renderNumber(Get("reallocations")));
   Row("reallocations per commit",
       renderRate(Get("reallocations_per_commit")));
+  // Staged-repair mix, present only in repair-mode journals (a
+  // rebuild-mode run has no repair.stage events).
+  if (Ind.count("realloc_failed")) {
+    Row("reallocations repaired (shift)",
+        renderNumber(Get("realloc_repaired_shift")));
+    Row("reallocations repaired (dp)",
+        renderNumber(Get("realloc_repaired_dp")));
+    Row("reallocations rebuilt", renderNumber(Get("realloc_rebuilt")));
+    Row("reallocations failed", renderNumber(Get("realloc_failed")));
+    if (Ind.count("repair_stage12_share"))
+      Row("stage-1/2 repair share",
+          renderPercent(Get("repair_stage12_share")));
+  }
   // Scan-vs-index comparison, present only when the run sampled the
   // invalidation probes (a scan run shows the first, an index run the
   // others — two runs of cws-report give the before/after).

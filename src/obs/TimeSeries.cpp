@@ -108,7 +108,19 @@ void TimeSeries::addDefaultProbes(Registry &R) {
   Delta("meta_commit_conflicts", "cws_meta_commit_conflicts_total",
         "commits refused because a reserved slot was no longer free");
   Delta("meta_reallocations", "cws_meta_reallocations_total",
-        "stale strategies dropped and rebuilt from the current load");
+        "reallocations that delivered an admissible replacement strategy");
+  Delta("meta_realloc_attempts", "cws_meta_realloc_attempts_total",
+        "reallocation requests received, before the outcome is known");
+  Delta("meta_realloc_repaired_shift",
+        "cws_meta_realloc_repaired_total{stage=\"shift\"}",
+        "reallocations resolved by shifting the one broken reservation");
+  Delta("meta_realloc_repaired_dp",
+        "cws_meta_realloc_repaired_total{stage=\"dp\"}",
+        "reallocations resolved by re-running the DP for the broken works");
+  Delta("meta_realloc_rebuilt", "cws_meta_realloc_rebuilt_total",
+        "reallocations that fell through to the full strategy rebuild");
+  Delta("meta_realloc_failed", "cws_meta_realloc_failed_total",
+        "reallocations whose rebuild came back inadmissible");
   Delta("env_changes", "cws_env_changes_total",
         "background placements that changed the environment");
   Delta("env_scan_placements", "cws_env_scan_placements_total",

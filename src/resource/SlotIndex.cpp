@@ -6,11 +6,30 @@
 //===----------------------------------------------------------------------===//
 
 #include "resource/SlotIndex.h"
+#include "resource/Grid.h"
 #include "support/Check.h"
 
 #include <algorithm>
 
 using namespace cws;
+
+std::vector<BrokenSlot>
+cws::collectBrokenSlots(const Grid &G, const std::vector<PlannedSlot> &Slots,
+                        OwnerId Ignore) {
+  std::vector<BrokenSlot> Broken;
+  for (size_t I = 0; I < Slots.size(); ++I) {
+    const PlannedSlot &S = Slots[I];
+    for (const Interval &Busy : G.node(S.NodeId).timeline().intervals()) {
+      if (Busy.Owner == Ignore)
+        continue;
+      if (Busy.Begin < S.End && S.Begin < Busy.End) {
+        Broken.push_back({I, Busy.Begin, Busy.End});
+        break;
+      }
+    }
+  }
+  return Broken;
+}
 
 SlotIndex::SlotIndex(Tick BucketTicks) : Bucket(BucketTicks) {
   CWS_CHECK(BucketTicks >= 1, "bucket width must be positive");

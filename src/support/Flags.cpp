@@ -28,6 +28,11 @@ void Flags::addString(const std::string &Name, std::string *Storage,
   Entries.push_back({Name, Kind::String, Storage, Help});
 }
 
+void Flags::addBool(const std::string &Name, bool *Storage,
+                    const std::string &Help) {
+  Entries.push_back({Name, Kind::Bool, Storage, Help});
+}
+
 const Flags::Entry *Flags::find(const std::string &Name) const {
   for (const auto &E : Entries)
     if (E.Name == Name)
@@ -64,6 +69,10 @@ bool Flags::parse(int Argc, char **Argv) const {
       std::exit(2);
     }
     if (!HaveValue) {
+      if (E->FlagKind == Kind::Bool) {
+        *static_cast<bool *>(E->Storage) = true;
+        continue;
+      }
       if (I + 1 >= Argc) {
         std::fprintf(stderr, "flag '--%s' needs a value\n", Name.c_str());
         std::exit(2);
@@ -71,6 +80,16 @@ bool Flags::parse(int Argc, char **Argv) const {
       Value = Argv[++I];
     }
     switch (E->FlagKind) {
+    case Kind::Bool: {
+      bool On = Value == "1" || Value == "true";
+      if (!On && Value != "0" && Value != "false") {
+        std::fprintf(stderr, "flag '--%s' takes 0|1|true|false, got '%s'\n",
+                     Name.c_str(), Value.c_str());
+        std::exit(2);
+      }
+      *static_cast<bool *>(E->Storage) = On;
+      break;
+    }
     case Kind::Int:
       *static_cast<int64_t *>(E->Storage) = std::strtoll(Value.c_str(),
                                                          nullptr, 10);

@@ -36,12 +36,18 @@ public:
   void addString(const std::string &Name, std::string *Storage,
                  const std::string &Help);
 
+  /// Registers a boolean flag writing into \p Storage. A bare `--name`
+  /// sets it; `--name=0|1|true|false` assigns explicitly. Unlike the
+  /// other kinds, a bare boolean never consumes the next argv entry.
+  void addBool(const std::string &Name, bool *Storage,
+               const std::string &Help);
+
   /// Parses argv. On `--help`, prints usage and returns false (caller
   /// should exit). Unknown flags or malformed values abort.
   bool parse(int Argc, char **Argv) const;
 
 private:
-  enum class Kind { Int, Real, String };
+  enum class Kind { Int, Real, String, Bool };
   struct Entry {
     std::string Name;
     Kind FlagKind;

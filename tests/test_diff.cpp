@@ -459,3 +459,99 @@ TEST_F(DiffTest, ExplainJobDiffLocalizesWithinTheJob) {
   EXPECT_NE(Same.find("causal chains agree"), std::string::npos);
   EXPECT_NE(Same.find("diverge elsewhere"), std::string::npos);
 }
+
+//===----------------------------------------------------------------------===//
+// Outcome mode: the cross-reallocation-mode equivalence gate
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// A repair-mode run (A-side): job 5 decided before any repair, job 7
+/// saved by a stage-2 repair at t=14, jobs 8 and 9 decided after it.
+const char RepairRunJournal[] =
+    "{\"kind\":\"journal.meta\",\"schema\":1,\"recorded\":6,\"dropped\":0}\n"
+    "{\"id\":1,\"kind\":\"commit\",\"tick\":10,\"job\":5,\"flow\":0}\n"
+    "{\"id\":2,\"kind\":\"repair.stage\",\"tick\":14,\"job\":7,\"flow\":0,"
+    "\"detail\":\"dp\",\"args\":{\"stage\":2,\"ok\":1}}\n"
+    "{\"id\":3,\"kind\":\"commit\",\"tick\":15,\"job\":7,\"flow\":0}\n"
+    "{\"id\":4,\"kind\":\"commit\",\"tick\":30,\"job\":8,\"flow\":0}\n"
+    "{\"id\":5,\"kind\":\"reject\",\"tick\":40,\"job\":9,\"flow\":0}\n";
+
+/// The rebuild oracle (B-side): job 5 agrees, job 7 rejected (the
+/// save), jobs 8 and 9 flipped both ways by post-repair drift.
+const char RebuildRunJournal[] =
+    "{\"kind\":\"journal.meta\",\"schema\":1,\"recorded\":5,\"dropped\":0}\n"
+    "{\"id\":1,\"kind\":\"commit\",\"tick\":10,\"job\":5,\"flow\":0}\n"
+    "{\"id\":2,\"kind\":\"reject\",\"tick\":14,\"job\":7,\"flow\":0}\n"
+    "{\"id\":3,\"kind\":\"reject\",\"tick\":30,\"job\":8,\"flow\":0}\n"
+    "{\"id\":4,\"kind\":\"commit\",\"tick\":40,\"job\":9,\"flow\":0}\n";
+
+} // namespace
+
+TEST_F(DiffTest, OutcomesStrictModeFlagsEveryFlip) {
+  ParsedJournal A = parsed(RepairRunJournal);
+  ParsedJournal B = parsed(RebuildRunJournal);
+  DiffResult R = diffJournalOutcomes(A, B);
+  EXPECT_EQ(R.Verdict, DiffVerdict::Diverged);
+  EXPECT_EQ(R.TotalFindings, 3u); // Jobs 7, 8 and 9.
+}
+
+TEST_F(DiffTest, OutcomesAcceptSavesAndPostRepairDrift) {
+  ParsedJournal A = parsed(RepairRunJournal);
+  ParsedJournal B = parsed(RebuildRunJournal);
+  DiffOptions Opts;
+  Opts.AllowRepairSaves = true;
+  DiffResult R = diffJournalOutcomes(A, B, Opts);
+  EXPECT_TRUE(R.identical()) << R.Summary;
+  EXPECT_NE(R.Summary.find("1 repair save(s) accepted"), std::string::npos)
+      << R.Summary;
+  EXPECT_NE(R.Summary.find("2 post-repair drift(s) accepted"),
+            std::string::npos)
+      << R.Summary;
+}
+
+TEST_F(DiffTest, OutcomesRejectDivergenceBeforeTheFirstRepair) {
+  // Job 5's flip happens at t=10, before the first stage-1/2 repair at
+  // t=14 — the grids were still identical, so this is a defect.
+  ParsedJournal A = parsed(RepairRunJournal);
+  ParsedJournal B = parsed(RebuildRunJournal);
+  B.Events[0].Kind = "reject";
+  DiffOptions Opts;
+  Opts.AllowRepairSaves = true;
+  DiffResult R = diffJournalOutcomes(A, B, Opts);
+  EXPECT_EQ(R.Verdict, DiffVerdict::Diverged);
+  ASSERT_EQ(R.Findings.size(), 1u);
+  EXPECT_EQ(R.Findings[0].Where, "job 5 outcome");
+}
+
+TEST_F(DiffTest, OutcomesRejectDriftWithoutAnyRepairOnRecord) {
+  // Without a successful stage-1/2 repair in A there is no moment the
+  // grids could have legitimately diverged: every flip is a defect.
+  ParsedJournal A = parsed(RepairRunJournal);
+  ParsedJournal B = parsed(RebuildRunJournal);
+  A.Events.erase(A.Events.begin() + 1); // Drop the repair.stage event.
+  DiffOptions Opts;
+  Opts.AllowRepairSaves = true;
+  DiffResult R = diffJournalOutcomes(A, B, Opts);
+  EXPECT_EQ(R.Verdict, DiffVerdict::Diverged);
+  EXPECT_EQ(R.TotalFindings, 3u);
+}
+
+TEST_F(DiffTest, OutcomesDominanceBackstopCatchesNetLoss) {
+  // Turn A's extra commits (jobs 7 and 8) into rejects that agree
+  // with B: the only divergence left is job 9's drift, which leaves A
+  // committing 1 job to B's 2. The drift is tick-eligible per job, but
+  // the aggregate backstop must still fail the comparison.
+  ParsedJournal A = parsed(RepairRunJournal);
+  ParsedJournal B = parsed(RebuildRunJournal);
+  A.Events[2].Kind = "reject"; // Job 7 now agrees with B.
+  A.Events[3].Kind = "reject"; // Job 8 now agrees with B.
+  DiffOptions Opts;
+  Opts.AllowRepairSaves = true;
+  DiffResult R = diffJournalOutcomes(A, B, Opts);
+  EXPECT_EQ(R.Verdict, DiffVerdict::Diverged);
+  bool Backstop = false;
+  for (const DiffFinding &F : R.Findings)
+    Backstop |= F.Where == "committed jobs total";
+  EXPECT_TRUE(Backstop) << R.Summary;
+}

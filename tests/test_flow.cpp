@@ -73,8 +73,11 @@ TEST(Metascheduler, ReallocateReleasesOldReservations) {
   Job J = makeFig2Job();
   Strategy S = F.Meta.buildStrategy(J, 0);
   ASSERT_TRUE(F.Meta.commit(J, *S.bestByCost(), F.User));
-  Strategy Fresh = F.Meta.reallocate(J, 5);
+  ReallocationResult Fresh = F.Meta.reallocate(J, S, F.User, 5);
   EXPECT_TRUE(Fresh.admissible());
+  // Nothing was broken, so the repair stages decline and the rebuild
+  // serves the request.
+  EXPECT_EQ(Fresh.Stage, RepairStage::Rebuild);
   // Old reservations are gone.
   for (const auto &N : F.Env.nodes())
     for (const auto &I : N.timeline().intervals())

@@ -8,6 +8,7 @@
 #include "core/Shift.h"
 #include "core/Scheduler.h"
 #include "job/Generator.h"
+#include "obs/Journal.h"
 #include "resource/Network.h"
 #include "TestUtil.h"
 
@@ -34,6 +35,45 @@ TEST(Shift, NegativeShiftWorksWithinBounds) {
   D.add({0, 1, 5, 9, 0.0});
   Distribution S = shiftDistribution(D, -5);
   EXPECT_EQ(S.find(0)->Start, 0);
+}
+
+TEST(Shift, ZeroShiftIsByteIdenticalCopy) {
+  Distribution D;
+  D.add({0, 1, 0, 4, 5.0});
+  D.add({1, 2, 6, 9, 7.0});
+  Distribution S = shiftDistribution(D, 0);
+  ASSERT_EQ(S.placements().size(), D.placements().size());
+  for (size_t I = 0; I < D.placements().size(); ++I) {
+    const Placement &A = D.placements()[I];
+    const Placement &B = S.placements()[I];
+    EXPECT_EQ(B.TaskId, A.TaskId);
+    EXPECT_EQ(B.NodeId, A.NodeId);
+    EXPECT_EQ(B.Start, A.Start);
+    EXPECT_EQ(B.End, A.End);
+    EXPECT_DOUBLE_EQ(B.EconomicCost, A.EconomicCost);
+  }
+}
+
+TEST(Shift, AlreadyFeasibleFastPathHasNoSideEffects) {
+  // The Delta = 0 fast path is pinned to be a strict no-op: no search,
+  // no journal events, so recovery code can probe "already fits"
+  // without perturbing run artifacts.
+  Grid G = makeSmallGrid();
+  G.node(1).timeline().reserve(0, 50, 9); // Busy elsewhere only.
+  Distribution D;
+  D.add({0, 0, 0, 5, 0.0});
+  D.add({1, 0, 7, 12, 0.0});
+  obs::Journal &Jn = obs::Journal::global();
+  Jn.reset();
+  Jn.enable();
+  std::string Before = Jn.jsonl();
+  auto Delta = minimalFeasibleShift(D, G, 100);
+  std::string After = Jn.jsonl();
+  Jn.disable();
+  Jn.reset();
+  ASSERT_TRUE(Delta.has_value());
+  EXPECT_EQ(*Delta, 0);
+  EXPECT_EQ(Before, After);
 }
 
 TEST(Shift, ZeroWhenAlreadyFree) {

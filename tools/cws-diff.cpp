@@ -65,6 +65,16 @@ static void printUsage() {
       "  --ignore-meta         skip provenance comparison entirely\n"
       "  --statistical         accept a statistically compatible sweep\n"
       "                        verdict (CI overlap, quantile shift) as pass\n"
+      "  --outcomes            journal mode: compare per-job commit/reject\n"
+      "                        verdicts only (the cross-reallocation-mode\n"
+      "                        equivalence gate; placements may differ)\n"
+      "  --allow-repair-saves  with --outcomes: accept the divergence a\n"
+      "                        staged repair is meant to cause — jobs A\n"
+      "                        committed with a repair on record where B\n"
+      "                        rejected, and verdicts decided after the\n"
+      "                        first repair diverged the grids (A = repair\n"
+      "                        run, B = rebuild oracle; A must never\n"
+      "                        commit fewer jobs than B in total)\n"
       "  --quantile-tol X      relative p50/p90/p99 shift tolerance\n"
       "                        (default 0.10)\n"
       "  --exclude-series L    comma list of extra series globs to skip\n"
@@ -160,7 +170,7 @@ static void splitCommas(const std::string &List,
 /// appends the Markdown report section for `--report`.
 static int diffOnce(const std::string &PathA, const std::string &PathB,
                     Mode M, const obs::DiffOptions &Opts, bool Statistical,
-                    std::string &ReportOut) {
+                    bool Outcomes, std::string &ReportOut) {
   std::string TextA, TextB;
   if (!readFile(PathA, TextA)) {
     std::fprintf(stderr, "cws-diff: cannot open '%s'\n", PathA.c_str());
@@ -187,6 +197,10 @@ static int diffOnce(const std::string &PathA, const std::string &PathB,
       return 2;
     }
   }
+  if (Outcomes && M != Mode::Journal) {
+    std::fprintf(stderr, "cws-diff: --outcomes applies to journals only\n");
+    return 2;
+  }
 
   std::string Error;
   obs::DiffResult R;
@@ -203,7 +217,8 @@ static int diffOnce(const std::string &PathA, const std::string &PathB,
                    Error.c_str());
       return 2;
     }
-    R = obs::diffJournals(A, B, Opts);
+    R = Outcomes ? obs::diffJournalOutcomes(A, B, Opts)
+                 : obs::diffJournals(A, B, Opts);
     break;
   }
   case Mode::Series: {
@@ -354,7 +369,7 @@ static int diffAgainstBaseline(const std::string &Dir,
       continue;
     }
     int Rc = diffOnce(Golden, Fresh, Mode::Auto, Opts,
-                      /*Statistical=*/false, ReportOut);
+                      /*Statistical=*/false, /*Outcomes=*/false, ReportOut);
     if (Rc == 2)
       return 2;
     Worst = std::max(Worst, Rc);
@@ -376,6 +391,7 @@ int main(int Argc, char **Argv) {
   std::string ReportFile, BaselineDir, JournalFile, TimeSeriesFile;
   std::string DigestFile;
   bool Statistical = false;
+  bool Outcomes = false;
   obs::DiffOptions Opts;
 
   auto NeedValue = [&](int &I, const char *Flag) -> const char * {
@@ -414,6 +430,10 @@ int main(int Argc, char **Argv) {
       Opts.Meta.Off = true;
     } else if (Arg == "--statistical") {
       Statistical = true;
+    } else if (Arg == "--outcomes") {
+      Outcomes = true;
+    } else if (Arg == "--allow-repair-saves") {
+      Opts.AllowRepairSaves = true;
     } else if (Arg == "--quantile-tol") {
       char *End = nullptr;
       const char *V = NeedValue(I, "--quantile-tol");
@@ -453,6 +473,12 @@ int main(int Argc, char **Argv) {
     }
   }
 
+  if (Opts.AllowRepairSaves && !Outcomes) {
+    std::fprintf(stderr,
+                 "cws-diff: --allow-repair-saves requires --outcomes\n");
+    return 2;
+  }
+
   if (!DigestFile.empty()) {
     if (!Paths.empty() || !BaselineDir.empty()) {
       std::fprintf(stderr, "cws-diff: --digest takes no other operands\n");
@@ -477,7 +503,8 @@ int main(int Argc, char **Argv) {
       printUsage();
       return 2;
     }
-    Rc = diffOnce(Paths[0], Paths[1], M, Opts, Statistical, Report);
+    Rc = diffOnce(Paths[0], Paths[1], M, Opts, Statistical, Outcomes,
+                  Report);
   }
 
   if (!ReportFile.empty() && Rc != 2) {

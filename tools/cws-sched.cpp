@@ -14,7 +14,7 @@
 ///             [--trace out.json] [--trace-categories core]
 ///             [--metrics out.prom] [--journal run.jsonl]
 ///             [--timeseries ts.csv] [--profile profile.json]
-///             [--invalidation scan|index]
+///             [--invalidation scan|index] [--reallocation repair|rebuild]
 ///
 /// The description must declare nodes (or pass --fig2grid 1 to use the
 /// paper's four-type environment).
@@ -99,6 +99,11 @@ int main(int Argc, char **Argv) {
   F.addInt("shards", &Shards,
            "worker shards of the job-flow level (no-op for a one-shot "
            "build; accepted for tool-flag uniformity with cws-sim)");
+  std::string Reallocation = "repair";
+  F.addString("reallocation", &Reallocation,
+              "how stale strategies are replaced: repair or rebuild "
+              "(no-op for a one-shot build; accepted for tool-flag "
+              "uniformity with cws-sim)");
   if (!F.parse(Argc, Argv))
     return 0;
   if (Invalidation != "scan" && Invalidation != "index") {
@@ -106,6 +111,13 @@ int main(int Argc, char **Argv) {
                  "cws-sched: --invalidation must be scan or index, got "
                  "'%s'\n",
                  Invalidation.c_str());
+    return 2;
+  }
+  if (Reallocation != "repair" && Reallocation != "rebuild") {
+    std::fprintf(stderr,
+                 "cws-sched: --reallocation must be repair or rebuild, got "
+                 "'%s'\n",
+                 Reallocation.c_str());
     return 2;
   }
   if (Shards < 0) {

@@ -99,6 +99,16 @@ int main(int Argc, char **Argv) {
               "how env changes find broken strategies: index "
               "(event-driven slot index) or scan (full re-validation "
               "oracle)");
+  std::string Reallocation = "repair";
+  F.addString("reallocation", &Reallocation,
+              "how stale strategies are replaced: repair (escalating "
+              "staged repair) or rebuild (unconditional full rebuild "
+              "oracle)");
+  bool RepairOracle = false;
+  F.addBool("repair-oracle", &RepairOracle,
+            "re-derive every staged repair with a side-effect-free "
+            "reference rebuild and print the oracle tallies (feasible, "
+            "affordable, cost vs rebuild)");
   double ArrivalScale = 1.0;
   double BackgroundScale = 1.0;
   double FastShare = -1.0;
@@ -129,6 +139,13 @@ int main(int Argc, char **Argv) {
                  "cws-sim: --invalidation must be scan or index, got "
                  "'%s'\n",
                  Invalidation.c_str());
+    return 2;
+  }
+  if (Reallocation != "repair" && Reallocation != "rebuild") {
+    std::fprintf(stderr,
+                 "cws-sim: --reallocation must be repair or rebuild, got "
+                 "'%s'\n",
+                 Reallocation.c_str());
     return 2;
   }
   if (Shards < 0) {
@@ -165,6 +182,10 @@ int main(int Argc, char **Argv) {
       BuildThreads > 0 ? BuildThreads : 0);
   Config.Invalidation = Invalidation == "scan" ? InvalidationMode::Scan
                                                : InvalidationMode::Index;
+  Config.Reallocation = Reallocation == "rebuild"
+                            ? ReallocationMode::Rebuild
+                            : ReallocationMode::Repair;
+  Config.RepairOracle = RepairOracle;
   Config.Shards = static_cast<size_t>(Shards);
   // Sweep axes. Gaps scale by 1/factor so a scale of 2 means twice the
   // arrival rate / background pressure; max(1, ...) keeps gaps legal.
@@ -298,6 +319,19 @@ int main(int Argc, char **Argv) {
     std::fprintf(stderr, "cws-sim: cannot write metrics '%s'\n",
                  MetricsFile.c_str());
     return 2;
+  }
+
+  if (RepairOracle) {
+    const RepairOracleStats &O = Run.RepairOracle;
+    std::fprintf(stderr,
+                 "cws-sim: repair oracle: %llu checked, %llu feasible, "
+                 "%llu affordable, %llu not worse than rebuild, "
+                 "repair cost %.1f vs rebuild cost %.1f\n",
+                 static_cast<unsigned long long>(O.Checked),
+                 static_cast<unsigned long long>(O.Feasible),
+                 static_cast<unsigned long long>(O.Affordable),
+                 static_cast<unsigned long long>(O.NotWorse),
+                 O.RepairCost, O.RebuildCost);
   }
 
   if (Csv) {
